@@ -1,0 +1,27 @@
+# Convenience targets for the Cayman reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench table2 fig6 quickstart clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+table2:
+	$(PYTHON) examples/reproduce_table2.py
+
+fig6:
+	$(PYTHON) -m repro fig6
+
+quickstart:
+	$(PYTHON) examples/quickstart.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy comparison runs are computed once per session and shared between the
+Table II and Fig. 6 benches.
+"""
+
+import pytest
+
+from repro.reporting import ComparisonRunner
+
+
+@pytest.fixture(scope="session")
+def comparison_runner():
+    return ComparisonRunner()

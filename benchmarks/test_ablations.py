@@ -1,0 +1,141 @@
+"""Ablation benches for Cayman's design choices.
+
+Sweeps the framework's knobs on a representative benchmark and checks the
+directional claims behind each design decision:
+
+* **filter α** trades selection time for front granularity, with bounded
+  quality loss at the paper's budgets;
+* **scratchpad β** controls how eagerly accesses are cached; extreme values
+  degenerate to no-scratchpad / always-try-scratchpad behaviour;
+* **pruning threshold** trades runtime for coverage; the default loses no
+  performance on hotspot-dominated benchmarks;
+* **interface specialization** (the coupled-only ablation of Fig. 6) is
+  responsible for a large share of Cayman's advantage.
+"""
+
+import time
+
+import pytest
+
+from repro.framework import Cayman
+from repro.workloads import get_workload
+
+BENCH = "atax"
+
+
+def run_with(benchmark=None, **kwargs):
+    workload = get_workload(BENCH)
+    return Cayman(**kwargs).run(workload.source, name=BENCH)
+
+
+def test_alpha_sweep(benchmark):
+    def sweep():
+        out = {}
+        for alpha in (1.01, 1.1, 1.5, 2.0):
+            result = run_with(alpha=alpha)
+            out[alpha] = (
+                len(result.front),
+                result.speedup_under_budget(0.65),
+                result.runtime_seconds,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for alpha, (front, speedup, runtime) in sorted(results.items()):
+        print(f"alpha={alpha:4}: front={front:3}  speedup={speedup:6.2f}x  "
+              f"runtime={runtime:5.2f}s")
+    fronts = [results[a][0] for a in sorted(results)]
+    # Larger alpha filters harder: fronts shrink monotonically.
+    assert fronts == sorted(fronts, reverse=True)
+    # Quality loss stays bounded: coarse fronts keep >= 60% of the speedup.
+    best = results[1.01][1]
+    assert results[2.0][1] >= 0.6 * best
+
+
+def test_beta_sweep(benchmark):
+    """doitgen has the reuse pattern (C4 read nr*nq times) that the
+    scratchpad rule targets."""
+
+    def sweep():
+        workload = get_workload("doitgen")
+        out = {}
+        for beta in (1.0, 4.0, 64.0):
+            result = Cayman(beta=beta).run(workload.source, name="doitgen")
+            best = result.best_under_budget(0.65)
+            totals = best.solution.interface_totals()
+            out[beta] = (totals["scratchpad"], best.speedup(result.total_seconds))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for beta, (spads, speedup) in sorted(results.items()):
+        print(f"beta={beta:5}: #S={spads:3}  speedup={speedup:6.2f}x")
+    # A lower threshold can only enable more scratchpads.
+    spad_counts = [results[b][0] for b in sorted(results)]
+    assert spad_counts == sorted(spad_counts, reverse=True)
+
+
+def test_prune_threshold_sweep(benchmark):
+    def sweep():
+        out = {}
+        for threshold in (0.0005, 0.001, 0.05):
+            started = time.perf_counter()
+            result = run_with(prune_threshold=threshold)
+            out[threshold] = (
+                result.selector.evaluated_vertices,
+                result.selector.pruned_vertices,
+                result.speedup_under_budget(0.65),
+                time.perf_counter() - started,
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for threshold, (evaluated, pruned, speedup, runtime) in sorted(results.items()):
+        print(f"prune={threshold:6}: evaluated={evaluated:4} pruned={pruned:4} "
+              f"speedup={speedup:6.2f}x runtime={runtime:5.2f}s")
+    # Harder pruning evaluates fewer vertices...
+    evals = [results[t][0] for t in sorted(results)]
+    assert evals == sorted(evals, reverse=True)
+    # ...and on a hotspot benchmark the default threshold loses nothing.
+    assert results[0.001][2] >= 0.95 * results[0.0005][2]
+
+
+def test_interface_specialization_ablation(benchmark):
+    """The Fig. 6 coupled-only ablation, quantified on one benchmark."""
+
+    def run():
+        full = run_with()
+        coupled = run_with(coupled_only=True)
+        return (
+            full.speedup_under_budget(0.65),
+            coupled.speedup_under_budget(0.65),
+        )
+
+    full, coupled = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfull Cayman: {full:.2f}x   coupled-only: {coupled:.2f}x   "
+          f"specialization gain: {full / coupled:.2f}x")
+    assert full > coupled
+
+
+def test_merging_ablation(benchmark):
+    """Merging buys area, not time: same speedups at loose budgets, equal
+    or better at tight ones."""
+
+    def run():
+        with_merge = run_with(merging=True)
+        without = run_with(merging=False)
+        return with_merge, without
+
+    with_merge, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    tight = 0.02
+    print(f"\nspeedup@2%: merged={with_merge.speedup_under_budget(tight):.2f}x "
+          f"unmerged={without.speedup_under_budget(tight):.2f}x")
+    assert (
+        with_merge.speedup_under_budget(tight)
+        >= without.speedup_under_budget(tight) - 1e-9
+    )
+    assert with_merge.speedup_under_budget(2.0) == pytest.approx(
+        without.speedup_under_budget(2.0), rel=1e-6
+    )

@@ -1,0 +1,114 @@
+"""Ablation bench for Algorithm 1 (experiment id: alg1): the filter(α)
+bounds Pareto-front lengths by log_α(A), keeping selection fast on deep
+synthetic wPSTs; without filtering, fronts grow linearly."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.analysis.wpst import WPSTNode
+from repro.selection import CandidateSelector
+
+
+class FakeWPST:
+    def __init__(self, root):
+        self.root = root
+
+
+class FakeEstimate:
+    def __init__(self, area, saved, name):
+        self.area = area
+        self.saved_seconds = saved
+        self.seq_blocks = 1
+        self.pipelined_regions = 0
+        self.interface_counts = {}
+
+        class _Cfg:
+            kernel_name = name
+
+        self.config = _Cfg()
+
+
+class DenseModel:
+    """Every bb vertex offers several configurations."""
+
+    def __init__(self, per_vertex=4):
+        self.per_vertex = per_vertex
+        self.calls = 0
+
+    def candidates(self, node):
+        if node.kind != "bb":
+            return []
+        self.calls += 1
+        seed = hash(node.name) % 97 + 1
+        return [
+            FakeEstimate(float(seed * (k + 1)), float(seed * (k + 1)) * 0.9 + k,
+                         node.name)
+            for k in range(self.per_vertex)
+        ]
+
+
+def wide_tree(width):
+    counter = itertools.count()
+    root = WPSTNode("root", "app")
+    func = WPSTNode("function", "f")
+    root.add_child(func)
+    for _ in range(width):
+        region = WPSTNode("ctrl-flow", f"r{next(counter)}")
+        func.add_child(region)
+        for _ in range(3):
+            region.add_child(WPSTNode("bb", f"b{next(counter)}"))
+    return FakeWPST(root)
+
+
+@pytest.mark.parametrize("width", [8, 16, 32])
+def test_front_length_bounded_by_log(benchmark, width):
+    wpst = wide_tree(width)
+    alpha = 1.1
+
+    def run():
+        selector = CandidateSelector(wpst, DenseModel(), alpha=alpha)
+        return selector.run()
+
+    front = benchmark.pedantic(run, rounds=3, iterations=1)
+    max_area = max(s.area for s in front)
+    bound = math.log(max(max_area, 2), alpha) + 2
+    print(f"\nwidth={width}: front={len(front)} bound={bound:.0f} "
+          f"max_area={max_area:.0f}")
+    assert len(front) <= bound
+
+
+def test_filter_keeps_dp_subquadratic(benchmark):
+    """Runtime with filtering grows mildly with tree width."""
+    import time
+
+    def measure(width):
+        wpst = wide_tree(width)
+        start = time.perf_counter()
+        CandidateSelector(wpst, DenseModel(), alpha=1.1).run()
+        return time.perf_counter() - start
+
+    def run():
+        return measure(8), measure(64)
+
+    small, large = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nDP time: width 8 -> {small*1e3:.1f}ms, width 64 -> {large*1e3:.1f}ms")
+    # 8x more vertices must cost far less than 64x the time (front lengths
+    # are bounded, so the DP is near-linear in vertices).
+    assert large < small * 64
+
+
+def test_tight_alpha_front_grows(benchmark):
+    """Ablation: with alpha -> 1 the front is much longer (no filtering)."""
+    wpst = wide_tree(16)
+
+    def run():
+        filtered = CandidateSelector(wpst, DenseModel(), alpha=1.2).run()
+        unfiltered = CandidateSelector(wpst, DenseModel(), alpha=1.0000001).run()
+        return len(filtered), len(unfiltered)
+
+    filtered_len, unfiltered_len = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfront length: alpha=1.2 -> {filtered_len}, "
+          f"alpha~1 -> {unfiltered_len}")
+    assert filtered_len < unfiltered_len

@@ -1,0 +1,34 @@
+"""Regenerates the paper's Table I (experiment id: table1): the qualitative
+capability comparison between HLS, CFU synthesis (NOVIA), OCA synthesis
+(QsCores), and Cayman — with the framework rows derived from the code."""
+
+import pytest
+
+from repro.reporting import capability_matrix, render_table1
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(capability_matrix, rounds=5, iterations=1)
+    print()
+    print(render_table1())
+    by_method = {r.method: r for r in rows}
+
+    cayman = by_method["Cayman"]
+    assert cayman.design_entry == "application"
+    assert cayman.candidate_selection == "auto"
+    assert cayman.control_flow == "optimized"
+    assert cayman.data_access == "specialized"
+    assert cayman.hardware_sharing == "flexible"
+
+    novia = by_method["CFU (NOVIA)"]
+    assert novia.control_flow == "/"
+    assert novia.data_access == "scalar-only"
+    assert novia.hardware_sharing == "restricted"
+
+    qscores = by_method["OCA (QsCores)"]
+    assert qscores.control_flow == "sequential"
+    assert qscores.data_access == "slow"
+
+    hls = by_method["HLS"]
+    assert hls.design_entry == "kernel"
+    assert hls.candidate_selection == "manual"

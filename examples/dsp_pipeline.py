@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Domain example: accelerating a DSP front-end (FIR → IIR → decimate → RMS).
+
+A signal-processing chain is the classic SoC-offload candidate the paper's
+introduction motivates: hot, loop-dominated, stream-heavy code on the CPU.
+This example runs the full Cayman flow on such a pipeline and reports which
+stages the framework decides to offload at several area budgets, and which
+data-access interfaces each stage's accesses get.
+
+Usage: python examples/dsp_pipeline.py
+"""
+
+from repro import Cayman
+from repro.hls import CVA6_TILE_AREA_UM2
+
+SOURCE = """
+float raw[512]; float filtered[512]; float smoothed[512];
+float decimated[128]; float rms_out[4];
+float taps[8];
+
+void make_signal(int n) {
+  gen: for (int i = 0; i < n; i++) {
+    int phase = (i * 37) % 97;
+    raw[i] = (float)phase / 97.0f - 0.5f + (float)((i * 13) % 11) * 0.01f;
+  }
+  taps[0] = 0.05f; taps[1] = 0.1f; taps[2] = 0.15f; taps[3] = 0.2f;
+  taps[4] = 0.2f; taps[5] = 0.15f; taps[6] = 0.1f; taps[7] = 0.05f;
+}
+
+/* 8-tap FIR: stream loads, reused coefficient vector (scratchpad bait). */
+void fir(int n) {
+  fir_loop: for (int i = 7; i < n; i++) {
+    float acc = 0.0f;
+    fir_taps: for (int t = 0; t < 8; t++)
+      acc += taps[t] * raw[i - t];
+    filtered[i] = acc;
+  }
+}
+
+/* 1-pole IIR smoother: a floating-point recurrence bounds the II here. */
+void iir(int n, float alpha) {
+  float state = 0.0f;
+  iir_loop: for (int i = 0; i < n; i++) {
+    state = alpha * filtered[i] + (1.0f - alpha) * state;
+    smoothed[i] = state;
+  }
+}
+
+/* 4:1 decimation: pure streaming, unroll-friendly. */
+void decimate(int n) {
+  dec_loop: for (int i = 0; i < n / 4; i++)
+    decimated[i] = smoothed[i * 4];
+}
+
+/* Blockwise RMS: reduction + sqrt. */
+void rms(int n, int blocks) {
+  int per = n / blocks;
+  rms_blocks: for (int b = 0; b < blocks; b++) {
+    float acc = 0.0f;
+    rms_sum: for (int i = 0; i < per; i++) {
+      float v = decimated[b * per + i];
+      acc += v * v;
+    }
+    rms_out[b] = sqrtf(acc / (float)per);
+  }
+}
+
+int main() {
+  make_signal(512);
+  frames: for (int frame = 0; frame < 12; frame++) {
+    fir(512);
+    iir(512, 0.125f);
+    decimate(512);
+    rms(128, 4);
+  }
+  return (int)(rms_out[0] * 1000.0f);
+}
+"""
+
+
+def main():
+    print("Running Cayman on the DSP front-end pipeline...\n")
+    result = Cayman().run(SOURCE, name="dsp")
+
+    print(f"profiled program time: {result.total_seconds * 1e6:.1f} us")
+    print("\nstage time shares:")
+    for node in result.wpst.ctrl_flow_vertices():
+        share = result.profile.region_time_share(node.region)
+        if share >= 0.02 and node.function.name != "main":
+            print(f"  {node.function.name + '/' + node.name:32} {share:6.1%}")
+
+    for budget in (0.05, 0.25, 0.65):
+        best = result.best_under_budget(budget)
+        print(f"\n=== budget {budget:.0%} of CVA6 "
+              f"(speedup {best.speedup(result.total_seconds):.2f}x, "
+              f"area {best.area_after / CVA6_TILE_AREA_UM2:.3f}) ===")
+        for accel in best.solution.accelerators:
+            counts = accel.interface_counts
+            print(f"  offload {accel.config.kernel_name:28} "
+                  f"[{accel.config.label}]  "
+                  f"C/D/S={counts.get('coupled', 0)}/"
+                  f"{counts.get('decoupled', 0)}/"
+                  f"{counts.get('scratchpad', 0)}")
+
+    print("\nNote how the IIR stage (floating-point recurrence) gains less "
+          "from interface\nspecialization than the FIR/decimate stages — the "
+          "same RecMII effect the paper\nreports for loops-all-mid-10k-sp.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full Cayman flow on the paper's Fig. 2 example.
+
+Compiles a small application (two accelerable functions), profiles it,
+selects accelerator candidates with Algorithm 1, merges accelerators, and
+prints the Pareto front plus the best solution under the paper's two area
+budgets.
+
+Usage: python examples/quickstart.py
+"""
+
+from repro import Cayman
+
+SOURCE = """
+float x[256]; float y[256];
+float A[48][48]; float B[48][48]; float z[48];
+
+void initdata(int n, int m) {
+  for (int i = 0; i < n; i++) {
+    z[i] = 0.0f;
+    for (int j = 0; j < n; j++) {
+      A[i][j] = (float)(i + j);
+      B[i][j] = (float)(i - j);
+    }
+  }
+  for (int i = 0; i < m; i++) { x[i] = (float)i; y[i] = 0.0f; }
+}
+
+void func0(int n, float k, float b) {
+  linear: for (int i = 0; i < n; i++) {
+    y[i] = k * x[i] + b;
+  }
+}
+
+void func1(int n, int m) {
+  outer: for (int i = 0; i < n; i++) {
+    dot_product: for (int j = 0; j < m; j++) {
+      z[i] += A[i][j] * B[i][j];
+    }
+  }
+}
+
+int main() {
+  initdata(48, 256);
+  for (int r = 0; r < 16; r++) {
+    func0(256, 2.0f, 1.0f);
+    func1(48, 48);
+  }
+  return 0;
+}
+"""
+
+
+def main():
+    print("Running Cayman on the Fig. 2 example application...\n")
+    result = Cayman().run(SOURCE, name="quickstart")
+
+    print(f"profiled program time : {result.total_seconds * 1e6:.1f} us "
+          f"({result.profile.counters.total_instructions} instructions)")
+    print(f"framework runtime     : {result.runtime_seconds:.2f} s")
+    print(f"Pareto front size     : {len(result.merged)} merged solutions\n")
+
+    print("Pareto-optimal solutions (area ratio vs CVA6 tile, speedup):")
+    for area_ratio, speedup in result.pareto_points():
+        bar = "#" * max(1, int(speedup * 2))
+        print(f"  area {area_ratio:6.3f}  speedup {speedup:6.2f}x  {bar}")
+
+    for budget in (0.25, 0.65):
+        best = result.best_under_budget(budget)
+        print(f"\nBest solution under the {budget:.0%} area budget:")
+        print(f"  speedup          : "
+              f"{best.speedup(result.total_seconds):.2f}x")
+        print(f"  area             : {best.area_after / 2.5e6:.3f} of CVA6 "
+              f"(merging saved {best.saving_pct:.0f}%)")
+        print(f"  accelerators     : {len(best.accelerators)}")
+        for accel in best.solution.accelerators:
+            print(f"    - {accel.describe()}")
+
+
+if __name__ == "__main__":
+    main()

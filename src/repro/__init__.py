@@ -1,0 +1,40 @@
+"""Cayman: custom accelerator generation with control flow and data access
+optimization — a full reproduction of the DAC 2025 paper.
+
+Public API tour
+---------------
+
+>>> from repro import Cayman
+>>> result = Cayman().run(mini_c_source)
+>>> result.speedup_under_budget(0.25)
+
+Subpackages:
+
+* :mod:`repro.ir` — SSA compiler IR (the LLVM substrate)
+* :mod:`repro.frontend` — mini-C → IR
+* :mod:`repro.opt` — -O3-style passes (accumulator promotion, DCE)
+* :mod:`repro.analysis` — CFG/dominators/loops/SESE regions/wPST/SCEV/memdep
+* :mod:`repro.interp` — interpreter, CPU model, region profiler
+* :mod:`repro.hls` — tech library, DFG, scheduling, pipelining, area models
+* :mod:`repro.model` — Cayman's accelerator model (interfaces + estimation)
+* :mod:`repro.selection` — Algorithm 1 DP candidate selection
+* :mod:`repro.merging` — reusable-accelerator merging
+* :mod:`repro.baselines` — NOVIA and QsCores reimplementations
+* :mod:`repro.workloads` — the 28 evaluation benchmarks
+* :mod:`repro.reporting` — Table I/II and Fig. 6 regeneration
+"""
+
+from .framework import Cayman, CaymanResult
+from .frontend import compile_source
+from .interp import Interpreter, profile_module
+from .analysis import WPST
+from .selection import Solution
+from .merging import MergedSolution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cayman", "CaymanResult", "compile_source", "Interpreter",
+    "profile_module", "WPST", "Solution", "MergedSolution",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Program analyses: CFG, dominators, loops, SESE regions, wPST, SCEV,
+access patterns, and memory dependences."""
+
+from .cfg import (
+    edges,
+    exit_blocks,
+    is_single_exit,
+    predecessor_map,
+    reachable_blocks,
+    reverse_postorder,
+)
+from .dominators import DominatorTree, dominator_tree, postdominator_tree
+from .loops import Loop, LoopInfo
+from .callgraph import CallGraph
+from .regions import ProgramStructureTree, Region, find_sese_regions
+from .wpst import WPST, WPSTNode
+from .scalar_evolution import (
+    CNC,
+    SCEV,
+    SCEVAddRec,
+    SCEVConstant,
+    SCEVCouldNotCompute,
+    SCEVSum,
+    SCEVUnknown,
+    ScalarEvolution,
+    scev_add,
+    scev_mul_const,
+    scev_sub,
+)
+from .access_patterns import AccessInfo, AccessPatternAnalysis
+from .dot import cfg_to_dot, dfg_to_dot, wpst_to_dot
+from .memdep import Dependence, MemoryDependenceAnalysis
+
+__all__ = [
+    "edges", "exit_blocks", "is_single_exit", "predecessor_map",
+    "reachable_blocks", "reverse_postorder",
+    "DominatorTree", "dominator_tree", "postdominator_tree",
+    "Loop", "LoopInfo", "CallGraph",
+    "ProgramStructureTree", "Region", "find_sese_regions",
+    "WPST", "WPSTNode",
+    "CNC", "SCEV", "SCEVAddRec", "SCEVConstant", "SCEVCouldNotCompute",
+    "SCEVSum", "SCEVUnknown", "ScalarEvolution",
+    "scev_add", "scev_mul_const", "scev_sub",
+    "AccessInfo", "AccessPatternAnalysis",
+    "cfg_to_dot", "dfg_to_dot", "wpst_to_dot",
+    "Dependence", "MemoryDependenceAnalysis",
+]

@@ -1,0 +1,200 @@
+"""Memory-access pattern analysis (paper §III-B).
+
+For every load/store the analysis resolves
+
+* the **base object** (global array, pointer argument, or alloca),
+* the **byte-offset SCEV** relative to that base,
+* whether the access has the ***stream*** pattern — its address sequence is
+  statically computable (affine in the enclosing loops' induction variables),
+* the **access footprint** relative to any enclosing loop: the number of
+  distinct elements touched while that loop runs (paper Fig. 2d: ``ld A``
+  has footprint M in the dot-product loop, ``ld z`` has footprint 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..ir import (
+    Alloca,
+    Argument,
+    ArrayType,
+    Function,
+    GetElementPtr,
+    GlobalVariable,
+    Instruction,
+    Load,
+    Store,
+    Value,
+    sizeof,
+)
+from .loops import Loop, LoopInfo
+from .scalar_evolution import (
+    CNC,
+    SCEV,
+    SCEVAddRec,
+    SCEVConstant,
+    ScalarEvolution,
+    scev_add,
+    scev_mul_const,
+)
+
+BaseObject = Union[GlobalVariable, Argument, Alloca]
+
+
+class AccessInfo:
+    """Resolved addressing information for one load or store."""
+
+    def __init__(
+        self,
+        inst: Instruction,
+        base: Optional[BaseObject],
+        offset: SCEV,
+        element_size: int,
+        loop_info: Optional[LoopInfo] = None,
+    ):
+        self.inst = inst
+        self.base = base
+        self.offset = offset
+        self.element_size = element_size
+        self.loop_info = loop_info
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self.inst, Load)
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self.inst, Store)
+
+    @property
+    def is_stream(self) -> bool:
+        """True when the address sequence is statically computable: a nest
+        of constant-step recurrences whose residual symbolic part is
+        invariant in every loop enclosing the access (an AGU can latch it
+        once per kernel invocation)."""
+        if self.base is None:
+            return False
+        scev = self.offset
+        while isinstance(scev, SCEVAddRec):
+            if scev.constant_step is None:
+                return False
+            scev = scev.base
+        if not scev.is_affine:
+            return False
+        if self.loop_info is not None and self.inst.parent is not None:
+            loop = self.loop_info.innermost_loop(self.inst.parent)
+            while loop is not None:
+                if not scev.is_invariant_in(loop):
+                    return False
+                loop = loop.parent
+        return True
+
+    def stride_in(self, loop: Loop) -> Optional[int]:
+        """Per-iteration byte stride of the address w.r.t. ``loop``.
+
+        0 for loop-invariant addresses, None when the address is not affine
+        in this loop (e.g. it varies through an inner loop with no step at
+        this level, or through a non-affine index).
+        """
+        scev = self.offset
+        while isinstance(scev, SCEVAddRec):
+            if scev.loop is loop:
+                return scev.constant_step
+            scev = scev.base
+        if self.offset.is_invariant_in(loop):
+            return 0
+        return None
+
+    def addrec_levels(self) -> Optional[List]:
+        """The addrec nest as ``[(loop, byte_step), ...]`` outermost-first,
+        or None when the offset is not an affine recurrence nest."""
+        levels = []
+        scev = self.offset
+        while isinstance(scev, SCEVAddRec):
+            step = scev.constant_step
+            if step is None:
+                return None
+            levels.append((scev.loop, step))
+            scev = scev.base
+        if not scev.is_affine:
+            return None
+        levels.reverse()  # peeling yields innermost-first; report outermost-first
+        return levels
+
+    def footprint_in(self, loop: Loop, trip_count: int) -> Optional[int]:
+        """Distinct elements touched while ``loop`` executes ``trip_count``
+        iterations (inner-loop repetitions of the same access not counted)."""
+        stride = self.stride_in(loop)
+        if stride is None:
+            return None
+        if stride == 0:
+            return 1
+        span = abs(stride) * (trip_count - 1) + self.element_size
+        return max(1, -(-span // self.element_size)) if trip_count > 0 else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ld" if self.is_load else "st"
+        base = self.base.name if self.base is not None else "?"
+        return f"<{kind} {base} + {self.offset}>"
+
+
+def _walk_type_sizes(pointee) -> List[int]:
+    """Byte scale of each GEP index level for a pointee type."""
+    scales = [sizeof(pointee)]
+    ty = pointee
+    while isinstance(ty, ArrayType):
+        ty = ty.element
+        scales.append(sizeof(ty))
+    return scales
+
+
+class AccessPatternAnalysis:
+    """Per-function resolution of all memory accesses."""
+
+    def __init__(self, func: Function, loop_info: Optional[LoopInfo] = None):
+        self.func = func
+        self.loop_info = loop_info or LoopInfo(func)
+        self.scev = ScalarEvolution(self.loop_info)
+        self._info: Dict[Instruction, AccessInfo] = {}
+        for inst in func.instructions():
+            if isinstance(inst, (Load, Store)):
+                self._info[inst] = self._resolve(inst)
+
+    def info(self, inst: Instruction) -> AccessInfo:
+        return self._info[inst]
+
+    def accesses(self) -> List[AccessInfo]:
+        return list(self._info.values())
+
+    def accesses_in(self, blocks) -> List[AccessInfo]:
+        block_set = set(blocks)
+        return [a for a in self._info.values() if a.inst.parent in block_set]
+
+    # Resolution ------------------------------------------------------------------
+
+    def _resolve(self, inst: Instruction) -> AccessInfo:
+        pointer = inst.pointer  # type: ignore[attr-defined]
+        element_size = sizeof(pointer.type.pointee)
+        base, offset = self._resolve_pointer(pointer)
+        return AccessInfo(inst, base, offset, element_size, self.loop_info)
+
+    def _resolve_pointer(self, pointer: Value):
+        """Peel GEPs down to a base object, accumulating the byte offset."""
+        offset: SCEV = SCEVConstant(0)
+        current = pointer
+        while True:
+            if isinstance(current, GetElementPtr):
+                scales = _walk_type_sizes(current.base.type.pointee)
+                for level, index in enumerate(current.indices):
+                    index_scev = self.scev.scev_of(index)
+                    scaled = scev_mul_const(index_scev, scales[min(level, len(scales) - 1)])
+                    offset = scev_add(offset, scaled)
+                current = current.base
+                continue
+            if isinstance(current, (GlobalVariable, Alloca)):
+                return current, offset
+            if isinstance(current, Argument) and current.type.is_pointer:
+                return current, offset
+            # Loaded pointers / phis of pointers: unknown base.
+            return None, CNC

@@ -1,0 +1,71 @@
+"""Control-flow-graph utilities over IR functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..ir import BasicBlock, Function
+
+
+def reachable_blocks(func: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    seen: Set[BasicBlock] = set()
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(block.successors)
+    return seen
+
+
+def predecessor_map(func: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Predecessor lists for every block, computed in one pass."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in func.blocks}
+    for block in func.blocks:
+        for succ in block.successors:
+            preds[succ].append(block)
+    return preds
+
+
+def edges(func: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """All CFG edges as (source, target) pairs."""
+    result = []
+    for block in func.blocks:
+        for succ in block.successors:
+            result.append((block, succ))
+    return result
+
+
+def reverse_postorder(func: Function) -> List[BasicBlock]:
+    """Blocks in reverse post-order from the entry (a topological-ish order)."""
+    visited: Set[BasicBlock] = set()
+    postorder: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack: List[Tuple[BasicBlock, int]] = [(block, 0)]
+        visited.add(block)
+        while stack:
+            current, index = stack.pop()
+            succs = current.successors
+            if index < len(succs):
+                stack.append((current, index + 1))
+                succ = succs[index]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                postorder.append(current)
+
+    visit(func.entry)
+    return list(reversed(postorder))
+
+
+def exit_blocks(func: Function) -> List[BasicBlock]:
+    """Blocks that leave the function (end in a return)."""
+    return [block for block in func.blocks if not block.successors]
+
+
+def is_single_exit(func: Function) -> bool:
+    return len(exit_blocks(func)) == 1

@@ -1,0 +1,76 @@
+"""GraphViz (DOT) exporters for CFGs, wPSTs, and DFGs — debugging aids."""
+
+from __future__ import annotations
+
+
+from ..ir import Function
+from .wpst import WPST, WPSTNode
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(func: Function, include_instructions: bool = False) -> str:
+    """The function's control-flow graph as DOT text."""
+    lines = [f'digraph "{_escape(func.name)}" {{', "  node [shape=box];"]
+    for block in func.blocks:
+        if include_instructions:
+            body = "\\l".join(_escape(str(i)) for i in block.instructions)
+            label = f"{_escape(block.name)}:\\l{body}\\l"
+        else:
+            label = _escape(block.name)
+        lines.append(f'  "{block.name}" [label="{label}"];')
+    for block in func.blocks:
+        for succ in block.successors:
+            lines.append(f'  "{block.name}" -> "{succ.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def wpst_to_dot(wpst: WPST) -> str:
+    """The whole-application program structure tree as DOT text."""
+    lines = ['digraph "wpst" {', "  node [shape=box];"]
+    counter = [0]
+    names = {}
+
+    def visit(node: WPSTNode) -> str:
+        ident = f"n{counter[0]}"
+        counter[0] += 1
+        names[id(node)] = ident
+        shape = {
+            "root": "doubleoctagon",
+            "function": "octagon",
+            "ctrl-flow": "box",
+            "bb": "ellipse",
+        }[node.kind]
+        lines.append(
+            f'  {ident} [label="{_escape(node.name)}" shape={shape}];'
+        )
+        for child in node.children:
+            child_id = visit(child)
+            lines.append(f"  {ident} -> {child_id};")
+        return ident
+
+    visit(wpst.root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfg_to_dot(dfg, name: str = "dfg") -> str:
+    """A data-flow graph as DOT text (data edges solid, ordering dashed)."""
+    lines = [f'digraph "{_escape(name)}" {{', "  node [shape=ellipse];"]
+    ids = {}
+    for index, node in enumerate(dfg.nodes):
+        ids[node] = f"n{index}"
+        label = f"{node.resource}\\n%{node.inst.name}"
+        if node.copy:
+            label += f"#{node.copy}"
+        lines.append(f'  n{index} [label="{_escape(label)}"];')
+    for node in dfg.nodes:
+        for pred in node.preds:
+            lines.append(f"  {ids[pred]} -> {ids[node]};")
+        for pred in node.order_preds:
+            lines.append(f"  {ids[pred]} -> {ids[node]} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

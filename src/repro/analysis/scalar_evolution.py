@@ -1,0 +1,397 @@
+"""Scalar-evolution analysis (SCEV-lite).
+
+Computes closed forms for integer values as affine recurrences over loops —
+the machinery behind *stream* access-pattern detection, footprint analysis
+(paper §III-B), and loop-carried dependence distances.
+
+Expression forms:
+
+* :class:`SCEVConstant` — a literal integer.
+* :class:`SCEVUnknown` — an opaque loop-invariant SSA value (argument, call
+  result, value defined outside all loops of interest...).
+* :class:`SCEVAddRec` — ``{base, +, step}<loop>``: starts at ``base`` and
+  advances by ``step`` each iteration of ``loop``.
+
+Sums and constant multiples are folded structurally; anything outside this
+affine fragment collapses to :class:`SCEVUnknown`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import (
+    Argument,
+    BinaryOp,
+    Cast,
+    Constant,
+    GlobalVariable,
+    Instruction,
+    Phi,
+    Value,
+)
+from .loops import Loop, LoopInfo
+
+
+class SCEV:
+    """Base class of scalar-evolution expressions."""
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_affine(self) -> bool:
+        """True when the value is a statically computable affine sequence."""
+        raise NotImplementedError
+
+
+class SCEVConstant(SCEV):
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        return True
+
+    @property
+    def is_affine(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, SCEVConstant) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class SCEVUnknown(SCEV):
+    def __init__(self, value: Value):
+        self.value = value
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        value = self.value
+        if isinstance(value, (Constant, Argument, GlobalVariable)):
+            return True
+        if isinstance(value, Instruction):
+            return value.parent not in loop.blocks
+        return True
+
+    @property
+    def is_affine(self) -> bool:
+        # Loop-invariant but not a static constant: the address sequence it
+        # contributes is still statically computable relative to the kernel
+        # invocation (an AGU can latch it), so treat it as affine.
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, SCEVUnknown) and self.value is other.value
+
+    def __hash__(self):
+        return hash(("unknown", id(self.value)))
+
+    def __str__(self) -> str:
+        return f"%{self.value.name}"
+
+
+class SCEVAddRec(SCEV):
+    def __init__(self, loop: Loop, base: SCEV, step: SCEV):
+        self.loop = loop
+        self.base = base
+        self.step = step
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        if loop is self.loop:
+            return False
+        if loop.contains_loop(self.loop):
+            # This addrec's loop runs inside ``loop``: the value varies while
+            # ``loop``'s body executes.
+            return False
+        if self.loop.contains_loop(loop):
+            # ``loop`` is nested inside this addrec's loop: the addrec value
+            # is frozen while the inner loop runs.
+            return self.base.is_invariant_in(loop) and self.step.is_invariant_in(loop)
+        return True  # disjoint loops
+
+    @property
+    def is_affine(self) -> bool:
+        return (
+            isinstance(self.step, SCEVConstant)
+            and self.base.is_affine
+        )
+
+    @property
+    def constant_step(self) -> Optional[int]:
+        if isinstance(self.step, SCEVConstant):
+            return self.step.value
+        return None
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SCEVAddRec)
+            and self.loop is other.loop
+            and self.base == other.base
+            and self.step == other.step
+        )
+
+    def __hash__(self):
+        return hash(("addrec", id(self.loop), self.base, self.step))
+
+    def __str__(self) -> str:
+        return f"{{{self.base},+,{self.step}}}<{self.loop.name}>"
+
+
+class SCEVCouldNotCompute(SCEV):
+    """Result for values outside the affine fragment."""
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        return False
+
+    @property
+    def is_affine(self) -> bool:
+        return False
+
+    def __eq__(self, other):
+        return isinstance(other, SCEVCouldNotCompute)
+
+    def __hash__(self):
+        return hash("cnc")
+
+    def __str__(self) -> str:
+        return "<could-not-compute>"
+
+
+CNC = SCEVCouldNotCompute()
+
+
+def make_addrec(loop: Loop, base: SCEV, step: SCEV) -> SCEV:
+    """AddRec constructor that folds a zero step to the base value."""
+    if isinstance(step, SCEVConstant) and step.value == 0:
+        return base
+    return SCEVAddRec(loop, base, step)
+
+
+def scev_add(a: SCEV, b: SCEV) -> SCEV:
+    """Structural sum of two SCEVs within the affine fragment."""
+    if isinstance(a, SCEVCouldNotCompute) or isinstance(b, SCEVCouldNotCompute):
+        return CNC
+    if isinstance(a, SCEVConstant) and isinstance(b, SCEVConstant):
+        return SCEVConstant(a.value + b.value)
+    if isinstance(a, SCEVConstant) and a.value == 0:
+        return b
+    if isinstance(b, SCEVConstant) and b.value == 0:
+        return a
+    if isinstance(a, SCEVAddRec) and isinstance(b, SCEVAddRec):
+        if a.loop is b.loop:
+            return make_addrec(a.loop, scev_add(a.base, b.base), scev_add(a.step, b.step))
+        # Nest: fold the invariant one into the other's base.
+        if b.is_invariant_in(a.loop):
+            return make_addrec(a.loop, scev_add(a.base, b), a.step)
+        if a.is_invariant_in(b.loop):
+            return make_addrec(b.loop, scev_add(b.base, a), b.step)
+        return CNC
+    if isinstance(a, SCEVAddRec):
+        if b.is_invariant_in(a.loop):
+            return make_addrec(a.loop, scev_add(a.base, b), a.step)
+        return CNC
+    if isinstance(b, SCEVAddRec):
+        return scev_add(b, a)
+    # unknown + unknown / unknown + const: keep symbolic as a sum node is not
+    # modelled; represent via SCEVSum-lite using a tuple-backed Unknown.
+    return _symbolic_sum(a, b)
+
+
+class SCEVSum(SCEV):
+    """Sum of loop-invariant symbolic terms plus a constant."""
+
+    def __init__(self, terms, constant: int):
+        self.terms = tuple(terms)  # SCEVUnknown terms
+        self.constant = constant
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        return all(t.is_invariant_in(loop) for t in self.terms)
+
+    @property
+    def is_affine(self) -> bool:
+        return True
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SCEVSum)
+            and self.terms == other.terms
+            and self.constant == other.constant
+        )
+
+    def __hash__(self):
+        return hash(("sum", self.terms, self.constant))
+
+    def __str__(self) -> str:
+        parts = [str(t) for t in self.terms]
+        if self.constant:
+            parts.append(str(self.constant))
+        return "(" + " + ".join(parts) + ")"
+
+
+def _symbolic_sum(a: SCEV, b: SCEV) -> SCEV:
+    terms = []
+    constant = 0
+    for part in (a, b):
+        if isinstance(part, SCEVConstant):
+            constant += part.value
+        elif isinstance(part, SCEVUnknown):
+            terms.append(part)
+        elif isinstance(part, SCEVSum):
+            terms.extend(part.terms)
+            constant += part.constant
+        else:
+            return CNC
+    terms.sort(key=lambda t: id(t.value))
+    if not terms:
+        return SCEVConstant(constant)
+    return SCEVSum(terms, constant)
+
+
+def scev_mul_const(a: SCEV, factor: int) -> SCEV:
+    """Multiply a SCEV by a compile-time constant."""
+    if factor == 0:
+        return SCEVConstant(0)
+    if factor == 1:
+        return a
+    if isinstance(a, SCEVCouldNotCompute):
+        return CNC
+    if isinstance(a, SCEVConstant):
+        return SCEVConstant(a.value * factor)
+    if isinstance(a, SCEVAddRec):
+        return SCEVAddRec(
+            a.loop, scev_mul_const(a.base, factor), scev_mul_const(a.step, factor)
+        )
+    if isinstance(a, SCEVSum):
+        # Scaled symbolic sums leave the representable fragment unless there
+        # is a single term with zero constant; keep it simple and symbolic.
+        return SCEVScaled(a, factor)
+    if isinstance(a, SCEVUnknown):
+        return SCEVScaled(a, factor)
+    return CNC
+
+
+class SCEVScaled(SCEV):
+    """``factor * inner`` for a loop-invariant symbolic inner expression."""
+
+    def __init__(self, inner: SCEV, factor: int):
+        self.inner = inner
+        self.factor = factor
+
+    def is_invariant_in(self, loop: Loop) -> bool:
+        return self.inner.is_invariant_in(loop)
+
+    @property
+    def is_affine(self) -> bool:
+        return self.inner.is_affine
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SCEVScaled)
+            and self.inner == other.inner
+            and self.factor == other.factor
+        )
+
+    def __hash__(self):
+        return hash(("scaled", self.inner, self.factor))
+
+    def __str__(self) -> str:
+        return f"({self.factor} * {self.inner})"
+
+
+def scev_sub(a: SCEV, b: SCEV) -> SCEV:
+    return scev_add(a, scev_mul_const(b, -1))
+
+
+class ScalarEvolution:
+    """Per-function SCEV computation with memoization."""
+
+    def __init__(self, loop_info: LoopInfo):
+        self.loop_info = loop_info
+        self._cache: Dict[Value, SCEV] = {}
+        self._in_progress: set = set()
+
+    def scev_of(self, value: Value) -> SCEV:
+        if value in self._cache:
+            return self._cache[value]
+        if id(value) in self._in_progress:
+            return CNC  # non-inductive cycle through phis
+        self._in_progress.add(id(value))
+        try:
+            result = self._compute(value)
+        finally:
+            self._in_progress.discard(id(value))
+        self._cache[value] = result
+        return result
+
+    def _compute(self, value: Value) -> SCEV:
+        if isinstance(value, Constant):
+            if value.type.is_int:
+                return SCEVConstant(value.value)
+            return SCEVUnknown(value)
+        if isinstance(value, (Argument, GlobalVariable)):
+            return SCEVUnknown(value)
+        if isinstance(value, Phi):
+            return self._compute_phi(value)
+        if isinstance(value, BinaryOp):
+            if value.opcode == "add":
+                return scev_add(self.scev_of(value.lhs), self.scev_of(value.rhs))
+            if value.opcode == "sub":
+                return scev_sub(self.scev_of(value.lhs), self.scev_of(value.rhs))
+            if value.opcode == "mul":
+                lhs = self.scev_of(value.lhs)
+                rhs = self.scev_of(value.rhs)
+                if isinstance(rhs, SCEVConstant):
+                    return scev_mul_const(lhs, rhs.value)
+                if isinstance(lhs, SCEVConstant):
+                    return scev_mul_const(rhs, lhs.value)
+                return self._opaque(value)
+            if value.opcode == "shl":
+                rhs = self.scev_of(value.rhs)
+                if isinstance(rhs, SCEVConstant) and 0 <= rhs.value < 63:
+                    return scev_mul_const(self.scev_of(value.lhs), 1 << rhs.value)
+                return self._opaque(value)
+            return self._opaque(value)
+        if isinstance(value, Cast) and value.opcode in ("sext", "zext", "trunc"):
+            return self.scev_of(value.operands[0])
+        return self._opaque(value)
+
+    def _opaque(self, value: Value) -> SCEV:
+        """An unanalyzable instruction is still usable if loop-invariant."""
+        return SCEVUnknown(value)
+
+    def _compute_phi(self, phi: Phi) -> SCEV:
+        block = phi.parent
+        loop = self.loop_info.loop_for_header(block) if block is not None else None
+        if loop is None:
+            return SCEVUnknown(phi)
+        init: Optional[SCEV] = None
+        step: Optional[SCEV] = None
+        for value, pred in phi.incoming():
+            if pred in loop.blocks:
+                step = self._back_edge_step(phi, value, loop)
+            else:
+                incoming = self.scev_of(value)
+                init = incoming if init is None else None if incoming != init else init
+        if init is None or step is None:
+            return SCEVUnknown(phi)
+        if not step.is_invariant_in(loop):
+            return SCEVUnknown(phi)
+        return SCEVAddRec(loop, init, step)
+
+    def _back_edge_step(self, phi: Phi, value: Value, loop: Loop) -> Optional[SCEV]:
+        """Step SCEV when the back-edge value is ``phi ± inc``."""
+        if not isinstance(value, BinaryOp):
+            return None
+        if value.opcode == "add":
+            if value.lhs is phi:
+                return self.scev_of(value.rhs)
+            if value.rhs is phi:
+                return self.scev_of(value.lhs)
+        elif value.opcode == "sub" and value.lhs is phi:
+            return scev_mul_const(self.scev_of(value.rhs), -1)
+        return None

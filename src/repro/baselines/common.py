@@ -1,0 +1,56 @@
+"""Shared result plumbing for the baseline synthesis frameworks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..hls.techlib import CVA6_TILE_AREA_UM2
+from ..interp.profiler import RegionProfile
+from ..merging.merge_driver import MergedSolution
+from ..selection.solution import EMPTY_SOLUTION
+
+
+@dataclass
+class BaselineResult:
+    """Pareto front produced by one baseline framework run."""
+
+    name: str
+    profile: RegionProfile
+    merged: List[MergedSolution] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.profile.total_seconds
+
+    def best_under_budget(self, budget_ratio: float) -> MergedSolution:
+        budget = budget_ratio * CVA6_TILE_AREA_UM2
+        best: Optional[MergedSolution] = None
+        for candidate in self.merged:
+            if candidate.area_after > budget:
+                continue
+            if best is None or candidate.saved_seconds > best.saved_seconds:
+                best = candidate
+        if best is None:
+            best = MergedSolution(
+                solution=EMPTY_SOLUTION, area_before=0.0, area_after=0.0,
+                merge_steps=0,
+            )
+        return best
+
+    def speedup_under_budget(self, budget_ratio: float) -> float:
+        return self.best_under_budget(budget_ratio).speedup(self.total_seconds)
+
+    def pareto_points(self):
+        """(area_ratio, speedup) Pareto series for Fig. 6 (dominated merged
+        points pruned, see CaymanResult.pareto_points)."""
+        from ..framework import _prune_dominated
+
+        points = [
+            (
+                merged.area_after / CVA6_TILE_AREA_UM2,
+                merged.speedup(self.total_seconds),
+            )
+            for merged in self.merged
+        ]
+        return _prune_dominated(points)

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <file.c>``   — full Cayman flow on a mini-C program; prints the
+  Pareto front and the best solutions under the paper's budgets.
+* ``table2``         — regenerate the paper's Table II (optionally a subset).
+* ``fig6``           — regenerate the paper's Fig. 6 Pareto-front series.
+* ``table1``         — print the Table I capability matrix.
+* ``dump <file.c>``  — compile and print the optimized IR and the wPST.
+* ``bench-list``     — list the available benchmark workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _read_program(args) -> str:
+    """The program text: a registered workload or a mini-C file."""
+    if getattr(args, "workload", None):
+        from .workloads import get_workload
+
+        return get_workload(args.workload).source
+    if not args.source:
+        raise SystemExit("error: provide a source file or --workload NAME")
+    with open(args.source) as handle:
+        return handle.read()
+
+
+def _cmd_run(args) -> int:
+    from .framework import Cayman
+    from .hls import CVA6_TILE_AREA_UM2
+
+    source = _read_program(args)
+    framework = Cayman(
+        alpha=args.alpha,
+        beta=args.beta,
+        coupled_only=args.coupled_only,
+        merging=not args.no_merging,
+    )
+    result = framework.run(
+        source, entry=args.entry, name=args.source or args.workload
+    )
+    print(f"profiled time: {result.total_seconds * 1e6:.1f} us; "
+          f"framework runtime: {result.runtime_seconds:.2f} s")
+    print("\npareto front (area ratio vs CVA6, speedup):")
+    for area, speedup in result.pareto_points():
+        print(f"  {area:8.4f}  {speedup:8.2f}x")
+    for budget in args.budgets:
+        best = result.best_under_budget(budget)
+        print(f"\nbudget {budget:.0%}: speedup "
+              f"{best.speedup(result.total_seconds):.2f}x, "
+              f"area {best.area_after / CVA6_TILE_AREA_UM2:.3f}, "
+              f"merge saving {best.saving_pct:.0f}%")
+        for accel in best.solution.accelerators:
+            print(f"  {accel.describe()}")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .reporting import (
+        generate_table2, render_table2, table2_to_csv, table2_to_json,
+    )
+
+    names = args.benchmarks or None
+    rows = generate_table2(
+        names,
+        progress=(
+            (lambda name: print(f"  {name}...", file=sys.stderr, flush=True))
+            if not args.quiet else None
+        ),
+    )
+    if args.format == "csv":
+        print(table2_to_csv(rows), end="")
+    elif args.format == "json":
+        print(table2_to_json(rows))
+    else:
+        print(render_table2(rows))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from .reporting import (
+        DEFAULT_FIG6_BENCHMARKS,
+        figure6_to_csv,
+        figure6_to_json,
+        generate_figure6,
+        render_figure6,
+    )
+
+    names = args.benchmarks or DEFAULT_FIG6_BENCHMARKS
+    series = generate_figure6(names)
+    if args.format == "csv":
+        print(figure6_to_csv(series), end="")
+    elif args.format == "json":
+        print(figure6_to_json(series))
+    else:
+        print(render_figure6(series))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .reporting import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    from .analysis import WPST
+    from .frontend import compile_source
+    from .ir import print_module
+
+    with open(args.source) as handle:
+        source = handle.read()
+    module = compile_source(source, args.source, optimize=not args.no_opt)
+    print(print_module(module))
+    print()
+    print(WPST(module, entry_function=args.entry).dump())
+    return 0
+
+
+def _cmd_emit_rtl(args) -> int:
+    from .framework import Cayman
+    from .rtl import generate_solution
+
+    source = _read_program(args)
+    result = Cayman().run(
+        source, entry=args.entry, name=args.source or args.workload
+    )
+    best = result.best_under_budget(args.budget)
+    if best.solution.is_empty:
+        print("no profitable accelerators under that budget", file=sys.stderr)
+        return 1
+    if args.reusable:
+        from .rtl import generate_reusable_accelerator
+
+        parts = [
+            generate_reusable_accelerator(best, index, f"{args.top}_grp{index}")
+            for index in range(len(best.accelerators))
+        ]
+        text = "\n\n".join(parts)
+    else:
+        text = generate_solution(best.solution, name=args.top)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_bench_list(args) -> int:
+    from .workloads import all_workloads
+
+    for workload in sorted(all_workloads(), key=lambda w: (w.suite, w.name)):
+        print(f"{workload.suite:14} {workload.name:28} {workload.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cayman accelerator-generation framework"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the full flow on a mini-C file")
+    run.add_argument("source", nargs="?")
+    run.add_argument("--workload", help="run a registered benchmark instead")
+    run.add_argument("--entry", default="main")
+    run.add_argument("--alpha", type=float, default=1.1)
+    run.add_argument("--beta", type=float, default=4.0)
+    run.add_argument("--coupled-only", action="store_true")
+    run.add_argument("--no-merging", action="store_true")
+    run.add_argument("--budgets", type=float, nargs="+", default=[0.25, 0.65])
+    run.set_defaults(func=_cmd_run)
+
+    table2 = sub.add_parser("table2", help="regenerate Table II")
+    table2.add_argument("benchmarks", nargs="*")
+    table2.add_argument("--quiet", action="store_true")
+    table2.add_argument("--format", choices=["text", "csv", "json"],
+                        default="text")
+    table2.set_defaults(func=_cmd_table2)
+
+    fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 series")
+    fig6.add_argument("benchmarks", nargs="*")
+    fig6.add_argument("--format", choices=["text", "csv", "json"],
+                      default="text")
+    fig6.set_defaults(func=_cmd_fig6)
+
+    table1 = sub.add_parser("table1", help="print the Table I matrix")
+    table1.set_defaults(func=_cmd_table1)
+
+    dump = sub.add_parser("dump", help="print optimized IR and wPST")
+    dump.add_argument("source")
+    dump.add_argument("--entry", default="main")
+    dump.add_argument("--no-opt", action="store_true")
+    dump.set_defaults(func=_cmd_dump)
+
+    rtl = sub.add_parser("emit-rtl",
+                         help="generate Verilog for the selected accelerators")
+    rtl.add_argument("source", nargs="?")
+    rtl.add_argument("--workload", help="use a registered benchmark instead")
+    rtl.add_argument("--entry", default="main")
+    rtl.add_argument("--budget", type=float, default=0.65)
+    rtl.add_argument("--top", default="cayman_solution")
+    rtl.add_argument("--reusable", action="store_true",
+                     help="emit merged reusable accelerators (Fig. 5 form)")
+    rtl.add_argument("-o", "--output")
+    rtl.set_defaults(func=_cmd_emit_rtl)
+
+    bench = sub.add_parser("bench-list", help="list benchmark workloads")
+    bench.set_defaults(func=_cmd_bench_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

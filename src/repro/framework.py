@@ -1,0 +1,176 @@
+"""Cayman end-to-end driver (paper Fig. 1).
+
+Pipeline: mini-C source (or IR module) → wPST construction → profiling and
+program analysis → accelerator-model-driven candidate selection (Algorithm
+1) → accelerator merging → Pareto-optimal solutions of merged accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from .analysis.wpst import WPST
+from .frontend.lowering import compile_source
+from .hls.techlib import CVA6_TILE_AREA_UM2, DEFAULT_TECHLIB, TechLibrary
+from .interp.profiler import RegionProfile, profile_module
+from .ir import Module
+from .merging.merge_driver import AcceleratorMerger, MergedSolution
+from .model.estimator import AcceleratorModel
+from .selection.knapsack import CandidateSelector
+from .selection.pruning import PruneHeuristic
+from .selection.solution import EMPTY_SOLUTION, Solution
+
+
+@dataclass
+class CaymanResult:
+    """Everything produced by one Cayman run."""
+
+    module: Module
+    wpst: WPST
+    profile: RegionProfile
+    selector: CandidateSelector
+    front: List[Solution]
+    merged: List[MergedSolution]
+    runtime_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.profile.total_seconds
+
+    def best_under_budget(self, budget_ratio: float) -> MergedSolution:
+        """Best merged solution whose *merged* area fits the budget.
+
+        ``budget_ratio`` is relative to the CVA6 tile area (paper §IV-A).
+        """
+        budget = budget_ratio * CVA6_TILE_AREA_UM2
+        best: Optional[MergedSolution] = None
+        for candidate in self.merged:
+            if candidate.area_after > budget:
+                continue
+            if best is None or candidate.saved_seconds > best.saved_seconds:
+                best = candidate
+        if best is None:
+            empty = EMPTY_SOLUTION
+            best = MergedSolution(
+                solution=empty, area_before=0.0, area_after=0.0, merge_steps=0
+            )
+        return best
+
+    def speedup_under_budget(self, budget_ratio: float) -> float:
+        return self.best_under_budget(budget_ratio).speedup(self.total_seconds)
+
+    def pareto_points(self):
+        """(area_ratio, speedup) Pareto series of the merged front (Fig. 6).
+
+        Merging rescales areas, so the raw merged set can contain dominated
+        points; they are pruned for presentation.
+        """
+        points = [
+            (
+                merged.area_after / CVA6_TILE_AREA_UM2,
+                merged.speedup(self.total_seconds),
+            )
+            for merged in self.merged
+        ]
+        return _prune_dominated(points)
+
+
+class Cayman:
+    """The Cayman framework front door.
+
+    Parameters mirror the paper's knobs: ``alpha`` is the front filter base,
+    ``beta`` the scratchpad count/footprint threshold, ``prune_threshold``
+    the hotspot cutoff, and ``coupled_only`` the Fig. 6 ablation that
+    restricts every access to the coupled interface.
+    """
+
+    def __init__(
+        self,
+        techlib: TechLibrary = DEFAULT_TECHLIB,
+        alpha: float = 1.1,
+        beta: float = 4.0,
+        prune_threshold: float = 0.001,
+        unroll_factors: Sequence[int] = (1, 2, 4, 8),
+        coupled_only: bool = False,
+        merging: bool = True,
+        area_cap_ratio: float = 2.0,
+    ):
+        self.techlib = techlib
+        self.alpha = alpha
+        self.beta = beta
+        self.prune_threshold = prune_threshold
+        self.unroll_factors = tuple(unroll_factors)
+        self.coupled_only = coupled_only
+        self.merging = merging
+        self.area_cap_ratio = area_cap_ratio
+
+    def run(
+        self,
+        program: Union[str, Module],
+        entry: str = "main",
+        args: Optional[List] = None,
+        setup: Optional[Callable] = None,
+        name: str = "app",
+    ) -> CaymanResult:
+        """Run the full flow on a mini-C source string or an IR module."""
+        import time
+
+        started = time.perf_counter()
+        module = (
+            compile_source(program, name) if isinstance(program, str) else program
+        )
+        profile = profile_module(module, entry=entry, args=args, setup=setup)
+        wpst = WPST(module, entry_function=entry)
+        model = AcceleratorModel(
+            module,
+            profile,
+            techlib=self.techlib,
+            beta=self.beta,
+            unroll_factors=self.unroll_factors,
+            coupled_only=self.coupled_only,
+        )
+        selector = CandidateSelector(
+            wpst,
+            model,
+            prune=PruneHeuristic(profile, self.prune_threshold),
+            alpha=self.alpha,
+            area_cap=self.area_cap_ratio * CVA6_TILE_AREA_UM2,
+        )
+        front = selector.run()
+
+        merger = AcceleratorMerger(self.techlib)
+        merged: List[MergedSolution] = []
+        for solution in front:
+            if solution.is_empty:
+                continue
+            if self.merging:
+                merged.append(merger.merge(solution))
+            else:
+                merged.append(
+                    MergedSolution(
+                        solution=solution,
+                        area_before=solution.area,
+                        area_after=solution.area,
+                        merge_steps=0,
+                    )
+                )
+        return CaymanResult(
+            module=module,
+            wpst=wpst,
+            profile=profile,
+            selector=selector,
+            front=front,
+            merged=merged,
+            runtime_seconds=time.perf_counter() - started,
+        )
+
+def _prune_dominated(points):
+    """Keep the Pareto-optimal (area, speedup) points, sorted by area."""
+    best = []
+    top = float("-inf")
+    for area, speedup in sorted(points):
+        if speedup > top:
+            best.append((area, speedup))
+            top = speedup
+    return best

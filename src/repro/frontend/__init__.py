@@ -1,0 +1,12 @@
+"""Mini-C frontend: lexer, parser, and AST → IR lowering."""
+
+from .errors import FrontendError, LexError, ParseError, SemanticError, SourceLocation
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+from .lowering import compile_source, lower_program, resolve_type
+
+__all__ = [
+    "FrontendError", "LexError", "ParseError", "SemanticError", "SourceLocation",
+    "Token", "tokenize", "Parser", "parse",
+    "compile_source", "lower_program", "resolve_type",
+]

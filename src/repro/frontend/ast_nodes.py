@@ -1,0 +1,236 @@
+"""AST node definitions for the mini-C frontend."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .errors import SourceLocation
+
+
+class Node:
+    """Base AST node carrying a source location."""
+
+    def __init__(self, location: Optional[SourceLocation] = None):
+        self.location = location
+
+
+# --------------------------------------------------------------------------- types
+
+
+class TypeSpec(Node):
+    """A declared type: a base name plus optional array dims / pointer depth."""
+
+    def __init__(
+        self,
+        base: str,
+        array_dims: Optional[List[int]] = None,
+        pointer_depth: int = 0,
+        location: Optional[SourceLocation] = None,
+    ):
+        super().__init__(location)
+        self.base = base  # "int" | "long" | "float" | "double" | "void"
+        self.array_dims = list(array_dims or [])
+        self.pointer_depth = pointer_depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = "".join(f"[{d}]" for d in self.array_dims)
+        return f"TypeSpec({self.base}{'*' * self.pointer_depth}{dims})"
+
+
+# ---------------------------------------------------------------------- expressions
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+class IntLiteral(Expr):
+    def __init__(self, value: int, location=None):
+        super().__init__(location)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    def __init__(self, value: float, location=None):
+        super().__init__(location)
+        self.value = value
+
+
+class NameRef(Expr):
+    def __init__(self, name: str, location=None):
+        super().__init__(location)
+        self.name = name
+
+
+class Index(Expr):
+    """Array subscript ``base[index]`` (possibly chained)."""
+
+    def __init__(self, base: Expr, index: Expr, location=None):
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+
+class UnaryExpr(Expr):
+    def __init__(self, op: str, operand: Expr, location=None):
+        super().__init__(location)
+        self.op = op  # "-" | "!" | "~"
+        self.operand = operand
+
+
+class BinaryExpr(Expr):
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class ConditionalExpr(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    def __init__(self, cond: Expr, true_expr: Expr, false_expr: Expr, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.true_expr = true_expr
+        self.false_expr = false_expr
+
+
+class CastExpr(Expr):
+    def __init__(self, target: TypeSpec, operand: Expr, location=None):
+        super().__init__(location)
+        self.target = target
+        self.operand = operand
+
+
+class CallExpr(Expr):
+    def __init__(self, name: str, args: List[Expr], location=None):
+        super().__init__(location)
+        self.name = name
+        self.args = args
+
+
+# ----------------------------------------------------------------------- statements
+
+
+class Stmt(Node):
+    """Base class for statements; ``label`` names the region (paper Fig. 2a)."""
+
+    def __init__(self, location=None):
+        super().__init__(location)
+        self.label: Optional[str] = None
+
+
+class DeclStmt(Stmt):
+    def __init__(self, type_spec: TypeSpec, name: str, init: Optional[Expr], location=None):
+        super().__init__(location)
+        self.type_spec = type_spec
+        self.name = name
+        self.init = init
+
+
+class AssignStmt(Stmt):
+    """``target op= value`` where op is "" for plain assignment."""
+
+    def __init__(self, target: Expr, op: str, value: Expr, location=None):
+        super().__init__(location)
+        self.target = target
+        self.op = op  # "", "+", "-", "*", "/", "%"
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    def __init__(self, expr: Expr, location=None):
+        super().__init__(location)
+        self.expr = expr
+
+
+class BlockStmt(Stmt):
+    def __init__(self, statements: List[Stmt], location=None):
+        super().__init__(location)
+        self.statements = statements
+
+
+class IfStmt(Stmt):
+    def __init__(self, cond: Expr, then_body: Stmt, else_body: Optional[Stmt], location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class WhileStmt(Stmt):
+    def __init__(self, cond: Expr, body: Stmt, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+
+class ForStmt(Stmt):
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional[Expr],
+        step: Optional[Stmt],
+        body: Stmt,
+        location=None,
+    ):
+        super().__init__(location)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class ReturnStmt(Stmt):
+    def __init__(self, value: Optional[Expr], location=None):
+        super().__init__(location)
+        self.value = value
+
+
+class BreakStmt(Stmt):
+    pass
+
+
+class ContinueStmt(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------- top level
+
+
+class ParamDecl(Node):
+    def __init__(self, type_spec: TypeSpec, name: str, location=None):
+        super().__init__(location)
+        self.type_spec = type_spec
+        self.name = name
+
+
+class FunctionDef(Node):
+    def __init__(
+        self,
+        return_type: TypeSpec,
+        name: str,
+        params: List[ParamDecl],
+        body: BlockStmt,
+        location=None,
+    ):
+        super().__init__(location)
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class GlobalDecl(Node):
+    def __init__(self, type_spec: TypeSpec, name: str, location=None):
+        super().__init__(location)
+        self.type_spec = type_spec
+        self.name = name
+
+
+class Program(Node):
+    def __init__(self, globals_: List[GlobalDecl], functions: List[FunctionDef], location=None):
+        super().__init__(location)
+        self.globals = globals_
+        self.functions = functions

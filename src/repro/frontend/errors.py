@@ -1,0 +1,45 @@
+"""Diagnostics for the mini-C frontend."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """Line/column position inside a source string."""
+
+    def __init__(self, line: int, column: int):
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceLocation({self.line}, {self.column})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and (self.line, self.column) == (other.line, other.column)
+        )
+
+
+class FrontendError(Exception):
+    """Base class of all frontend diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(FrontendError):
+    """Syntax error."""
+
+
+class SemanticError(FrontendError):
+    """Type error or use of an undeclared name."""

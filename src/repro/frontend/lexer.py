@@ -1,0 +1,149 @@
+"""Hand-written lexer for the mini-C subset.
+
+Token kinds:
+
+* ``ident`` — identifiers and keywords (keywords keep kind ``kw_<name>``)
+* ``int`` / ``float`` — numeric literals
+* ``punct`` — operators and punctuation (value holds the spelling)
+* ``eof`` — end of input sentinel
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .errors import LexError, SourceLocation
+
+KEYWORDS = frozenset(
+    [
+        "int", "long", "float", "double", "void",
+        "if", "else", "while", "for", "return", "break", "continue",
+        "const", "static",
+    ]
+)
+
+# Multi-character punctuation, longest first so maximal munch works.
+_PUNCT = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":", "?",
+]
+
+
+class Token:
+    """A single lexical token."""
+
+    def __init__(self, kind: str, value: str, location: SourceLocation):
+        self.kind = kind
+        self.value = value
+        self.location = location
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.location})"
+
+    def is_punct(self, spelling: str) -> bool:
+        return self.kind == "punct" and self.value == spelling
+
+    def is_keyword(self, name: str) -> bool:
+        return self.kind == f"kw_{name}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on invalid input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def location() -> SourceLocation:
+        return SourceLocation(line, pos - line_start + 1)
+
+    while pos < n:
+        ch = source[pos]
+
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+
+        # Comments.
+        if source.startswith("//", pos):
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", location())
+            for i in range(pos, end):
+                if source[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+            pos = end + 2
+            continue
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = pos
+            loc = location()
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            word = source[start:pos]
+            if word in KEYWORDS:
+                yield Token(f"kw_{word}", word, loc)
+            else:
+                yield Token("ident", word, loc)
+            continue
+
+        # Numeric literals.
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            start = pos
+            loc = location()
+            seen_dot = False
+            seen_exp = False
+            while pos < n:
+                c = source[pos]
+                if c.isdigit():
+                    pos += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    pos += 1
+                elif c in "eE" and not seen_exp and pos > start:
+                    seen_exp = True
+                    pos += 1
+                    if pos < n and source[pos] in "+-":
+                        pos += 1
+                else:
+                    break
+            text = source[start:pos]
+            # Optional float suffix.
+            if pos < n and source[pos] in "fF":
+                pos += 1
+                yield Token("float", text, loc)
+                continue
+            if seen_dot or seen_exp:
+                yield Token("float", text, loc)
+            else:
+                yield Token("int", text, loc)
+            continue
+
+        # Punctuation (maximal munch).
+        for punct in _PUNCT:
+            if source.startswith(punct, pos):
+                yield Token("punct", punct, location())
+                pos += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", location())
+
+    yield Token("eof", "", SourceLocation(line, pos - line_start + 1))

@@ -1,0 +1,383 @@
+"""Recursive-descent parser for the mini-C subset.
+
+Grammar (informal)::
+
+    program     := (global_decl | func_def)*
+    global_decl := type ident dims? ';'
+    func_def    := type ident '(' params? ')' block
+    param       := type '*'* ident dims?
+    stmt        := label? (decl | if | while | for | return | break | continue
+                   | block | assign-or-expr ';')
+    label       := ident ':'
+
+Expressions use precedence climbing with the usual C precedence for the
+supported operators; ``?:`` is supported right-associatively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+_TYPE_KEYWORDS = ("int", "long", "float", "double", "void")
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    """Stateful token-stream parser; use :func:`parse` for the one-shot API."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # Token-stream helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect_punct(self, spelling: str) -> Token:
+        if not self.current.is_punct(spelling):
+            raise ParseError(
+                f"expected {spelling!r}, got {self.current.value!r}",
+                self.current.location,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise ParseError(
+                f"expected identifier, got {self.current.value!r}",
+                self.current.location,
+            )
+        return self.advance()
+
+    def at_type_keyword(self) -> bool:
+        token = self.current
+        if token.kind in (f"kw_{k}" for k in _TYPE_KEYWORDS):
+            return True
+        return any(token.is_keyword(k) for k in _TYPE_KEYWORDS)
+
+    # Top level -------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FunctionDef] = []
+        while self.current.kind != "eof":
+            # Skip storage qualifiers at top level.
+            while self.current.is_keyword("static") or self.current.is_keyword("const"):
+                self.advance()
+            type_spec = self.parse_type()
+            name = self.expect_ident()
+            if self.current.is_punct("("):
+                functions.append(self._parse_function(type_spec, name))
+            else:
+                globals_.append(self._parse_global(type_spec, name))
+        return ast.Program(globals_, functions)
+
+    def parse_type(self) -> ast.TypeSpec:
+        while self.current.is_keyword("const"):
+            self.advance()
+        token = self.current
+        for keyword in _TYPE_KEYWORDS:
+            if token.is_keyword(keyword):
+                self.advance()
+                while self.current.is_keyword("const"):
+                    self.advance()
+                depth = 0
+                while self.current.is_punct("*"):
+                    self.advance()
+                    depth += 1
+                return ast.TypeSpec(keyword, pointer_depth=depth, location=token.location)
+        raise ParseError(f"expected type, got {token.value!r}", token.location)
+
+    def _parse_dims(self) -> List[int]:
+        dims: List[int] = []
+        while self.current.is_punct("["):
+            self.advance()
+            size_token = self.current
+            if size_token.kind != "int":
+                raise ParseError(
+                    "array dimensions must be integer literals", size_token.location
+                )
+            self.advance()
+            self.expect_punct("]")
+            dims.append(int(size_token.value))
+        return dims
+
+    def _parse_global(self, type_spec: ast.TypeSpec, name: Token) -> ast.GlobalDecl:
+        type_spec.array_dims = self._parse_dims()
+        self.expect_punct(";")
+        return ast.GlobalDecl(type_spec, name.value, location=name.location)
+
+    def _parse_function(self, return_type: ast.TypeSpec, name: Token) -> ast.FunctionDef:
+        self.expect_punct("(")
+        params: List[ast.ParamDecl] = []
+        if not self.current.is_punct(")"):
+            if self.current.is_keyword("void") and self.peek().is_punct(")"):
+                self.advance()
+            else:
+                while True:
+                    ptype = self.parse_type()
+                    pname = self.expect_ident()
+                    ptype.array_dims = self._parse_dims()
+                    params.append(
+                        ast.ParamDecl(ptype, pname.value, location=pname.location)
+                    )
+                    if self.current.is_punct(","):
+                        self.advance()
+                        continue
+                    break
+        self.expect_punct(")")
+        body = self.parse_block()
+        return ast.FunctionDef(return_type, name.value, params, body, name.location)
+
+    # Statements -----------------------------------------------------------------
+
+    def parse_block(self) -> ast.BlockStmt:
+        open_token = self.expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self.current.is_punct("}"):
+            if self.current.kind == "eof":
+                raise ParseError("unexpected end of input in block", open_token.location)
+            statements.append(self.parse_statement())
+        self.expect_punct("}")
+        return ast.BlockStmt(statements, open_token.location)
+
+    def parse_statement(self) -> ast.Stmt:
+        # Optional statement label: `ident ':' stmt` (not a ternary branch).
+        if self.current.kind == "ident" and self.peek().is_punct(":"):
+            label = self.advance().value
+            self.advance()  # ':'
+            stmt = self.parse_statement()
+            stmt.label = label
+            return stmt
+
+        token = self.current
+        if token.is_punct("{"):
+            return self.parse_block()
+        if self.at_type_keyword():
+            return self._parse_declaration()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.current.is_punct(";"):
+                value = self.parse_expression()
+            self.expect_punct(";")
+            return ast.ReturnStmt(value, token.location)
+        if token.is_keyword("break"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.BreakStmt(token.location)
+        if token.is_keyword("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.ContinueStmt(token.location)
+        if token.is_punct(";"):
+            self.advance()
+            return ast.BlockStmt([], token.location)
+
+        stmt = self._parse_assign_or_expr()
+        self.expect_punct(";")
+        return stmt
+
+    def _parse_declaration(self) -> ast.Stmt:
+        type_spec = self.parse_type()
+        name = self.expect_ident()
+        type_spec.array_dims = self._parse_dims()
+        init = None
+        if self.current.is_punct("="):
+            self.advance()
+            init = self.parse_expression()
+        self.expect_punct(";")
+        return ast.DeclStmt(type_spec, name.value, init, name.location)
+
+    def _parse_if(self) -> ast.IfStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.current.is_keyword("else"):
+            self.advance()
+            else_body = self.parse_statement()
+        return ast.IfStmt(cond, then_body, else_body, token.location)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.WhileStmt(cond, body, token.location)
+
+    def _parse_for(self) -> ast.ForStmt:
+        token = self.advance()
+        self.expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self.current.is_punct(";"):
+            if self.at_type_keyword():
+                init = self._parse_declaration()
+            else:
+                init = self._parse_assign_or_expr()
+                self.expect_punct(";")
+        else:
+            self.advance()
+        cond = None
+        if not self.current.is_punct(";"):
+            cond = self.parse_expression()
+        self.expect_punct(";")
+        step = None
+        if not self.current.is_punct(")"):
+            step = self._parse_assign_or_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.ForStmt(init, cond, step, body, token.location)
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        start = self.current
+        expr = self.parse_expression()
+        token = self.current
+        if token.is_punct("="):
+            self.advance()
+            value = self.parse_expression()
+            return ast.AssignStmt(expr, "", value, start.location)
+        for compound in ("+=", "-=", "*=", "/=", "%="):
+            if token.is_punct(compound):
+                self.advance()
+                value = self.parse_expression()
+                return ast.AssignStmt(expr, compound[0], value, start.location)
+        if token.is_punct("++") or token.is_punct("--"):
+            self.advance()
+            op = "+" if token.value == "++" else "-"
+            one = ast.IntLiteral(1, token.location)
+            return ast.AssignStmt(expr, op, one, start.location)
+        return ast.ExprStmt(expr, start.location)
+
+    # Expressions ----------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.current.is_punct("?"):
+            token = self.advance()
+            true_expr = self.parse_expression()
+            self.expect_punct(":")
+            false_expr = self._parse_ternary()
+            return ast.ConditionalExpr(cond, true_expr, false_expr, token.location)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "punct":
+                return lhs
+            prec = _PRECEDENCE.get(token.value)
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.BinaryExpr(token.value, lhs, rhs, token.location)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.is_punct("-") or token.is_punct("!") or token.is_punct("~"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpr(token.value, operand, token.location)
+        if token.is_punct("+"):
+            self.advance()
+            return self._parse_unary()
+        # Cast: '(' type ')' unary  — only when the parenthesized token is a type.
+        if token.is_punct("(") and self._peek_is_type_keyword(1):
+            self.advance()
+            target = self.parse_type()
+            self.expect_punct(")")
+            operand = self._parse_unary()
+            return ast.CastExpr(target, operand, token.location)
+        return self._parse_postfix()
+
+    def _peek_is_type_keyword(self, offset: int) -> bool:
+        token = self.peek(offset)
+        return any(token.is_keyword(k) for k in _TYPE_KEYWORDS)
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self.current.is_punct("["):
+            token = self.advance()
+            index = self.parse_expression()
+            self.expect_punct("]")
+            expr = ast.Index(expr, index, token.location)
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(int(token.value), token.location)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(float(token.value), token.location)
+        if token.kind == "ident":
+            self.advance()
+            if self.current.is_punct("("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.current.is_punct(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if self.current.is_punct(","):
+                            self.advance()
+                            continue
+                        break
+                self.expect_punct(")")
+                return ast.CallExpr(token.value, args, token.location)
+            return ast.NameRef(token.value, token.location)
+        if token.is_punct("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r}", token.location)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-C ``source`` into an AST."""
+    parser = Parser(tokenize(source))
+    return parser.parse_program()

@@ -1,0 +1,66 @@
+"""HLS substrate: characterized tech library, DFG extraction, chaining-aware
+list scheduling, pipelining, unrolling, and datapath/FSM area models."""
+
+from .techlib import (
+    ACCELERATOR_BASE_AREA_UM2,
+    AGU_AREA_UM2,
+    COUPLED_LOAD_LATENCY,
+    COUPLED_STORE_LATENCY,
+    CVA6_TILE_AREA_UM2,
+    DECOUPLED_LATENCY,
+    DEFAULT_CLOCK_NS,
+    DEFAULT_TECHLIB,
+    DMA_AREA_UM2,
+    DMA_BYTES_PER_CYCLE,
+    FIFO_AREA_UM2,
+    LSU_AREA_UM2,
+    OFFLOAD_OVERHEAD_CYCLES,
+    OpInfo,
+    REGION_CTRL_AREA_UM2,
+    SCANCHAIN_LATENCY,
+    SPAD_LATENCY,
+    TechLibrary,
+)
+from .dfg import DFG, DFGNode
+from .scheduling import (
+    AccessTiming,
+    PortTable,
+    Schedule,
+    critical_path_cycles,
+    functional_unit_usage,
+    register_bits,
+    schedule_dfg,
+)
+from .pipeline import PipelineResult, pipeline_loop, recurrence_mii, resource_mii
+from .transform import (
+    CANDIDATE_UNROLL_FACTORS,
+    UnrolledLoop,
+    legal_unroll_factors,
+    unroll_dfg,
+    unroll_legal,
+)
+from .datapath import (
+    AreaBreakdown,
+    pipelined_datapath_area,
+    sequential_datapath_area,
+)
+from .fsm import ControlFSM, ControlPlan, GlobalControlUnit
+from .report import SynthesisReport
+
+__all__ = [
+    "ACCELERATOR_BASE_AREA_UM2", "AGU_AREA_UM2", "COUPLED_LOAD_LATENCY",
+    "COUPLED_STORE_LATENCY", "CVA6_TILE_AREA_UM2", "DECOUPLED_LATENCY",
+    "DEFAULT_CLOCK_NS", "DEFAULT_TECHLIB", "DMA_AREA_UM2",
+    "DMA_BYTES_PER_CYCLE", "FIFO_AREA_UM2", "LSU_AREA_UM2",
+    "OFFLOAD_OVERHEAD_CYCLES", "OpInfo", "REGION_CTRL_AREA_UM2",
+    "SCANCHAIN_LATENCY", "SPAD_LATENCY", "TechLibrary",
+    "DFG", "DFGNode",
+    "AccessTiming", "PortTable", "Schedule", "critical_path_cycles",
+    "functional_unit_usage", "register_bits", "schedule_dfg",
+    "PipelineResult", "pipeline_loop", "recurrence_mii", "resource_mii",
+    "CANDIDATE_UNROLL_FACTORS", "UnrolledLoop", "legal_unroll_factors",
+    "unroll_dfg", "unroll_legal",
+    "AreaBreakdown", "pipelined_datapath_area", "sequential_datapath_area",
+    "ControlFSM", "ControlPlan", "GlobalControlUnit",
+    "SynthesisReport",
+]

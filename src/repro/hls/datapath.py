@@ -1,0 +1,121 @@
+"""Datapath and control area estimation for scheduled DFGs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .dfg import DFG
+from .scheduling import Schedule, functional_unit_usage, register_bits
+from .techlib import TechLibrary
+
+
+@dataclass
+class AreaBreakdown:
+    """Area of one synthesized unit, split by contributor (um^2)."""
+
+    functional_units: float = 0.0
+    registers: float = 0.0
+    control: float = 0.0
+    interfaces: float = 0.0
+    muxes: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.functional_units
+            + self.registers
+            + self.control
+            + self.interfaces
+            + self.muxes
+        )
+
+    def __add__(self, other: "AreaBreakdown") -> "AreaBreakdown":
+        return AreaBreakdown(
+            self.functional_units + other.functional_units,
+            self.registers + other.registers,
+            self.control + other.control,
+            self.interfaces + other.interfaces,
+            self.muxes + other.muxes,
+        )
+
+
+def sequential_datapath_area(
+    dfg: DFG, schedule: Schedule, techlib: TechLibrary
+) -> AreaBreakdown:
+    """Area of a sequential (time-multiplexed) implementation.
+
+    Functional units of one resource class are shared across cycles, so the
+    unit count per class is the peak per-cycle usage; sharing needs operand
+    multiplexers, charged per shared unit.
+    """
+    usage = functional_unit_usage(dfg, schedule)
+    histogram = dfg.resource_histogram()
+    fu_area = 0.0
+    mux_area = 0.0
+    widths = _peak_widths(dfg)
+    for resource, units in usage.items():
+        bits = widths.get(resource, 32)
+        fu_area += units * techlib.area(resource, bits)
+        ops = histogram.get(resource, 0)
+        if ops > units:
+            # ops time-share `units` instances: operand muxes in front.
+            share_ways = math.ceil(ops / units)
+            mux_area += units * 2 * techlib.mux_area(bits, share_ways)
+    regs = register_bits(dfg, schedule)
+    return AreaBreakdown(
+        functional_units=fu_area,
+        registers=regs * techlib.register_area(1),
+        control=techlib.fsm_area(schedule.length),
+        muxes=mux_area,
+    )
+
+
+def pipelined_datapath_area(
+    dfg: DFG, ii: int, depth: int, techlib: TechLibrary,
+    schedule: Schedule,
+) -> AreaBreakdown:
+    """Area of a pipelined implementation with initiation interval ``ii``.
+
+    Same-class operations can share a unit at most ``ii`` ways; values live
+    in pipeline registers from definition to last use.
+    """
+    histogram = dfg.resource_histogram()
+    widths = _peak_widths(dfg)
+    fu_area = 0.0
+    mux_area = 0.0
+    for resource, ops in histogram.items():
+        bits = widths.get(resource, 32)
+        info = techlib.op(resource, bits)
+        if info.pipelined:
+            units = math.ceil(ops / ii)
+        else:
+            units = math.ceil(ops * max(1, info.cycles) / ii)
+        fu_area += units * info.area_um2
+        if ops > units:
+            share_ways = math.ceil(ops / units)
+            mux_area += units * 2 * techlib.mux_area(bits, share_ways)
+
+    reg_bits = 0
+    for node in dfg.nodes:
+        if not node.succs:
+            continue
+        lifetime = max(
+            schedule.start[succ] for succ in node.succs
+        ) - schedule.start[node]
+        reg_bits += node.bits * max(1, lifetime)
+    return AreaBreakdown(
+        functional_units=fu_area,
+        registers=reg_bits * techlib.register_area(1),
+        control=techlib.fsm_area(max(depth, ii)),
+        muxes=mux_area,
+    )
+
+
+def _peak_widths(dfg: DFG) -> Dict[str, int]:
+    widths: Dict[str, int] = {}
+    for node in dfg.nodes:
+        resource = node.resource
+        widths[resource] = max(widths.get(resource, 0), node.bits)
+    return widths

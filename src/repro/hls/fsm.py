@@ -1,0 +1,59 @@
+"""Finite-state-machine control modeling.
+
+Each accelerated kernel keeps a standalone FSM sequencing its regions; when
+accelerators are merged into a reusable accelerator, every member kernel
+keeps its own FSM while the datapath is shared, and a small global control
+unit (*Ctrl*) dispatches configurations (paper §III-E, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .techlib import CONFIG_BIT_AREA_UM2, TechLibrary
+
+
+@dataclass
+class ControlFSM:
+    """Control FSM of one kernel: a named state machine with a state count."""
+
+    name: str
+    states: int
+
+    def area(self, techlib: TechLibrary) -> float:
+        return techlib.fsm_area(self.states)
+
+
+@dataclass
+class GlobalControlUnit:
+    """The *Ctrl* unit of a reusable accelerator.
+
+    It stores one configuration word per member kernel (driving the datapath
+    multiplexers' reconfiguration bit registers) and a dispatcher selecting
+    which member FSM to trigger.
+    """
+
+    config_bits: int
+    members: int
+
+    def area(self, techlib: TechLibrary) -> float:
+        dispatch_states = max(2, self.members + 1)
+        return (
+            self.config_bits * CONFIG_BIT_AREA_UM2
+            + techlib.fsm_area(dispatch_states)
+        )
+
+
+@dataclass
+class ControlPlan:
+    """All control logic of one (possibly reusable) accelerator."""
+
+    fsms: List[ControlFSM] = field(default_factory=list)
+    ctrl: GlobalControlUnit = None
+
+    def area(self, techlib: TechLibrary) -> float:
+        total = sum(fsm.area(techlib) for fsm in self.fsms)
+        if self.ctrl is not None:
+            total += self.ctrl.area(techlib)
+        return total

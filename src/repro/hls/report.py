@@ -1,0 +1,42 @@
+"""Synthesis report structures returned by the HLS substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .datapath import AreaBreakdown
+
+
+@dataclass
+class SynthesisReport:
+    """Latency/area report for one synthesized unit (paper §III-C step 3).
+
+    ``kind`` is ``"sequential"`` for sequential basic-block datapaths and
+    ``"pipelined"`` for pipelined loop regions.
+    """
+
+    name: str
+    kind: str
+    latency_cycles: float          # cycles for one execution of the unit
+    ii: Optional[int]              # initiation interval (pipelined only)
+    depth: Optional[int]           # pipeline depth (pipelined only)
+    area: AreaBreakdown
+    interface_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_area(self) -> float:
+        return self.area.total
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.kind}"]
+        if self.kind == "pipelined":
+            parts.append(f"II={self.ii} depth={self.depth}")
+        parts.append(f"latency={self.latency_cycles:.0f}cyc")
+        parts.append(f"area={self.total_area:.0f}um2")
+        if self.interface_counts:
+            ifaces = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.interface_counts.items())
+            )
+            parts.append(f"[{ifaces}]")
+        return " ".join(parts)

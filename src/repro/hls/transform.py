@@ -1,0 +1,112 @@
+"""Loop-transformation models: unrolling legality and DFG-level unrolling.
+
+Cayman "tries unrolling loops without loop-carried dependencies and
+pipelining the innermost loops after unrolling" (paper §III-C).  The
+accelerator model applies unrolling at the DFG level: the body DFG is
+replicated ``factor`` times (legal exactly because there are no carried
+dependencies to thread between the copies) and the trip count divides by
+``factor``.  Stream accesses of the replicas hit consecutive addresses,
+which is what memory partitioning of scratchpad buffers exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.loops import Loop
+from ..analysis.memdep import MemoryDependenceAnalysis
+from .dfg import DFG
+
+
+#: Unroll factors the configuration generator explores (1 = no unrolling).
+CANDIDATE_UNROLL_FACTORS = (1, 2, 4, 8)
+
+
+@dataclass
+class UnrolledLoop:
+    """The result of model-level unrolling of one loop."""
+
+    loop: Loop
+    factor: int
+    dfg: DFG
+    residual_trip_factor: float  # trip count multiplier (1/factor)
+
+
+def unroll_legal(loop: Loop, memdep: MemoryDependenceAnalysis) -> bool:
+    """A loop may be unrolled iff it has no loop-carried dependence.
+
+    Two dependence classes are checked:
+
+    * **memory**: no loop-carried memory dependence (paper §III-C);
+    * **SSA**: every header-phi recurrence must be a *reassociable
+      reduction* — the back-edge value applies an associative/commutative
+      operator directly to the phi (``s += ...``, ``p *= ...``, and the
+      induction variable itself).  General first-order recurrences such as
+      an IIR filter (``s = a*x + (1-a)*s``) cannot be split into parallel
+      lanes and block unrolling.
+    """
+    if memdep.has_loop_carried_dependence(loop):
+        return False
+    return _ssa_recurrences_reassociable(loop)
+
+
+_ASSOCIATIVE_OPS = frozenset(["add", "mul", "and", "or", "xor", "fadd", "fmul"])
+
+
+def _ssa_recurrences_reassociable(loop: Loop) -> bool:
+    from ..ir import BinaryOp, Instruction
+
+    for phi in loop.header.phis():
+        for value, pred in phi.incoming():
+            if pred not in loop.blocks:
+                continue
+            if value is phi:
+                continue  # value never changes: trivially fine
+            if not isinstance(value, Instruction):
+                continue  # constant/argument back edge: loop-invariant
+            if (
+                isinstance(value, BinaryOp)
+                and value.opcode in _ASSOCIATIVE_OPS
+                and (value.lhs is phi or value.rhs is phi)
+            ):
+                continue  # simple reduction (or the induction variable)
+            if (
+                isinstance(value, BinaryOp)
+                and value.opcode in ("sub", "fsub")
+                and value.lhs is phi
+            ):
+                continue  # s -= x is a reduction too
+            return False
+    return True
+
+
+def legal_unroll_factors(
+    loop: Loop,
+    memdep: MemoryDependenceAnalysis,
+    trip_count: Optional[float] = None,
+) -> List[int]:
+    """Unroll factors worth trying for ``loop``.
+
+    Illegal loops only get factor 1.  Factors above the (known) trip count
+    are pointless and dropped.
+    """
+    if not unroll_legal(loop, memdep):
+        return [1]
+    factors = [
+        f for f in CANDIDATE_UNROLL_FACTORS
+        if trip_count is None or trip_count <= 0 or f <= max(1, trip_count)
+    ]
+    return factors or [1]
+
+
+def unroll_dfg(loop: Loop, body_dfg: DFG, factor: int) -> UnrolledLoop:
+    """Replicate the body DFG ``factor`` times (unrolling model)."""
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    return UnrolledLoop(
+        loop=loop,
+        factor=factor,
+        dfg=body_dfg.replicate(factor),
+        residual_trip_factor=1.0 / factor,
+    )

@@ -1,0 +1,19 @@
+"""IR interpreter, CPU cost model, and region profiler."""
+
+from .cpu_model import CPU_CYCLES, CPU_FREQ_HZ, cycles_to_seconds, instruction_cycles
+from .memory import FlatMemory, MemoryError_
+from .interpreter import (
+    ExecutionLimitExceeded,
+    Interpreter,
+    InterpreterError,
+    ProfileCounters,
+)
+from .profiler import RegionProfile, profile_module
+
+__all__ = [
+    "CPU_CYCLES", "CPU_FREQ_HZ", "cycles_to_seconds", "instruction_cycles",
+    "FlatMemory", "MemoryError_",
+    "ExecutionLimitExceeded", "Interpreter", "InterpreterError",
+    "ProfileCounters",
+    "RegionProfile", "profile_module",
+]

@@ -1,0 +1,111 @@
+"""Flat byte-addressable memory for the IR interpreter."""
+
+from __future__ import annotations
+
+import struct
+
+from ..ir import FloatType, IntType, PointerType, Type, sizeof
+
+
+class MemoryError_(Exception):
+    """Out-of-bounds or misaligned access in interpreter memory."""
+
+
+class FlatMemory:
+    """A single linear address space with bump allocation.
+
+    Address 0 is kept unmapped so that null-pointer dereferences trap.
+    """
+
+    def __init__(self, size: int = 1 << 22):
+        self.size = size
+        self.data = bytearray(size)
+        self.brk = 64  # small unmapped guard region at the bottom
+
+    def allocate(self, ty: Type, align: int = 8) -> int:
+        """Reserve storage for a value of type ``ty``; returns the address."""
+        nbytes = sizeof(ty)
+        self.brk = (self.brk + align - 1) // align * align
+        address = self.brk
+        self.brk += nbytes
+        if self.brk > self.size:
+            raise MemoryError_(
+                f"out of interpreter memory ({self.brk} > {self.size})"
+            )
+        return address
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 64 or address + nbytes > self.size:
+            raise MemoryError_(f"access at {address} ({nbytes} bytes) out of range")
+
+    # Typed accessors --------------------------------------------------------
+
+    def load(self, address: int, ty: Type):
+        if isinstance(ty, IntType):
+            nbytes = max(1, (ty.bits + 7) // 8)
+            self._check(address, nbytes)
+            raw = int.from_bytes(self.data[address:address + nbytes], "little")
+            # Sign-extend.
+            sign_bit = 1 << (ty.bits - 1)
+            return (raw & (sign_bit - 1)) - (raw & sign_bit) if ty.bits > 1 else raw & 1
+        if isinstance(ty, FloatType):
+            nbytes = ty.bits // 8
+            self._check(address, nbytes)
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return struct.unpack_from(fmt, self.data, address)[0]
+        if isinstance(ty, PointerType):
+            self._check(address, 8)
+            return int.from_bytes(self.data[address:address + 8], "little")
+        raise MemoryError_(f"cannot load type {ty}")
+
+    def store(self, address: int, ty: Type, value) -> None:
+        if isinstance(ty, IntType):
+            nbytes = max(1, (ty.bits + 7) // 8)
+            self._check(address, nbytes)
+            mask = (1 << (8 * nbytes)) - 1
+            self.data[address:address + nbytes] = (int(value) & mask).to_bytes(
+                nbytes, "little"
+            )
+            return
+        if isinstance(ty, FloatType):
+            nbytes = ty.bits // 8
+            self._check(address, nbytes)
+            fmt = "<f" if ty.bits == 32 else "<d"
+            struct.pack_into(fmt, self.data, address, float(value))
+            return
+        if isinstance(ty, PointerType):
+            self._check(address, 8)
+            self.data[address:address + 8] = (int(value) & ((1 << 64) - 1)).to_bytes(
+                8, "little"
+            )
+            return
+        raise MemoryError_(f"cannot store type {ty}")
+
+    # Bulk helpers used by workload input generators ---------------------------
+
+    def write_array_f(self, address: int, values, bits: int = 32) -> None:
+        fmt = "<%d%s" % (len(values), "f" if bits == 32 else "d")
+        struct.pack_into(fmt, self.data, address, *values)
+
+    def read_array_f(self, address: int, count: int, bits: int = 32):
+        fmt = "<%d%s" % (count, "f" if bits == 32 else "d")
+        return list(struct.unpack_from(fmt, self.data, address))
+
+    def write_array_i(self, address: int, values, bits: int = 32) -> None:
+        nbytes = bits // 8
+        for i, value in enumerate(values):
+            mask = (1 << bits) - 1
+            self.data[address + i * nbytes:address + (i + 1) * nbytes] = (
+                (int(value) & mask).to_bytes(nbytes, "little")
+            )
+
+    def read_array_i(self, address: int, count: int, bits: int = 32):
+        nbytes = bits // 8
+        result = []
+        sign_bit = 1 << (bits - 1)
+        for i in range(count):
+            raw = int.from_bytes(
+                self.data[address + i * nbytes:address + (i + 1) * nbytes], "little"
+            )
+            result.append((raw & (sign_bit - 1)) - (raw & sign_bit))
+        return result

@@ -1,0 +1,140 @@
+"""Region profiling on top of the interpreter (paper §III-B, §III-F).
+
+Cayman instruments applications to record execution counts and durations per
+region.  Here the interpreter gathers per-block and per-edge counters during
+a run, and :class:`RegionProfile` aggregates them to any wPST region:
+
+* ``count(region)``  — times the region was entered from outside;
+* ``cycles(region)`` — CPU cycles spent inside the region (inclusive of
+  callees invoked from inside it);
+* ``trip_count(loop)`` — average iterations per entry for loop regions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..ir import BasicBlock, Call, Function, Module
+from ..analysis.loops import Loop
+from ..analysis.regions import Region
+from ..analysis.wpst import WPST, WPSTNode
+from .cpu_model import CPU_FREQ_HZ
+from .interpreter import Interpreter, ProfileCounters
+
+
+class RegionProfile:
+    """Aggregated profiling results for a module run."""
+
+    def __init__(self, counters: ProfileCounters, total_cycles: float):
+        self.counters = counters
+        self.total_cycles = total_cycles
+
+    # Block-level ------------------------------------------------------------
+
+    def block_count(self, block: BasicBlock) -> int:
+        return self.counters.block_count.get(block, 0)
+
+    def block_cycles(self, block: BasicBlock) -> float:
+        return self.counters.block_cycles.get(block, 0.0)
+
+    def edge_count(self, src: BasicBlock, dst: BasicBlock) -> int:
+        return self.counters.edge_count.get((src, dst), 0)
+
+    def function_entries(self, func: Function) -> int:
+        return self.counters.func_entry_count.get(func, 0)
+
+    # Region-level ----------------------------------------------------------------
+
+    def region_count(self, region: Region) -> int:
+        """Times the region was entered from outside it."""
+        entry = region.entry
+        count = sum(
+            self.edge_count(pred, entry)
+            for pred in entry.predecessors
+            if pred not in region.blocks
+        )
+        if entry.parent is not None and entry is entry.parent.entry:
+            count += self.function_entries(entry.parent)
+        return count
+
+    def region_cycles(self, region: Region) -> float:
+        """CPU cycles spent executing the region (callee-inclusive)."""
+        return sum(self.block_cycles(block) for block in region.blocks)
+
+    def region_instruction_count(self, region: Region) -> int:
+        return sum(self.block_count(block) for block in region.blocks)
+
+    def region_seconds(self, region: Region) -> float:
+        return self.region_cycles(region) / CPU_FREQ_HZ
+
+    def region_time_share(self, region: Region) -> float:
+        """Fraction of total program time spent in the region."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.region_cycles(region) / self.total_cycles
+
+    # Loop-level --------------------------------------------------------------------
+
+    def loop_entries(self, loop: Loop) -> int:
+        header = loop.header
+        count = sum(
+            self.edge_count(pred, header)
+            for pred in header.predecessors
+            if pred not in loop.blocks
+        )
+        if header.parent is not None and header is header.parent.entry:
+            count += self.function_entries(header.parent)
+        return count
+
+    def loop_iterations(self, loop: Loop) -> int:
+        """Total body iterations (back-edge traversals)."""
+        return sum(self.edge_count(latch, loop.header) for latch in loop.latches)
+
+    def trip_count(self, loop: Loop) -> float:
+        """Average iterations per loop entry (0 when never entered)."""
+        entries = self.loop_entries(loop)
+        if entries == 0:
+            return 0.0
+        return self.loop_iterations(loop) / entries
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_cycles / CPU_FREQ_HZ
+
+    def region_contains_call(self, region: Region) -> bool:
+        return any(
+            isinstance(inst, Call)
+            for block in region.blocks
+            for inst in block.instructions
+        )
+
+    def hot_regions(self, wpst: WPST, threshold: float = 0.001) -> List[WPSTNode]:
+        """Region vertices whose time share exceeds ``threshold``."""
+        result = []
+        for node in wpst.region_vertices():
+            if node.region is not None:
+                if self.region_time_share(node.region) >= threshold:
+                    result.append(node)
+        return result
+
+
+def profile_module(
+    module: Module,
+    entry: str = "main",
+    args: Optional[List] = None,
+    setup: Optional[Callable[[Interpreter], None]] = None,
+    max_instructions: int = 200_000_000,
+) -> RegionProfile:
+    """Run ``entry`` under the profiling interpreter and aggregate results.
+
+    ``setup`` receives the interpreter before execution so workloads can
+    initialize global arrays (the moral equivalent of input files).
+    """
+    interp = Interpreter(module, profile=True, max_instructions=max_instructions)
+    if setup is not None:
+        setup(interp)
+    interp.run(entry, args or [])
+    counters = interp.counters
+    counters.total_cycles = interp.cycles
+    counters.total_instructions = interp.instructions
+    return RegionProfile(counters, interp.cycles)

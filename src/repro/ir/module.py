@@ -1,0 +1,68 @@
+"""IR module: a compilation unit holding functions and globals."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .function import Function
+from .types import Type
+from .values import GlobalVariable
+
+
+class Module:
+    """A whole application: functions plus module-level global variables."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    def add_function(
+        self,
+        name: str,
+        return_type: Type,
+        param_types: List[Type],
+        param_names: Optional[List[str]] = None,
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError(f"function {name} already exists in module {self.name}")
+        func = Function(name, return_type, param_types, param_names, parent=self)
+        self.functions[name] = func
+        return func
+
+    def add_global(
+        self, name: str, allocated_type: Type, initializer=None
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"global {name} already exists in module {self.name}")
+        var = GlobalVariable(allocated_type, name, initializer)
+        self.globals[name] = var
+        return var
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function named {name} in module {self.name}") from None
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError(f"no global named {name} in module {self.name}") from None
+
+    def defined_functions(self) -> Iterator[Function]:
+        for func in self.functions.values():
+            if not func.is_declaration:
+                yield func
+
+    def __str__(self) -> str:
+        parts = [f"; module {self.name}"]
+        for var in self.globals.values():
+            parts.append(f"@{var.name} = global {var.allocated_type}")
+        for func in self.functions.values():
+            parts.append(str(func))
+        return "\n\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name} ({len(self.functions)} functions)>"

@@ -1,0 +1,441 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Parses modules printed by :func:`~repro.ir.printer.print_module` back into
+in-memory IR, enabling round-trip tests, IR file storage, and hand-written
+IR test inputs.  The accepted grammar is exactly the printer's output
+format::
+
+    ; module <name>
+    @g = global [100 x f32]
+    func <type> @<name>(<type> %a, ...) {
+    <label>:
+      %x = add i32 %a, 5
+      ...
+    }
+
+Literal operands are typed from context (the instruction's result type, the
+callee signature, or the pointee type); GEP indices default to ``i32``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .function import BasicBlock, Function
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    CAST_OPS,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    FLOAT_BINARY_OPS,
+    GetElementPtr,
+    ICmp,
+    INT_BINARY_OPS,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    UnaryOp,
+)
+from .module import Module
+from .types import (
+    ArrayType,
+    BOOL,
+    F64,
+    FloatType,
+    I32,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+)
+from .values import Constant, Value
+
+_UNARY_OPS = ("fneg", "fsqrt", "fabs", "neg", "not")
+
+
+class IRParseError(Exception):
+    """Malformed textual IR."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+# ------------------------------------------------------------------ type parsing
+
+
+def parse_type(text: str) -> Type:
+    ty, rest = _parse_type_prefix(text.strip())
+    if rest:
+        raise IRParseError(f"trailing text after type: {rest!r}")
+    return ty
+
+
+def _parse_type_prefix(text: str) -> Tuple[Type, str]:
+    text = text.lstrip()
+    if text.startswith("void"):
+        base: Type = VOID
+        rest = text[4:]
+    elif text.startswith("["):
+        depth = 0
+        for index, char in enumerate(text):
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth == 0:
+                    inner = text[1:index]
+                    rest = text[index + 1:]
+                    count_text, _, element_text = inner.partition(" x ")
+                    element, leftover = _parse_type_prefix(element_text)
+                    if leftover.strip():
+                        raise IRParseError(f"bad array type {text!r}")
+                    base = ArrayType(element, int(count_text))
+                    break
+        else:
+            raise IRParseError(f"unbalanced array type {text!r}")
+    else:
+        match = re.match(r"(i|f)(\d+)", text)
+        if not match:
+            raise IRParseError(f"unknown type {text!r}")
+        bits = int(match.group(2))
+        base = IntType(bits) if match.group(1) == "i" else FloatType(bits)
+        rest = text[match.end():]
+    while rest.startswith("*"):
+        base = PointerType(base)
+        rest = rest[1:]
+    return base, rest
+
+
+# --------------------------------------------------------------- operand parsing
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, func: Function):
+        self.module = module
+        self.func = func
+        self.values: Dict[str, Value] = {
+            arg.name: arg for arg in func.arguments
+        }
+        self.blocks: Dict[str, BasicBlock] = {}
+        #: (phi, [(value_text, block_name)]) fix-ups resolved at the end.
+        self.pending_phis: List[Tuple[Phi, List[Tuple[str, str]], Type]] = []
+        #: (block, terminator_text, line_no) resolved after blocks exist.
+        self.pending_terminators: List[Tuple[BasicBlock, str, int]] = []
+
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            block = self.func.add_block(name)
+            if block.name != name:
+                raise IRParseError(f"duplicate block name {name!r}")
+            self.blocks[name] = block
+        return self.blocks[name]
+
+    def define(self, name: str, value: Value) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of %{name}")
+        value.name = name
+        self.values[name] = value
+
+    def operand(self, text: str, ty: Optional[Type]) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            try:
+                return self.values[name]
+            except KeyError:
+                raise IRParseError(f"use of undefined value {text}") from None
+        if text.startswith("@"):
+            name = text[1:]
+            if name in self.module.globals:
+                return self.module.get_global(name)
+            if name in self.module.functions:
+                return self.module.get_function(name)
+            raise IRParseError(f"unknown global {text}")
+        # Literal constant.
+        if ty is None:
+            # Infer from spelling: ints default to i32, floats to f64.
+            ty = F64 if re.search(r"[.eE]|inf|nan", text) else I32
+        if ty.is_int:
+            return Constant(ty, int(text))
+        if ty.is_float:
+            return Constant(ty, float(text))
+        raise IRParseError(f"cannot type literal {text!r} as {ty}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on top-level commas (brackets and parens nest)."""
+    parts = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char in "[(":
+            depth += 1
+        elif char in "])":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+# --------------------------------------------------------------- module parsing
+
+
+def parse_module(text: str) -> Module:
+    """Parse printed IR text into a fresh module."""
+    module = Module("module")
+    lines = text.splitlines()
+    index = 0
+    n = len(lines)
+
+    while index < n:
+        line = lines[index].strip()
+        index += 1
+        if not line:
+            continue
+        if line.startswith("; module"):
+            module.name = line[len("; module"):].strip() or "module"
+            continue
+        if line.startswith(";"):
+            continue
+        if line.startswith("@"):
+            match = re.match(r"@([\w.$-]+)\s*=\s*global\s+(.+)", line)
+            if not match:
+                raise IRParseError(f"bad global: {line!r}", index)
+            module.add_global(match.group(1), parse_type(match.group(2)))
+            continue
+        if line.startswith("func "):
+            index = _parse_function_header(module, lines, index - 1) or index
+            index = _skip_to_function_end(module, lines, index)
+            continue
+        raise IRParseError(f"unexpected top-level line: {line!r}", index)
+
+    # Second pass: function bodies (all signatures now known for calls).
+    index = 0
+    while index < n:
+        line = lines[index].strip()
+        if line.startswith("func ") and line.endswith("{"):
+            index = _parse_function_body(module, lines, index)
+        else:
+            index += 1
+    return module
+
+
+_FUNC_RE = re.compile(
+    r"func\s+(?P<ret>[\w\[\]\s\*x]+?)\s+@(?P<name>[\w.$-]+)\((?P<params>.*)\)\s*(?P<body>[{;])\s*$"
+)
+
+
+def _parse_function_header(module: Module, lines: List[str], at: int) -> None:
+    line = lines[at].strip()
+    match = _FUNC_RE.match(line)
+    if not match:
+        raise IRParseError(f"bad function header: {line!r}", at + 1)
+    params = []
+    names = []
+    params_text = match.group("params").strip()
+    if params_text:
+        for part in _split_operands(params_text):
+            type_text, _, name = part.rpartition("%")
+            if not name:
+                raise IRParseError(f"bad parameter {part!r}", at + 1)
+            params.append(parse_type(type_text))
+            names.append(name.strip())
+    module.add_function(
+        match.group("name"), parse_type(match.group("ret")), params, names
+    )
+    return None
+
+
+def _skip_to_function_end(module: Module, lines: List[str], index: int) -> int:
+    if lines[index - 1].strip().endswith(";"):
+        return index  # declaration
+    while index < len(lines) and lines[index].strip() != "}":
+        index += 1
+    return index + 1
+
+
+def _parse_function_body(module: Module, lines: List[str], start: int) -> int:
+    header = lines[start].strip()
+    match = _FUNC_RE.match(header)
+    func = module.get_function(match.group("name"))
+    parser = _FunctionParser(module, func)
+
+    index = start + 1
+    current: Optional[BasicBlock] = None
+    while index < len(lines):
+        raw = lines[index]
+        line = raw.strip()
+        index += 1
+        if line == "}":
+            break
+        if not line or line.startswith(";"):
+            continue
+        if line.endswith(":") and not raw.startswith(" "):
+            current = parser.block(line[:-1])
+            continue
+        if current is None:
+            raise IRParseError(f"instruction before any block: {line!r}", index)
+        _parse_instruction(parser, current, line, index)
+
+    _resolve_pending(parser)
+    return index
+
+
+def _resolve_pending(parser: _FunctionParser) -> None:
+    for block, text, line_no in parser.pending_terminators:
+        _attach_terminator(parser, block, text, line_no)
+    for phi, incomings, ty in parser.pending_phis:
+        for value_text, block_name in incomings:
+            block = parser.blocks.get(block_name)
+            if block is None:
+                raise IRParseError(f"phi references unknown block {block_name}")
+            phi.add_incoming(parser.operand(value_text, ty), block)
+
+
+def _attach_terminator(parser, block, text, line_no):
+    if text == "ret":
+        block.append(Return())
+        return
+    if text.startswith("ret "):
+        value = parser.operand(text[4:], parser.func.return_type)
+        block.append(Return(value))
+        return
+    if text.startswith("condbr "):
+        parts = _split_operands(text[len("condbr "):])
+        if len(parts) != 3:
+            raise IRParseError(f"bad condbr: {text!r}", line_no)
+        cond = parser.operand(parts[0], BOOL)
+        block.append(
+            CondBranch(cond, parser.block(parts[1]), parser.block(parts[2]))
+        )
+        return
+    if text.startswith("br "):
+        block.append(Branch(parser.block(text[3:].strip())))
+        return
+    raise IRParseError(f"unknown terminator: {text!r}", line_no)
+
+
+_PHI_INCOMING_RE = re.compile(r"\[([^,\]]+),\s*([^\]]+)\]")
+
+
+def _parse_instruction(parser: _FunctionParser, block, line: str, line_no: int):
+    # Terminators are deferred so forward-referenced blocks resolve.
+    if line == "ret" or line.startswith(("ret ", "br ", "condbr ")):
+        parser.pending_terminators.append((block, line, line_no))
+        # Attach eagerly when targets already exist to keep order simple:
+        # terminators always end a block, so defer uniformly instead.
+        return
+
+    name = None
+    body = line
+    if line.startswith("%"):
+        name_part, eq, body = line.partition(" = ")
+        if not eq:
+            raise IRParseError(f"bad instruction: {line!r}", line_no)
+        name = name_part.strip()[1:]
+        body = body.strip()
+
+    opcode, _, rest = body.partition(" ")
+    rest = rest.strip()
+
+    if opcode == "store":
+        parts = _split_operands(rest)
+        if len(parts) != 2:
+            raise IRParseError(f"bad store: {line!r}", line_no)
+        pointer = parser.operand(parts[1], None)
+        value = parser.operand(parts[0], pointer.type.pointee)
+        block.append(Store(value, pointer))
+        return
+
+    if opcode == "call" or (name is not None and body.startswith("call ")):
+        call_text = rest if opcode == "call" else body[len("call "):]
+        match = re.match(r"@([\w.$-]+)\((.*)\)$", call_text.strip())
+        if not match:
+            raise IRParseError(f"bad call: {line!r}", line_no)
+        callee = parser.module.get_function(match.group(1))
+        arg_texts = _split_operands(match.group(2)) if match.group(2).strip() else []
+        args = [
+            parser.operand(text, ty)
+            for text, ty in zip(arg_texts, callee.type.param_types)
+        ]
+        inst = Call(callee, args)
+        block.append(inst)
+        if name is not None:
+            parser.define(name, inst)
+        return
+
+    if name is None:
+        raise IRParseError(f"unknown void instruction: {line!r}", line_no)
+
+    inst = _parse_value_instruction(parser, opcode, rest, line, line_no)
+    block.append(inst)
+    parser.define(name, inst)
+
+
+def _parse_value_instruction(parser, opcode, rest, line, line_no):
+    if opcode in INT_BINARY_OPS or opcode in FLOAT_BINARY_OPS:
+        ty_text, _, ops_text = rest.partition(" ")
+        ty = parse_type(ty_text)
+        parts = _split_operands(ops_text)
+        return BinaryOp(
+            opcode, parser.operand(parts[0], ty), parser.operand(parts[1], ty)
+        )
+    if opcode in _UNARY_OPS:
+        ty_text, _, ops_text = rest.partition(" ")
+        ty = parse_type(ty_text)
+        return UnaryOp(opcode, parser.operand(ops_text, ty))
+    if opcode in ("icmp", "fcmp"):
+        pred, _, rest2 = rest.partition(" ")
+        ty_text, _, ops_text = rest2.partition(" ")
+        ty = parse_type(ty_text)
+        parts = _split_operands(ops_text)
+        cls = ICmp if opcode == "icmp" else FCmp
+        return cls(pred, parser.operand(parts[0], ty), parser.operand(parts[1], ty))
+    if opcode == "select":
+        ty_text, _, ops_text = rest.partition(" ")
+        ty = parse_type(ty_text)
+        parts = _split_operands(ops_text)
+        return Select(
+            parser.operand(parts[0], BOOL),
+            parser.operand(parts[1], ty),
+            parser.operand(parts[2], ty),
+        )
+    if opcode in CAST_OPS:
+        ty_text, _, ops_text = rest.partition(" ")
+        return Cast(opcode, parser.operand(ops_text, None), parse_type(ty_text))
+    if opcode == "alloca":
+        return Alloca(parse_type(rest))
+    if opcode == "load":
+        ty_text, _, ops_text = rest.partition(" ")
+        return Load(parser.operand(ops_text, None))
+    if opcode == "gep":
+        ty_text, _, ops_text = rest.partition(" ")
+        parts = _split_operands(ops_text)
+        base = parser.operand(parts[0], None)
+        indices = [parser.operand(p, I32) for p in parts[1:]]
+        return GetElementPtr(base, indices)
+    if opcode == "phi":
+        ty_text, _, ops_text = rest.partition(" ")
+        ty = parse_type(ty_text)
+        phi = Phi(ty)
+        incomings = [
+            (m.group(1).strip(), m.group(2).strip())
+            for m in _PHI_INCOMING_RE.finditer(ops_text)
+        ]
+        parser.pending_phis.append((phi, incomings, ty))
+        return phi
+    raise IRParseError(f"unknown opcode {opcode!r}: {line!r}", line_no)

@@ -1,0 +1,173 @@
+"""Structural verifier for the repro IR.
+
+Checks the invariants the rest of the system depends on:
+
+* every reachable block ends with exactly one terminator;
+* phis sit at the top of their block and cover exactly the block's
+  predecessors;
+* every instruction operand is defined before use (dominance for SSA values);
+* def-use chains are consistent;
+* call signatures match.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .function import BasicBlock, Function
+from .instructions import Call, Instruction, Phi
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue
+
+
+class VerificationError(Exception):
+    """Raised when a module violates an IR invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function in ``module``; raise on the first error."""
+    for func in module.defined_functions():
+        verify_function(func)
+
+
+def verify_function(func: Function) -> None:
+    """Verify structural and SSA invariants of one function."""
+    if not func.blocks:
+        raise VerificationError(f"{func.name}: function has no blocks")
+
+    block_set = set(func.blocks)
+    for block in func.blocks:
+        _verify_block_structure(func, block, block_set)
+
+    _verify_ssa_dominance(func)
+    _verify_use_chains(func)
+
+
+def _verify_block_structure(
+    func: Function, block: BasicBlock, block_set: Set[BasicBlock]
+) -> None:
+    if block.parent is not func:
+        raise VerificationError(f"{func.name}/{block.name}: wrong parent")
+    if not block.is_terminated:
+        raise VerificationError(f"{func.name}/{block.name}: missing terminator")
+    for inst in block.instructions[:-1]:
+        if inst.is_terminator:
+            raise VerificationError(
+                f"{func.name}/{block.name}: terminator {inst.opcode} "
+                "in the middle of a block"
+            )
+    for succ in block.successors:
+        if succ not in block_set:
+            raise VerificationError(
+                f"{func.name}/{block.name}: successor {succ.name} not in function"
+            )
+
+    seen_non_phi = False
+    preds = set(block.predecessors)
+    for inst in block.instructions:
+        if inst.parent is not block:
+            raise VerificationError(
+                f"{func.name}/{block.name}: instruction parent link broken"
+            )
+        if isinstance(inst, Phi):
+            if seen_non_phi:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: phi {inst.ref} after non-phi"
+                )
+            incoming = set(inst.incoming_blocks)
+            if incoming != preds:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: phi {inst.ref} incoming blocks "
+                    f"{sorted(b.name for b in incoming)} != predecessors "
+                    f"{sorted(b.name for b in preds)}"
+                )
+        else:
+            seen_non_phi = True
+        if isinstance(inst, Call) and inst.callee.parent is not None:
+            if func.parent is not None and inst.callee.parent is not func.parent:
+                raise VerificationError(
+                    f"{func.name}: call to {inst.callee.name} from another module"
+                )
+
+
+def _verify_ssa_dominance(func: Function) -> None:
+    """Check defs dominate uses using a dataflow over reaching definitions.
+
+    To avoid importing the analysis package (which depends on ``ir``), this
+    uses a simple iterative dominator computation local to the verifier.
+    """
+    from collections import deque
+
+    index = {block: i for i, block in enumerate(func.blocks)}
+    entry = func.entry
+
+    # Iterative dominator sets (fine for verifier-scale CFGs).
+    all_blocks = set(func.blocks)
+    dom = {block: set(all_blocks) for block in func.blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            if block is entry:
+                continue
+            preds = block.predecessors
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds)) | {block}
+            else:
+                new = {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+
+    defined_in: dict = {}
+    for block in func.blocks:
+        for pos, inst in enumerate(block.instructions):
+            defined_in[inst] = (block, pos)
+
+    for block in func.blocks:
+        for pos, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                # Phi operands must be available at the end of the incoming block.
+                for value, pred in inst.incoming():
+                    _check_available(func, value, pred, len(pred.instructions), dom, defined_in)
+                continue
+            for value in inst.operands:
+                _check_available(func, value, block, pos, dom, defined_in)
+
+
+def _check_available(func, value, block, pos, dom, defined_in) -> None:
+    if isinstance(value, (Constant, Argument, GlobalVariable, UndefValue, Function)):
+        return
+    if not isinstance(value, Instruction):
+        raise VerificationError(f"{func.name}: unknown operand kind {value!r}")
+    if value not in defined_in:
+        raise VerificationError(
+            f"{func.name}: use of instruction {value.ref} not present in function"
+        )
+    def_block, def_pos = defined_in[value]
+    if def_block is block:
+        if def_pos >= pos:
+            raise VerificationError(
+                f"{func.name}/{block.name}: {value.ref} used before definition"
+            )
+    elif def_block not in dom[block]:
+        raise VerificationError(
+            f"{func.name}/{block.name}: definition of {value.ref} "
+            f"({def_block.name}) does not dominate use"
+        )
+
+
+def _verify_use_chains(func: Function) -> None:
+    for block in func.blocks:
+        for inst in block.instructions:
+            for op in inst.operands:
+                if inst not in op.users:
+                    raise VerificationError(
+                        f"{func.name}: {inst.opcode} missing from users of {op.ref}"
+                    )
+            for user in inst.users:
+                if inst not in user.operands:
+                    raise VerificationError(
+                        f"{func.name}: stale user entry {user.opcode} on {inst.ref}"
+                    )

@@ -1,0 +1,257 @@
+"""Heuristic accelerator merging over selection solutions (paper §III-E).
+
+For every Pareto-optimal selection solution Cayman repeatedly
+
+1. estimates the area saving of merging every pair of datapath units
+   contained in the solution,
+2. merges the pair with the maximum positive saving into a reconfigurable
+   datapath unit, combining their owning accelerators into one reusable
+   accelerator (each member kernel keeps its own FSM; a global *Ctrl* unit
+   dispatches configurations), and
+3. treats the merged unit/accelerator as a normal one for further rounds,
+
+until no positive saving remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hls.fsm import GlobalControlUnit
+from ..hls.techlib import ACCELERATOR_BASE_AREA_UM2, DEFAULT_TECHLIB, TechLibrary
+from ..selection.solution import Solution
+from .dfg_merge import MergedUnit, estimate_pair_saving, merge_pair
+
+
+@dataclass
+class ReusableAccelerator:
+    """One accelerator of the merged solution and the kernels it serves."""
+
+    kernel_names: List[str]
+    unit_names: List[str]
+
+    @property
+    def region_count(self) -> int:
+        return len(self.kernel_names)
+
+    @property
+    def is_reusable(self) -> bool:
+        return self.region_count > 1
+
+
+@dataclass
+class MergedSolution:
+    """Result of merging one selection solution."""
+
+    solution: Solution
+    area_before: float
+    area_after: float
+    merge_steps: int
+    accelerators: List[ReusableAccelerator] = field(default_factory=list)
+    #: Final datapath-unit pool after merging (reconfigurable units included).
+    units: List["MergedUnit"] = field(default_factory=list)
+    #: Union-find root (accelerator group id) per unit, aligned with `units`.
+    unit_groups: List[int] = field(default_factory=list)
+    #: Group root per entry of `accelerators` (same id space as unit_groups).
+    group_roots: List[int] = field(default_factory=list)
+
+    @property
+    def saving(self) -> float:
+        return self.area_before - self.area_after
+
+    @property
+    def saving_pct(self) -> float:
+        if self.area_before <= 0:
+            return 0.0
+        return 100.0 * self.saving / self.area_before
+
+    @property
+    def saved_seconds(self) -> float:
+        return self.solution.saved_seconds
+
+    def speedup(self, total_seconds: float) -> float:
+        return self.solution.speedup(total_seconds)
+
+    @property
+    def mean_regions_per_reusable(self) -> float:
+        reusable = [a for a in self.accelerators if a.is_reusable]
+        if not reusable:
+            return 0.0
+        return sum(a.region_count for a in reusable) / len(reusable)
+
+
+class _UnionFind:
+    def __init__(self, count: int):
+        self.parent = list(range(count))
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+class AcceleratorMerger:
+    """Greedy pairwise merging engine."""
+
+    def __init__(
+        self,
+        techlib: TechLibrary = DEFAULT_TECHLIB,
+        max_steps: Optional[int] = None,
+        max_units: int = 400,
+        min_match_fraction: float = 0.0,
+    ):
+        self.techlib = techlib
+        self.max_steps = max_steps
+        self.max_units = max_units
+        #: Restricted hardware sharing (baselines): a pair may merge only if
+        #: the match covers at least this fraction of the smaller unit.
+        self.min_match_fraction = min_match_fraction
+
+    def merge(self, solution: Solution) -> MergedSolution:
+        units: List[MergedUnit] = []
+        kernel_of_owner: Dict[int, str] = {}
+        for owner, accel in enumerate(solution.accelerators):
+            kernel_of_owner[owner] = accel.config.kernel_name
+            for name, dfg in accel.units:
+                units.append(
+                    MergedUnit(
+                        name=f"{accel.config.kernel_name}/{name}",
+                        dfg=dfg,
+                        owner=owner,
+                        member_names=[f"{accel.config.kernel_name}/{name}"],
+                    )
+                )
+
+        area_before = solution.area
+        if len(units) > self.max_units or len(units) < 2:
+            return self._finalize(solution, area_before, 0.0, units,
+                                  kernel_of_owner, _UnionFind(len(solution.accelerators)), 0)
+
+        uf = _UnionFind(len(solution.accelerators))
+        total_step_saving = 0.0
+        steps = 0
+        # Lazily maintained pair-saving cache.
+        savings: Dict[Tuple[int, int], Tuple[float, object]] = {}
+
+        def pair_saving(i: int, j: int):
+            key = (id(units[i]), id(units[j]))
+            if key not in savings:
+                saving, match = estimate_pair_saving(
+                    units[i], units[j], self.techlib
+                )
+                if self.min_match_fraction > 0.0:
+                    smaller = min(len(units[i].dfg.nodes), len(units[j].dfg.nodes))
+                    fraction = len(match.pairs) / max(1, smaller)
+                    if fraction < self.min_match_fraction:
+                        saving = 0.0
+                savings[key] = (saving, match)
+            return savings[key]
+
+        while True:
+            if self.max_steps is not None and steps >= self.max_steps:
+                break
+            best = None
+            best_saving = 0.0
+            best_match = None
+            for i in range(len(units)):
+                for j in range(i + 1, len(units)):
+                    saving, match = pair_saving(i, j)
+                    if saving > best_saving:
+                        best, best_saving, best_match = (i, j), saving, match
+            if best is None:
+                break
+            i, j = best
+            merged = merge_pair(units[i], units[j], self.techlib, best_match)
+            owner_a, owner_b = units[i].owner, units[j].owner
+            uf.union(uf.find(owner_a), uf.find(owner_b))
+            merged.owner = uf.find(owner_a)
+            # Replace the pair with the merged unit.
+            units = [u for k, u in enumerate(units) if k not in (i, j)]
+            units.append(merged)
+            total_step_saving += best_saving
+            steps += 1
+
+        return self._finalize(
+            solution, area_before, total_step_saving, units, kernel_of_owner, uf, steps
+        )
+
+    #: Fraction of redundant interface hardware a reusable accelerator can
+    #: actually share between its mutually exclusive member kernels (the
+    #: remainder pays for the muxing/glue in front of the shared ports).
+    INTERFACE_SHARE_FACTOR = 0.8
+
+    def _finalize(
+        self,
+        solution: Solution,
+        area_before: float,
+        step_saving: float,
+        units: List[MergedUnit],
+        kernel_of_owner: Dict[int, str],
+        uf: _UnionFind,
+        steps: int,
+    ) -> MergedSolution:
+        # Group accelerators by union-find root.
+        groups: Dict[int, List[int]] = {}
+        for owner in range(len(solution.accelerators)):
+            groups.setdefault(uf.find(owner), []).append(owner)
+
+        ctrl_overhead = 0.0
+        base_saving = 0.0
+        accelerators: List[ReusableAccelerator] = []
+        group_roots: List[int] = []
+        for root, owners in groups.items():
+            group_roots.append(root)
+            kernels = [kernel_of_owner[o] for o in owners]
+            unit_names = [
+                u.name for u in units if uf.find(u.owner) == root
+            ]
+            accelerators.append(ReusableAccelerator(kernels, unit_names))
+            if len(owners) > 1:
+                config_bits = sum(
+                    u.config_bits for u in units if uf.find(u.owner) == root
+                )
+                ctrl_overhead += GlobalControlUnit(
+                    config_bits=0, members=len(owners)
+                ).area(self.techlib)
+                # Combined accelerators share one bus/trigger wrapper.
+                base_saving += (len(owners) - 1) * ACCELERATOR_BASE_AREA_UM2
+                # Only one member kernel runs at a time, so LSUs, AGUs,
+                # FIFOs, and DMA engines can be multiplexed between them:
+                # the group keeps the largest member's interface set and
+                # shares it (with mux overhead) with the others.
+                iface_areas = [
+                    solution.accelerators[o].breakdown.interfaces
+                    for o in owners
+                ]
+                redundant = sum(iface_areas) - max(iface_areas)
+                base_saving += self.INTERFACE_SHARE_FACTOR * redundant
+
+        area_after = max(
+            0.0, area_before - step_saving - base_saving + ctrl_overhead
+        )
+        return MergedSolution(
+            solution=solution,
+            area_before=area_before,
+            area_after=area_after,
+            merge_steps=steps,
+            accelerators=accelerators,
+            units=list(units),
+            unit_groups=[uf.find(u.owner) for u in units],
+            group_roots=group_roots,
+        )
+
+
+def merge_solution(
+    solution: Solution, techlib: TechLibrary = DEFAULT_TECHLIB
+) -> MergedSolution:
+    """Merge one solution with the default engine."""
+    return AcceleratorMerger(techlib).merge(solution)

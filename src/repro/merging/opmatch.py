@@ -1,0 +1,106 @@
+"""Operation matching between two datapath units (paper §III-E).
+
+Merging two basic-block datapaths shares functional units of the same
+resource class and width.  A matched operation pair needs operand
+multiplexers unless its producers are matched to each other as well — so
+the matcher greedily prefers pairs whose operands are already matched,
+maximizing shared wiring and minimizing mux overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..hls.dfg import DFG, DFGNode
+from ..hls.techlib import CONFIG_BIT_AREA_UM2, TechLibrary
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching unit B onto unit A."""
+
+    pairs: List[Tuple[DFGNode, DFGNode]] = field(default_factory=list)
+    shared_area: float = 0.0       # functional-unit area saved by sharing
+    mux_area: float = 0.0          # multiplexers inserted on shared inputs
+    config_bits: int = 0           # reconfiguration bit registers for muxes
+
+    @property
+    def net_saving(self) -> float:
+        return self.shared_area - self.mux_area - (
+            self.config_bits * CONFIG_BIT_AREA_UM2
+        )
+
+
+def _op_key(node: DFGNode) -> Tuple[str, int]:
+    # Accesses of any width share the same port logic; compute ops share by
+    # (resource, width) so an f32 adder never absorbs an f64 one.
+    return (node.resource, 64 if node.bits > 32 else 32)
+
+
+def match_units(
+    unit_a: DFG, unit_b: DFG, techlib: TechLibrary
+) -> MatchResult:
+    """Greedy producer-aware matching of ``unit_b``'s ops onto ``unit_a``."""
+    result = MatchResult()
+    by_key_a: Dict[Tuple[str, int], List[DFGNode]] = {}
+    for node in unit_a.nodes:
+        by_key_a.setdefault(_op_key(node), []).append(node)
+
+    matched_a: Dict[DFGNode, DFGNode] = {}
+    matched_b: Dict[DFGNode, DFGNode] = {}
+
+    # Single pass in program order: producers precede consumers, so matched
+    # producer pairs steer their consumers toward mux-free matches.
+    for node_b in unit_b.nodes:
+        candidates = [
+            node_a
+            for node_a in by_key_a.get(_op_key(node_b), [])
+            if node_a not in matched_a
+        ]
+        if not candidates:
+            continue
+        best = None
+        best_bonus = -1
+        for node_a in candidates:
+            bonus = _producer_bonus(node_a, node_b, matched_b)
+            if bonus > best_bonus:
+                best, best_bonus = node_a, bonus
+        matched_a[best] = node_b
+        matched_b[node_b] = best
+        result.pairs.append((best, node_b))
+
+    clock_area = techlib  # alias for brevity below
+    for node_a, node_b in result.pairs:
+        key = _op_key(node_a)
+        result.shared_area += clock_area.area(key[0], key[1])
+        # One mux per operand position whose producers differ.
+        arity = max(len(node_a.preds), len(node_b.preds))
+        for slot in range(arity):
+            prod_a = node_a.preds[slot] if slot < len(node_a.preds) else None
+            prod_b = node_b.preds[slot] if slot < len(node_b.preds) else None
+            if prod_b is not None and matched_b.get(prod_b) is prod_a and prod_a is not None:
+                continue  # shared wire, no mux
+            result.mux_area += clock_area.mux_area(node_a.bits, 2)
+            result.config_bits += 1
+    return result
+
+
+def _producer_bonus(
+    node_a: DFGNode, node_b: DFGNode, matched_b: Dict[DFGNode, DFGNode]
+) -> int:
+    """Operand slots whose producers are already matched to each other."""
+    bonus = 0
+    for slot in range(min(len(node_a.preds), len(node_b.preds))):
+        if matched_b.get(node_b.preds[slot]) is node_a.preds[slot]:
+            bonus += 1
+    return bonus
+
+
+def unit_fu_area(unit: DFG, techlib: TechLibrary) -> float:
+    """Raw functional-unit area of one datapath unit (no sharing)."""
+    total = 0.0
+    for node in unit.nodes:
+        key = _op_key(node)
+        total += techlib.area(key[0], key[1])
+    return total

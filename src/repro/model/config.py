@@ -1,0 +1,92 @@
+"""Accelerator configuration data structures (paper §III-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..analysis.loops import Loop
+from ..analysis.regions import Region
+from ..hls.datapath import AreaBreakdown
+from .interfaces import InterfacePlan
+
+
+@dataclass
+class LoopPlan:
+    """Control-flow optimization decision for one loop of a kernel."""
+
+    loop: Loop
+    unroll: int = 1
+    pipelined: bool = False
+
+
+@dataclass
+class AcceleratorConfig:
+    """One candidate configuration of an accelerator for a kernel region.
+
+    Combines control-flow optimizations (per-loop unroll factors and
+    pipelining decisions) with the data-access interface plan.
+    """
+
+    region: Region
+    loop_plans: Dict[Loop, LoopPlan] = field(default_factory=dict)
+    plan: InterfacePlan = field(default_factory=InterfacePlan)
+    label: str = ""
+
+    @property
+    def kernel_name(self) -> str:
+        return f"{self.region.function.name}/{self.region.name}"
+
+    def pipelined_loops(self):
+        return [p.loop for p in self.loop_plans.values() if p.pipelined]
+
+    def describe(self) -> str:
+        loops = ", ".join(
+            f"{p.loop.name}:u{p.unroll}{'p' if p.pipelined else ''}"
+            for p in self.loop_plans.values()
+        )
+        return f"{self.kernel_name} [{self.label}] loops=({loops})"
+
+
+@dataclass
+class AcceleratorEstimate:
+    """Latency/area estimate of one configuration (paper §III-C step 3).
+
+    ``cycles`` is the total accelerator cycle count over the whole program
+    run (Cycle_cand in Equation 1); ``saved_seconds`` is the profiled kernel
+    time minus the accelerator time.
+    """
+
+    config: AcceleratorConfig
+    cycles: float
+    area: float
+    breakdown: AreaBreakdown
+    seq_blocks: int
+    pipelined_regions: int
+    interface_counts: Dict[str, int]
+    invocations: int
+    kernel_seconds: float
+    accel_seconds: float
+    #: Synthesized datapath units [(name, DFG)] — the merge driver matches
+    #: operations across these to build reconfigurable datapaths (§III-E).
+    units: list = field(default_factory=list)
+    #: Per-unit synthesis reports (latency, II, depth, area breakdown).
+    reports: list = field(default_factory=list)
+
+    @property
+    def saved_seconds(self) -> float:
+        return self.kernel_seconds - self.accel_seconds
+
+    @property
+    def is_profitable(self) -> bool:
+        return self.saved_seconds > 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.describe()} cycles={self.cycles:.0f} "
+            f"area={self.area:.0f}um2 saved={self.saved_seconds * 1e6:.2f}us "
+            f"#SB={self.seq_blocks} #PR={self.pipelined_regions} "
+            f"C/D/S={self.interface_counts.get('coupled', 0)}/"
+            f"{self.interface_counts.get('decoupled', 0)}/"
+            f"{self.interface_counts.get('scratchpad', 0)}"
+        )

@@ -1,0 +1,461 @@
+"""Cayman's accelerator model: configuration generation plus fast
+performance/area estimation (paper §III-C).
+
+For a selected kernel (a wPST region) the model
+
+1. applies loop unrolling according to the configuration (DFG replication,
+   legal only without loop-carried dependencies);
+2. synthesizes only the pipelined loop regions ``P`` and the sequential
+   basic blocks ``B`` via the HLS substrate;
+3. estimates total cycles bottom-up from scheduled latencies × profiled
+   execution counts, and area as the sum of synthesized units plus
+   interface, control, and fixed accelerator overheads.
+
+The per-access interface heuristic: *scratchpad* when the access count is
+β× larger than the footprint (caching pays off), *decoupled* for stream
+accesses inside pipelined loops (reaches the ideal II), *coupled* otherwise
+(cheapest).  Memory partitioning matches scratchpads to unrolled loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.access_patterns import AccessInfo, AccessPatternAnalysis
+from ..analysis.loops import Loop, LoopInfo
+from ..analysis.memdep import MemoryDependenceAnalysis
+from ..analysis.regions import Region
+from ..analysis.wpst import WPSTNode
+from ..ir import Call, Function, Instruction, Load, Module, Store
+from ..hls.datapath import (
+    AreaBreakdown,
+    pipelined_datapath_area,
+    sequential_datapath_area,
+)
+from ..hls.dfg import DFG, DFGNode
+from ..hls.pipeline import pipeline_loop
+from ..hls.scheduling import schedule_dfg
+from ..hls.techlib import (
+    ACCELERATOR_BASE_AREA_UM2,
+    OFFLOAD_OVERHEAD_CYCLES,
+    REGION_CTRL_AREA_UM2,
+    DEFAULT_TECHLIB,
+    TechLibrary,
+)
+from ..hls.report import SynthesisReport
+from ..hls.transform import unroll_legal
+from ..interp.profiler import RegionProfile
+from .config import AcceleratorConfig, AcceleratorEstimate, LoopPlan
+from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
+
+
+class FunctionContext:
+    """Cached per-function analyses shared by all candidate evaluations."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.access = AccessPatternAnalysis(func)
+        self.loop_info: LoopInfo = self.access.loop_info
+        self.memdep = MemoryDependenceAnalysis(self.access)
+        from ..analysis.cfg import reverse_postorder
+
+        self.rpo_index = {b: i for i, b in enumerate(reverse_postorder(func))}
+
+    def may_alias(self, first: Instruction, second: Instruction) -> bool:
+        a = self.access.info(first)
+        b = self.access.info(second)
+        if a.base is None or b.base is None:
+            return True
+        return a.base is b.base
+
+    def ordered_blocks(self, blocks) -> List:
+        return sorted(blocks, key=lambda b: self.rpo_index.get(b, 1 << 30))
+
+
+class AcceleratorModel:
+    """Generates and evaluates accelerator configurations for wPST regions."""
+
+    #: Interface strategy variants explored per unroll factor.
+    INTERFACE_MODES = ("full", "no_spad", "coupled_only")
+
+    def __init__(
+        self,
+        module: Module,
+        profile: RegionProfile,
+        techlib: TechLibrary = DEFAULT_TECHLIB,
+        beta: float = 4.0,
+        unroll_factors: Sequence[int] = (1, 2, 4, 8),
+        max_spad_bytes: int = 1 << 16,
+        coupled_only: bool = False,
+        pipeline_innermost: bool = True,
+    ):
+        self.module = module
+        self.profile = profile
+        self.techlib = techlib
+        self.beta = beta
+        self.unroll_factors = tuple(unroll_factors)
+        self.max_spad_bytes = max_spad_bytes
+        self.coupled_only = coupled_only
+        self.pipeline_innermost = pipeline_innermost
+        self._contexts: Dict[Function, FunctionContext] = {}
+        self._estimate_cache: Dict[Tuple, List[AcceleratorEstimate]] = {}
+
+    # Context management ------------------------------------------------------
+
+    def context(self, func: Function) -> FunctionContext:
+        if func not in self._contexts:
+            self._contexts[func] = FunctionContext(func)
+        return self._contexts[func]
+
+    # Public API ---------------------------------------------------------------
+
+    def candidates(self, node: WPSTNode) -> List[AcceleratorEstimate]:
+        """All profitable accelerator configurations for one region vertex."""
+        region = node.region
+        if region is None:
+            return []
+        key = (id(region),)
+        if key in self._estimate_cache:
+            return self._estimate_cache[key]
+        result = self._candidates_uncached(region)
+        self._estimate_cache[key] = result
+        return result
+
+    def _candidates_uncached(self, region: Region) -> List[AcceleratorEstimate]:
+        if self._region_has_call(region):
+            return []
+        invocations = self.profile.region_count(region)
+        if invocations <= 0:
+            return []
+        ctx = self.context(region.function)
+        modes = ("coupled_only",) if self.coupled_only else self.INTERFACE_MODES
+        estimates: List[AcceleratorEstimate] = []
+        seen: set = set()
+
+        def consider(config: AcceleratorConfig) -> None:
+            estimate = self.estimate(config, ctx)
+            if estimate is None or not estimate.is_profitable:
+                return
+            signature = (round(estimate.cycles), round(estimate.area))
+            if signature in seen:
+                return
+            seen.add(signature)
+            estimates.append(estimate)
+
+        for factor in self.unroll_factors:
+            for mode in modes:
+                consider(self.build_config(region, ctx, factor, mode))
+
+        # Per-nest refinement: when the kernel contains several independent
+        # loop nests, also try unrolling just one of them — cheaper points
+        # on the performance-area front than the uniform factors above.
+        top_nests = self._top_level_nests(region, ctx)
+        max_factor = max(self.unroll_factors)
+        if len(top_nests) >= 2 and max_factor > 1 and not self.coupled_only:
+            for nest in top_nests[:4]:
+                consider(
+                    self.build_config(
+                        region, ctx, max_factor, "full", only_nest=nest
+                    )
+                )
+        return estimates
+
+    # Configuration generation ----------------------------------------------------
+
+    def build_config(
+        self,
+        region: Region,
+        ctx: FunctionContext,
+        factor: int,
+        mode: str,
+        only_nest: Optional[Loop] = None,
+    ) -> AcceleratorConfig:
+        """One configuration: unroll/pipeline plan + interface assignment.
+
+        ``only_nest`` restricts the unroll factor to the nest rooted at the
+        given top-level loop (per-nest exploration); other nests keep 1.
+        """
+        loops = self._loops_in_region(region, ctx)
+        loop_set = set(loops)
+        loop_plans: Dict[Loop, LoopPlan] = {}
+        for loop in loops:
+            innermost = loop.is_innermost and self.pipeline_innermost
+            loop_plans[loop] = LoopPlan(loop=loop, unroll=1, pipelined=innermost)
+        if factor > 1 and self.pipeline_innermost:
+            # The unroll lands on the nearest unroll-legal loop of each nest,
+            # walking outward from the innermost loop (paper §III-C: "try
+            # unrolling loops without loop-carried dependencies").  Unrolling
+            # an outer loop replicates the inner pipeline into parallel lanes.
+            for loop in loops:
+                if not loop.is_innermost:
+                    continue
+                if only_nest is not None and not only_nest.contains_loop(loop):
+                    continue
+                candidate: Optional[Loop] = loop
+                while candidate is not None and candidate in loop_set:
+                    if unroll_legal(candidate, ctx.memdep):
+                        if self.profile.trip_count(candidate) >= factor:
+                            loop_plans[candidate].unroll = factor
+                        break
+                    candidate = candidate.parent
+
+        plan = InterfacePlan()
+        for access in self._accesses_in_region(region, ctx):
+            plan.assign(
+                self._assign_interface(access, region, ctx, loop_plans, mode)
+            )
+        label = f"u{factor}/{mode}"
+        if only_nest is not None:
+            label += f"@{only_nest.name}"
+        return AcceleratorConfig(
+            region=region,
+            loop_plans=loop_plans,
+            plan=plan,
+            label=label,
+        )
+
+    def _assign_interface(
+        self,
+        access: AccessInfo,
+        region: Region,
+        ctx: FunctionContext,
+        loop_plans: Dict[Loop, LoopPlan],
+        mode: str,
+    ) -> InterfaceAssignment:
+        inst = access.inst
+        if mode == "coupled_only":
+            return InterfaceAssignment(inst, InterfaceKind.COUPLED)
+        if mode == "scanchain":
+            return InterfaceAssignment(inst, InterfaceKind.SCANCHAIN)
+
+        enclosing = ctx.loop_info.innermost_loop(inst.parent)
+        plan_for_loop = loop_plans.get(enclosing) if enclosing is not None else None
+        in_pipelined = plan_for_loop is not None and plan_for_loop.pipelined
+
+        if mode == "full":
+            footprint = self._spad_footprint_bytes(access, region, ctx)
+            if footprint is not None and 0 < footprint <= self.max_spad_bytes:
+                count = self._access_count_per_invocation(access, region)
+                elements = max(1, footprint // max(1, access.element_size))
+                if count >= self.beta * elements:
+                    partitions = 1
+                    if plan_for_loop is not None:
+                        partitions = plan_for_loop.unroll * self._lane_factor(
+                            plan_for_loop.loop, loop_plans
+                        )
+                    return InterfaceAssignment(
+                        inst,
+                        InterfaceKind.SCRATCHPAD,
+                        spad_group=access.base,
+                        spad_bytes=footprint,
+                        partitions=max(1, partitions),
+                    )
+        if in_pipelined and access.is_stream:
+            return InterfaceAssignment(inst, InterfaceKind.DECOUPLED)
+        return InterfaceAssignment(inst, InterfaceKind.COUPLED)
+
+    def _spad_footprint_bytes(
+        self, access: AccessInfo, region: Region, ctx: FunctionContext
+    ) -> Optional[int]:
+        """Byte span the access touches during one kernel invocation."""
+        levels = access.addrec_levels()
+        if levels is None:
+            return None
+        span = access.element_size
+        for loop, step in levels:
+            if loop.blocks <= region.blocks:
+                trip = max(1, round(self.profile.trip_count(loop)))
+                span += abs(step) * (trip - 1)
+        return span
+
+    def _access_count_per_invocation(
+        self, access: AccessInfo, region: Region
+    ) -> float:
+        invocations = max(1, self.profile.region_count(region))
+        return self.profile.block_count(access.inst.parent) / invocations
+
+    # Estimation -----------------------------------------------------------------
+
+    def estimate(
+        self, config: AcceleratorConfig, ctx: FunctionContext
+    ) -> Optional[AcceleratorEstimate]:
+        region = config.region
+        profile = self.profile
+        techlib = self.techlib
+        plan = config.plan
+        invocations = profile.region_count(region)
+        timing = plan.access_timing
+        ports = plan.port_counts()
+
+        cycles = 0.0
+        area = AreaBreakdown()
+        seq_blocks = 0
+        pipelined_regions = 0
+        pipelined_blocks: set = set()
+        units: List[Tuple[str, DFG]] = []
+        reports: List[SynthesisReport] = []
+
+        # 1. Pipelined loop regions.
+        for loop_plan in config.loop_plans.values():
+            if not loop_plan.pipelined:
+                continue
+            loop = loop_plan.loop
+            blocks = ctx.ordered_blocks(loop.blocks)
+            dfg = DFG.from_blocks(blocks, may_alias=ctx.may_alias)
+            if not dfg.nodes:
+                continue
+            # Unrolled outer loops replicate this inner pipeline into lanes.
+            replication = loop_plan.unroll * self._lane_factor(
+                loop, config.loop_plans
+            )
+            unrolled = dfg.replicate(replication)
+            recurrences = self._recurrences(loop, unrolled, ctx)
+            result = pipeline_loop(unrolled, techlib, timing, ports, recurrences)
+            entries = profile.loop_entries(loop)
+            iterations = profile.loop_iterations(loop) / replication
+            cycles += entries * result.depth
+            cycles += max(0.0, iterations - entries) * result.ii
+            area = area + pipelined_datapath_area(
+                unrolled, result.ii, result.depth, techlib, result.schedule
+            )
+            pipelined_regions += 1
+            pipelined_blocks.update(loop.blocks)
+            units.append((f"pipe:{loop.name}", unrolled))
+            reports.append(SynthesisReport(
+                name=f"pipe:{loop.name}",
+                kind="pipelined",
+                latency_cycles=result.latency(
+                    max(1.0, iterations / max(1, entries))
+                ),
+                ii=result.ii,
+                depth=result.depth,
+                area=pipelined_datapath_area(
+                    unrolled, result.ii, result.depth, techlib, result.schedule
+                ),
+                interface_counts=plan.counts(),
+            ))
+
+        # 2. Sequential basic blocks (everything not swallowed by a pipeline).
+        for block in ctx.ordered_blocks(region.blocks):
+            if block in pipelined_blocks:
+                continue
+            count = profile.block_count(block)
+            dfg = DFG.from_blocks([block], may_alias=ctx.may_alias)
+            if not dfg.nodes:
+                cycles += count  # control-only block: one FSM state
+                continue
+            schedule = schedule_dfg(dfg, techlib, timing, ports)
+            cycles += count * schedule.length
+            area = area + sequential_datapath_area(dfg, schedule, techlib)
+            seq_blocks += 1
+            units.append((f"bb:{block.name}", dfg))
+            reports.append(SynthesisReport(
+                name=f"bb:{block.name}",
+                kind="sequential",
+                latency_cycles=schedule.length,
+                ii=None,
+                depth=None,
+                area=sequential_datapath_area(dfg, schedule, techlib),
+            ))
+
+        if seq_blocks == 0 and pipelined_regions == 0:
+            return None
+
+        # 3. Outer-region sequencing control, interfaces, fixed overheads.
+        outer_loops = sum(
+            1 for p in config.loop_plans.values() if not p.pipelined
+        )
+        area.control += REGION_CTRL_AREA_UM2 * (outer_loops + 1)
+        area.control += ACCELERATOR_BASE_AREA_UM2
+        area.interfaces += plan.interface_area(techlib)
+
+        cycles += plan.dma_cycles_per_invocation(techlib) * invocations
+        cycles += OFFLOAD_OVERHEAD_CYCLES * invocations
+
+        kernel_seconds = profile.region_seconds(region)
+        accel_seconds = cycles / techlib.frequency_hz
+        return AcceleratorEstimate(
+            config=config,
+            cycles=cycles,
+            area=area.total,
+            breakdown=area,
+            seq_blocks=seq_blocks,
+            pipelined_regions=pipelined_regions,
+            interface_counts=plan.counts(),
+            invocations=invocations,
+            kernel_seconds=kernel_seconds,
+            accel_seconds=accel_seconds,
+            units=units,
+            reports=reports,
+        )
+
+    # Helpers -------------------------------------------------------------------------
+
+    @staticmethod
+    def _lane_factor(loop: Loop, loop_plans: Dict[Loop, LoopPlan]) -> int:
+        """Product of enclosing loops' unroll factors (pipeline lanes)."""
+        lanes = 1
+        ancestor = loop.parent
+        while ancestor is not None and ancestor in loop_plans:
+            lanes *= loop_plans[ancestor].unroll
+            ancestor = ancestor.parent
+        return lanes
+
+    def _top_level_nests(
+        self, region: Region, ctx: FunctionContext
+    ) -> List[Loop]:
+        """Loops in the region whose parent is outside the region."""
+        loops = self._loops_in_region(region, ctx)
+        loop_set = set(loops)
+        return [l for l in loops if l.parent not in loop_set]
+
+    def _loops_in_region(self, region: Region, ctx: FunctionContext) -> List[Loop]:
+        return [
+            loop for loop in ctx.loop_info.loops if loop.blocks <= region.blocks
+        ]
+
+    def _accesses_in_region(
+        self, region: Region, ctx: FunctionContext
+    ) -> List[AccessInfo]:
+        return [
+            ctx.access.info(inst)
+            for block in ctx.ordered_blocks(region.blocks)
+            for inst in block.instructions
+            if isinstance(inst, (Load, Store))
+        ]
+
+    def _recurrences(
+        self, loop: Loop, dfg: DFG, ctx: FunctionContext
+    ) -> List[Tuple[DFGNode, DFGNode, int]]:
+        node_of: Dict[Instruction, DFGNode] = {}
+        for node in dfg.nodes:
+            node_of.setdefault(node.inst, node)
+        result = []
+        for dep in ctx.memdep.recurrence_deps(loop):
+            store_node = node_of.get(dep.source.inst)
+            load_node = node_of.get(dep.sink.inst)
+            if store_node is not None and load_node is not None:
+                result.append((load_node, store_node, dep.effective_distance))
+        # SSA recurrences through header phis (e.g. promoted accumulators):
+        # the path from the phi's first consumer to the back-edge definition
+        # must fit within one II (distance 1).
+        for phi in loop.header.phis():
+            for value, pred in phi.incoming():
+                if pred not in loop.blocks:
+                    continue
+                back_node = node_of.get(value) if isinstance(value, Instruction) else None
+                if back_node is None:
+                    continue
+                for user in phi.users:
+                    start = node_of.get(user)
+                    if start is not None:
+                        result.append((start, back_node, 1))
+        return result
+
+    @staticmethod
+    def _region_has_call(region: Region) -> bool:
+        return any(
+            isinstance(inst, Call)
+            for block in region.blocks
+            for inst in block.instructions
+        )

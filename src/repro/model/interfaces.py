@@ -1,0 +1,178 @@
+"""Processor–accelerator data access interface models (paper §III-C, Fig. 3).
+
+Three interface types are modeled per memory-access operation:
+
+* **coupled** — the access goes through the accelerator's shared load/store
+  unit to the memory system; the accelerator stalls for the round trip and
+  all coupled accesses contend on the single LSU port.
+* **decoupled** — a dedicated address generation unit (AGU) runs ahead and a
+  FIFO buffers data, hiding the memory latency; only legal for *stream*
+  accesses; costs AGU + FIFO area per access.
+* **scratchpad** — a dedicated buffer caches the access footprint inside the
+  accelerator; data moves via DMA before/after execution; the buffer can be
+  partitioned for parallel access; costs SRAM + DMA area.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir import Instruction, Load
+from ..hls.dfg import DFGNode
+from ..hls.scheduling import AccessTiming
+from ..hls.techlib import (
+    AGU_AREA_UM2,
+    SCANCHAIN_OCCUPANCY,
+    COUPLED_LOAD_LATENCY,
+    COUPLED_STORE_LATENCY,
+    DECOUPLED_LATENCY,
+    DMA_AREA_UM2,
+    FIFO_AREA_UM2,
+    LSU_AREA_UM2,
+    SCANCHAIN_LATENCY,
+    SPAD_LATENCY,
+    TechLibrary,
+)
+
+
+class InterfaceKind(enum.Enum):
+    """The three specialized interfaces, plus the baselines' scan chain."""
+
+    COUPLED = "coupled"
+    DECOUPLED = "decoupled"
+    SCRATCHPAD = "scratchpad"
+    SCANCHAIN = "scanchain"  # QsCores-style slow interface (baseline only)
+
+    @property
+    def short(self) -> str:
+        return {"coupled": "C", "decoupled": "D", "scratchpad": "S",
+                "scanchain": "X"}[self.value]
+
+
+@dataclass
+class InterfaceAssignment:
+    """Interface decision for one memory-access instruction."""
+
+    inst: Instruction
+    kind: InterfaceKind
+    #: Base object key for scratchpad grouping (accesses to one object share
+    #: one buffer).
+    spad_group: Optional[object] = None
+    #: Scratchpad footprint in bytes (sizing the buffer), per invocation.
+    spad_bytes: int = 0
+    #: Scratchpad bank partitioning (parallel ports from loop unrolling).
+    partitions: int = 1
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self.inst, Load)
+
+
+@dataclass
+class InterfacePlan:
+    """All interface assignments of one accelerator."""
+
+    assignments: Dict[Instruction, InterfaceAssignment] = field(default_factory=dict)
+
+    def assign(self, assignment: InterfaceAssignment) -> None:
+        self.assignments[assignment.inst] = assignment
+
+    def of(self, inst: Instruction) -> InterfaceAssignment:
+        return self.assignments[inst]
+
+    def counts(self) -> Dict[str, int]:
+        """Interface usage counts — the #C/#D/#S columns of Table II."""
+        counts = {"coupled": 0, "decoupled": 0, "scratchpad": 0, "scanchain": 0}
+        for assignment in self.assignments.values():
+            counts[assignment.kind.value] += 1
+        return counts
+
+    # Scheduling hooks -------------------------------------------------------------
+
+    def access_timing(self, node: DFGNode) -> AccessTiming:
+        """Latency/port view of one DFG memory node for the scheduler."""
+        assignment = self.assignments.get(node.inst)
+        if assignment is None:
+            # Unassigned accesses default to the coupled path.
+            kind = InterfaceKind.COUPLED
+            partitions = 1
+            group = None
+        else:
+            kind = assignment.kind
+            partitions = assignment.partitions
+            group = assignment.spad_group
+        if kind is InterfaceKind.COUPLED:
+            latency = (
+                COUPLED_LOAD_LATENCY if isinstance(node.inst, Load)
+                else COUPLED_STORE_LATENCY
+            )
+            return AccessTiming(latency=latency, port="lsu", occupancy=1)
+        if kind is InterfaceKind.DECOUPLED:
+            return AccessTiming(latency=DECOUPLED_LATENCY, port=None)
+        if kind is InterfaceKind.SCRATCHPAD:
+            return AccessTiming(
+                latency=SPAD_LATENCY, port=f"spad:{id(group)}", occupancy=1
+            )
+        return AccessTiming(
+            latency=SCANCHAIN_LATENCY, port="scan", occupancy=SCANCHAIN_OCCUPANCY
+        )
+
+    def port_counts(self) -> Dict[str, int]:
+        """Port multiplicities for the scheduler / ResMII."""
+        ports: Dict[str, int] = {"lsu": 1, "scan": 1}
+        for assignment in self.assignments.values():
+            if assignment.kind is InterfaceKind.SCRATCHPAD:
+                key = f"spad:{id(assignment.spad_group)}"
+                # Dual-ported banks: partitions banks x 2 ports.
+                ports[key] = max(
+                    ports.get(key, 0), 2 * max(1, assignment.partitions)
+                )
+        return ports
+
+    # Area / transfer cost ------------------------------------------------------------
+
+    def interface_area(self, techlib: TechLibrary) -> float:
+        """Total interface area of the plan.
+
+        Coupled accesses share one LSU; each decoupled access owns an
+        AGU + FIFO; each scratchpad *group* owns one (partitioned) buffer
+        plus a DMA engine.
+        """
+        area = 0.0
+        counts = self.counts()
+        if counts["coupled"] > 0:
+            area += LSU_AREA_UM2
+        area += counts["decoupled"] * (AGU_AREA_UM2 + FIFO_AREA_UM2)
+        if counts["scanchain"] > 0:
+            area += LSU_AREA_UM2  # scan-chain master
+        for group, assignments in self._spad_groups().items():
+            bytes_ = max(a.spad_bytes for a in assignments)
+            partitions = max(a.partitions for a in assignments)
+            # Banking adds per-bank overhead: model as sizing each bank for
+            # its share plus the SRAM base cost per bank.
+            per_bank = -(-bytes_ // max(1, partitions))
+            area += sum(
+                techlib.scratchpad_area(per_bank) for _ in range(max(1, partitions))
+            )
+            area += DMA_AREA_UM2
+        return area
+
+    def dma_cycles_per_invocation(self, techlib: TechLibrary) -> float:
+        """DMA synchronization cycles before/after one kernel invocation."""
+        total = 0.0
+        for group, assignments in self._spad_groups().items():
+            bytes_ = max(a.spad_bytes for a in assignments)
+            reads = any(a.is_load for a in assignments)
+            writes = any(not a.is_load for a in assignments)
+            directions = (1 if reads else 0) + (1 if writes else 0)
+            total += directions * techlib.dma_cycles(bytes_)
+        return total
+
+    def _spad_groups(self) -> Dict[object, List[InterfaceAssignment]]:
+        groups: Dict[object, List[InterfaceAssignment]] = {}
+        for assignment in self.assignments.values():
+            if assignment.kind is InterfaceKind.SCRATCHPAD:
+                groups.setdefault(assignment.spad_group, []).append(assignment)
+        return groups

@@ -1,0 +1,41 @@
+"""Mid-end optimization passes (the ``-O3`` emulation, paper §IV-A).
+
+The workloads are compiled with ``-O3`` in the paper; the passes here
+reproduce the optimizations that matter for the accelerator model:
+
+* constant folding / algebraic simplification,
+* loop-invariant code motion (pure computations),
+* accumulator promotion (register-promoting loop-invariant load/store
+  pairs — the pass that turns memory recurrences into SSA recurrences),
+* dead-code elimination,
+* CFG simplification (constant branches, block merging, forwarding).
+"""
+
+from ..ir import Module, verify_module
+from .constfold import fold_constants, fold_constants_module
+from .dce import eliminate_dead_code, eliminate_dead_code_module
+from .licm import hoist_invariants, hoist_invariants_module
+from .promote import promote_accumulators, promote_accumulators_module
+from .simplifycfg import simplify_cfg, simplify_cfg_module
+
+
+def optimize_module(module: Module, verify: bool = True) -> Module:
+    """Run the standard pass pipeline in place and return the module."""
+    fold_constants_module(module)
+    hoist_invariants_module(module)
+    promote_accumulators_module(module)
+    eliminate_dead_code_module(module)
+    simplify_cfg_module(module)
+    if verify:
+        verify_module(module)
+    return module
+
+
+__all__ = [
+    "fold_constants", "fold_constants_module",
+    "eliminate_dead_code", "eliminate_dead_code_module",
+    "hoist_invariants", "hoist_invariants_module",
+    "promote_accumulators", "promote_accumulators_module",
+    "simplify_cfg", "simplify_cfg_module",
+    "optimize_module",
+]

@@ -1,0 +1,165 @@
+"""Constant folding and algebraic simplification (instsimplify-lite)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import (
+    BinaryOp,
+    Cast,
+    Constant,
+    FCmp,
+    Function,
+    ICmp,
+    Instruction,
+    Module,
+    Select,
+    UnaryOp,
+    Value,
+)
+from ..ir.values import constant_fold_binary
+
+_ICMP_FN = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+_FCMP_FN = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+def _simplify(inst: Instruction) -> Optional[Value]:
+    """The simplified replacement value for ``inst``, or None."""
+    if isinstance(inst, BinaryOp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            folded = constant_fold_binary(inst.opcode, lhs, rhs)
+            if folded is not None and inst.type.is_int:
+                from ..interp.interpreter import _wrap_int
+
+                return Constant(inst.type, _wrap_int(folded.value, inst.type.bits))
+            return folded
+        # Algebraic identities (integer only: float identities are unsafe
+        # under IEEE semantics except the multiplicative ones kept here).
+        if inst.opcode in ("add", "or", "xor"):
+            if _is_const(rhs, 0):
+                return lhs
+            if _is_const(lhs, 0):
+                return rhs
+        if inst.opcode in ("shl", "shr") and _is_const(rhs, 0):
+            return lhs
+        if inst.opcode == "sub" and _is_const(rhs, 0):
+            return lhs
+        if inst.opcode == "sub" and lhs is rhs and inst.type.is_int:
+            return Constant(inst.type, 0)
+        if inst.opcode == "mul":
+            if _is_const(rhs, 1):
+                return lhs
+            if _is_const(lhs, 1):
+                return rhs
+            if _is_const(rhs, 0) or _is_const(lhs, 0):
+                return Constant(inst.type, 0)
+        if inst.opcode == "div" and _is_const(rhs, 1):
+            return lhs
+        if inst.opcode == "and":
+            if _is_const(rhs, 0) or _is_const(lhs, 0):
+                return Constant(inst.type, 0)
+        if inst.opcode == "fmul" and _is_const(rhs, 1.0):
+            return lhs
+        if inst.opcode == "fdiv" and _is_const(rhs, 1.0):
+            return lhs
+        return None
+    if isinstance(inst, ICmp):
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            from ..ir import BOOL
+
+            return Constant(BOOL, 1 if _ICMP_FN[inst.predicate](lhs.value, rhs.value) else 0)
+        return None
+    if isinstance(inst, FCmp):
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            from ..ir import BOOL
+
+            return Constant(BOOL, 1 if _FCMP_FN[inst.predicate](lhs.value, rhs.value) else 0)
+        return None
+    if isinstance(inst, Select):
+        cond, a, b = inst.operands
+        if isinstance(cond, Constant):
+            return a if cond.value else b
+        if a is b:
+            return a
+        return None
+    if isinstance(inst, Cast):
+        operand = inst.operands[0]
+        if not isinstance(operand, Constant):
+            return None
+        value = operand.value
+        if inst.opcode == "sitofp":
+            return Constant(inst.type, float(value))
+        if inst.opcode == "fptosi":
+            from ..interp.interpreter import _wrap_int
+
+            return Constant(inst.type, _wrap_int(int(value), inst.type.bits))
+        if inst.opcode in ("sext", "zext", "trunc"):
+            from ..interp.interpreter import _wrap_int
+
+            if inst.opcode == "zext" and value < 0:
+                value &= (1 << operand.type.bits) - 1
+            return Constant(inst.type, _wrap_int(value, inst.type.bits))
+        if inst.opcode in ("fpext", "fptrunc"):
+            return Constant(inst.type, float(value))
+        return None
+    if isinstance(inst, UnaryOp) and isinstance(inst.operands[0], Constant):
+        value = inst.operands[0].value
+        if inst.opcode == "fneg":
+            return Constant(inst.type, -value)
+        if inst.opcode == "fabs":
+            return Constant(inst.type, abs(value))
+        if inst.opcode == "neg":
+            from ..interp.interpreter import _wrap_int
+
+            return Constant(inst.type, _wrap_int(-value, inst.type.bits))
+        if inst.opcode == "not":
+            from ..interp.interpreter import _wrap_int
+
+            return Constant(inst.type, _wrap_int(~value, inst.type.bits))
+        return None
+    return None
+
+
+def _is_const(value: Value, literal) -> bool:
+    return isinstance(value, Constant) and value.value == literal
+
+
+def fold_constants(func: Function) -> int:
+    """Fold/simplify instructions to a fixed point; returns replacements."""
+    replaced = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                if inst.type.is_void or inst.is_terminator:
+                    continue
+                replacement = _simplify(inst)
+                if replacement is None or replacement is inst:
+                    continue
+                inst.replace_all_uses_with(replacement)
+                inst.erase()
+                replaced += 1
+                changed = True
+    return replaced
+
+
+def fold_constants_module(module: Module) -> int:
+    return sum(fold_constants(f) for f in module.defined_functions())

@@ -1,0 +1,39 @@
+"""Dead-code elimination over SSA functions."""
+
+from __future__ import annotations
+
+
+from ..ir import Function, Instruction, Module
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove instructions whose results are unused and side-effect free.
+
+    Returns the number of removed instructions.  Runs to a fixed point so
+    dead chains disappear entirely.  Phis participating only in dead cycles
+    are also removed.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                if inst.has_side_effects or inst.type.is_void:
+                    continue
+                if _only_self_users(inst):
+                    inst.erase()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def _only_self_users(inst: Instruction) -> bool:
+    return all(user is inst for user in inst.users)
+
+
+def eliminate_dead_code_module(module: Module) -> int:
+    total = 0
+    for func in module.defined_functions():
+        total += eliminate_dead_code(func)
+    return total

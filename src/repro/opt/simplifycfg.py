@@ -1,0 +1,154 @@
+"""CFG simplification: constant branches, block merging, jump threading."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import (
+    BasicBlock,
+    Branch,
+    CondBranch,
+    Constant,
+    Function,
+    Module,
+)
+
+
+def simplify_cfg(func: Function) -> int:
+    """Run CFG cleanups to a fixed point; returns the number of rewrites.
+
+    * condbr on a constant → unconditional branch;
+    * merge a block into its unique predecessor when that predecessor has
+      no other successors (straight-line fusion);
+    * bypass empty forwarding blocks (a lone ``br``) when phi-safe;
+    * drop unreachable blocks.
+    """
+    rewrites = 0
+    changed = True
+    while changed:
+        changed = False
+        changed |= _fold_constant_branches(func) > 0
+        changed |= _merge_straightline(func) > 0
+        changed |= _bypass_forwarders(func) > 0
+        changed |= _drop_unreachable(func) > 0
+        if changed:
+            rewrites += 1
+    return rewrites
+
+
+def simplify_cfg_module(module: Module) -> int:
+    return sum(simplify_cfg(f) for f in module.defined_functions())
+
+
+def _fold_constant_branches(func: Function) -> int:
+    count = 0
+    for block in func.blocks:
+        term = block.terminator
+        if not isinstance(term, CondBranch):
+            continue
+        cond = term.condition
+        if not isinstance(cond, Constant):
+            if term.true_target is term.false_target:
+                target = term.true_target
+            else:
+                continue
+        else:
+            target = term.true_target if cond.value else term.false_target
+            dead = term.false_target if cond.value else term.true_target
+            if dead is not target:
+                for phi in dead.phis():
+                    if block in phi.incoming_blocks:
+                        phi.remove_incoming(block)
+        term.erase()
+        block.append(Branch(target))
+        count += 1
+    return count
+
+
+def _merge_straightline(func: Function) -> int:
+    count = 0
+    for block in list(func.blocks):
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        succ = term.target
+        if succ is block or succ is func.entry:
+            continue
+        if len(succ.predecessors) != 1:
+            continue
+        # Fold succ's phis (single incoming value by construction).
+        for phi in list(succ.phis()):
+            phi.replace_all_uses_with(phi.incoming_for(block))
+            phi.erase()
+        term.erase()
+        for inst in list(succ.instructions):
+            succ.instructions.remove(inst)
+            inst.parent = None
+            block.append(inst)
+        # Successors' phis must now name `block` instead of `succ`.
+        for nxt in block.successors:
+            for phi in nxt.phis():
+                phi.replace_incoming_block(succ, block)
+        func.remove_block(succ)
+        count += 1
+    return count
+
+
+def _bypass_forwarders(func: Function) -> int:
+    """Retarget edges over blocks that only ``br`` elsewhere."""
+    count = 0
+    for block in list(func.blocks):
+        if block is func.entry:
+            continue
+        if len(block.instructions) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        target = term.target
+        if target is block:
+            continue
+        preds = block.predecessors
+        if not preds:
+            continue
+        # Phi-safety: if the target has phis, bypassing is only valid when
+        # no predecessor already reaches the target (no duplicate incoming)
+        # and the phi value for `block` works for every bypassed pred.
+        target_phis = list(target.phis())
+        if target_phis:
+            target_preds = set(target.predecessors)
+            if any(p in target_preds for p in preds):
+                continue
+            for phi in target_phis:
+                incoming = phi.incoming_for(block)
+                phi.remove_incoming(block)
+                for pred in preds:
+                    phi.add_incoming(incoming, pred)
+        for pred in preds:
+            pred.replace_successor(block, target)
+        term.erase()
+        func.remove_block(block)
+        count += 1
+    return count
+
+
+def _drop_unreachable(func: Function) -> int:
+    reachable = set()
+    stack: List[BasicBlock] = [func.entry]
+    while stack:
+        block = stack.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        stack.extend(block.successors)
+    dead = [b for b in func.blocks if b not in reachable]
+    for block in dead:
+        for succ in block.successors:
+            if succ in reachable:
+                for phi in succ.phis():
+                    if block in phi.incoming_blocks:
+                        phi.remove_incoming(block)
+        for inst in list(block.instructions):
+            inst.drop_operands()
+        func.remove_block(block)
+    return len(dead)

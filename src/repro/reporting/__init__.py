@@ -1,0 +1,39 @@
+"""Regeneration of the paper's evaluation artifacts (Tables I/II, Fig. 6)."""
+
+from .formats import render_series, render_table
+from .runner import BenchmarkComparison, ComparisonRunner
+from .table1 import capability_matrix, render_table1
+from .table2 import (
+    LARGE_BUDGET,
+    SMALL_BUDGET,
+    Table2Row,
+    averages,
+    build_row,
+    generate_table2,
+    render_table2,
+)
+from .export import (
+    figure6_to_csv,
+    figure6_to_json,
+    table2_to_csv,
+    table2_to_json,
+)
+from .figure6 import (
+    DEFAULT_FIG6_BENCHMARKS,
+    Figure6Series,
+    build_series,
+    dominance_check,
+    generate_figure6,
+    render_figure6,
+)
+
+__all__ = [
+    "render_series", "render_table",
+    "BenchmarkComparison", "ComparisonRunner",
+    "capability_matrix", "render_table1",
+    "LARGE_BUDGET", "SMALL_BUDGET", "Table2Row", "averages", "build_row",
+    "generate_table2", "render_table2",
+    "DEFAULT_FIG6_BENCHMARKS", "Figure6Series", "build_series",
+    "dominance_check", "generate_figure6", "render_figure6",
+    "figure6_to_csv", "figure6_to_json", "table2_to_csv", "table2_to_json",
+]

@@ -1,0 +1,92 @@
+"""Machine-readable export of the evaluation artifacts (CSV / JSON).
+
+Downstream users typically want the regenerated Table II and Fig. 6 data in
+a plottable form; these helpers serialize the reporting structures without
+any extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Sequence
+
+from .figure6 import Figure6Series
+from .table2 import Table2Row
+
+TABLE2_FIELDS = [
+    "suite", "benchmark",
+    "small_over_novia", "small_over_qscores", "small_sb", "small_pr",
+    "small_coupled", "small_decoupled", "small_scratchpad", "small_saving_pct",
+    "small_cayman_speedup",
+    "large_over_novia", "large_over_qscores", "large_sb", "large_pr",
+    "large_coupled", "large_decoupled", "large_scratchpad", "large_saving_pct",
+    "large_cayman_speedup",
+    "runtime_seconds",
+]
+
+
+def table2_row_dict(row: Table2Row) -> dict:
+    return {
+        "suite": row.suite,
+        "benchmark": row.benchmark,
+        "small_over_novia": row.small.speedup_over_novia,
+        "small_over_qscores": row.small.speedup_over_qscores,
+        "small_sb": row.small.seq_blocks,
+        "small_pr": row.small.pipelined_regions,
+        "small_coupled": row.small.coupled,
+        "small_decoupled": row.small.decoupled,
+        "small_scratchpad": row.small.scratchpad,
+        "small_saving_pct": row.small.area_saving_pct,
+        "small_cayman_speedup": row.small.cayman_speedup,
+        "large_over_novia": row.large.speedup_over_novia,
+        "large_over_qscores": row.large.speedup_over_qscores,
+        "large_sb": row.large.seq_blocks,
+        "large_pr": row.large.pipelined_regions,
+        "large_coupled": row.large.coupled,
+        "large_decoupled": row.large.decoupled,
+        "large_scratchpad": row.large.scratchpad,
+        "large_saving_pct": row.large.area_saving_pct,
+        "large_cayman_speedup": row.large.cayman_speedup,
+        "runtime_seconds": row.runtime_seconds,
+    }
+
+
+def table2_to_csv(rows: Sequence[Table2Row]) -> str:
+    """Table II rows as CSV text (header + one line per benchmark)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=TABLE2_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(table2_row_dict(row))
+    return buffer.getvalue()
+
+
+def table2_to_json(rows: Sequence[Table2Row]) -> str:
+    """Table II rows as a JSON array."""
+    return json.dumps([table2_row_dict(row) for row in rows], indent=2)
+
+
+def figure6_to_json(series: Sequence[Figure6Series]) -> str:
+    """Fig. 6 Pareto series as JSON: benchmark → flow → [[area, speedup]]."""
+    payload = {
+        item.benchmark: {
+            flow: [[area, speedup] for area, speedup in points]
+            for flow, points in item.as_dict().items()
+        }
+        for item in series
+    }
+    return json.dumps(payload, indent=2)
+
+
+def figure6_to_csv(series: Sequence[Figure6Series]) -> str:
+    """Fig. 6 series as long-format CSV (benchmark, flow, area, speedup)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark", "flow", "area_ratio", "speedup"])
+    for item in series:
+        for flow, points in item.as_dict().items():
+            for area, speedup in points:
+                writer.writerow([item.benchmark, flow, area, speedup])
+    return buffer.getvalue()

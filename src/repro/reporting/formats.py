@@ -1,0 +1,37 @@
+"""Plain-text table/series rendering helpers for the reporting modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table (no external dependencies)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_series(name: str, points: Sequence) -> List[str]:
+    """One Pareto series as `name: (area, speedup) ...` lines."""
+    coords = " ".join(f"({a:.3f},{s:.2f})" for a, s in points)
+    return [f"{name}: {coords}"]

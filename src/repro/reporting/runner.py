@@ -1,0 +1,82 @@
+"""Shared benchmark comparison runner used by Table II and Fig. 6.
+
+Runs the four flows (full Cayman, coupled-only Cayman, NOVIA, QsCores) on a
+workload once and caches the results so both reports can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..baselines.common import BaselineResult
+from ..baselines.novia import Novia
+from ..baselines.qscores import QsCores
+from ..framework import Cayman, CaymanResult
+from ..workloads import get_workload
+
+
+@dataclass
+class BenchmarkComparison:
+    """All four flows' results for one workload."""
+
+    name: str
+    suite: str
+    cayman: CaymanResult
+    coupled_only: CaymanResult
+    novia: BaselineResult
+    qscores: BaselineResult
+
+    def speedups(self, budget_ratio: float) -> Dict[str, float]:
+        return {
+            "cayman": self.cayman.speedup_under_budget(budget_ratio),
+            "coupled_only": self.coupled_only.speedup_under_budget(budget_ratio),
+            "novia": self.novia.speedup_under_budget(budget_ratio),
+            "qscores": self.qscores.speedup_under_budget(budget_ratio),
+        }
+
+
+class ComparisonRunner:
+    """Runs and memoizes benchmark comparisons."""
+
+    def __init__(
+        self,
+        alpha: float = 1.1,
+        beta: float = 4.0,
+        prune_threshold: float = 0.001,
+    ):
+        self.alpha = alpha
+        self.beta = beta
+        self.prune_threshold = prune_threshold
+        self._cache: Dict[str, BenchmarkComparison] = {}
+
+    def run(self, name: str) -> BenchmarkComparison:
+        if name in self._cache:
+            return self._cache[name]
+        workload = get_workload(name)
+        # Compile once per flow run (each flow re-profiles the same module
+        # structure; modules are cheap to rebuild and flows keep references).
+        cayman = Cayman(
+            alpha=self.alpha, beta=self.beta,
+            prune_threshold=self.prune_threshold,
+        ).run(workload.source, entry=workload.entry, name=name)
+        coupled = Cayman(
+            alpha=self.alpha, beta=self.beta,
+            prune_threshold=self.prune_threshold, coupled_only=True,
+        ).run(workload.source, entry=workload.entry, name=name)
+        novia = Novia(
+            alpha=self.alpha, prune_threshold=self.prune_threshold
+        ).run(workload.source, entry=workload.entry, name=name)
+        qscores = QsCores(
+            alpha=self.alpha, prune_threshold=self.prune_threshold
+        ).run(workload.source, entry=workload.entry, name=name)
+        comparison = BenchmarkComparison(
+            name=name,
+            suite=workload.suite,
+            cayman=cayman,
+            coupled_only=coupled,
+            novia=novia,
+            qscores=qscores,
+        )
+        self._cache[name] = comparison
+        return comparison

@@ -1,0 +1,145 @@
+"""Table II regeneration: per-benchmark speedups over NOVIA and QsCores,
+selected-kernel configuration counts, interface counts, merging area savings,
+and Cayman runtime, under the small (25%) and large (65%) area budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..workloads import all_workloads
+from .formats import render_table
+from .runner import BenchmarkComparison, ComparisonRunner
+
+SMALL_BUDGET = 0.25
+LARGE_BUDGET = 0.65
+
+
+@dataclass
+class BudgetRow:
+    """One benchmark's numbers under one area budget."""
+
+    speedup_over_novia: float
+    speedup_over_qscores: float
+    seq_blocks: int
+    pipelined_regions: int
+    coupled: int
+    decoupled: int
+    scratchpad: int
+    area_saving_pct: float
+    cayman_speedup: float
+
+
+@dataclass
+class Table2Row:
+    suite: str
+    benchmark: str
+    small: BudgetRow
+    large: BudgetRow
+    runtime_seconds: float
+
+
+def _budget_row(comparison: BenchmarkComparison, budget: float) -> BudgetRow:
+    best = comparison.cayman.best_under_budget(budget)
+    solution = best.solution
+    totals = solution.interface_totals()
+    cayman_speedup = best.speedup(comparison.cayman.total_seconds)
+    novia_speedup = comparison.novia.speedup_under_budget(budget)
+    qscores_speedup = comparison.qscores.speedup_under_budget(budget)
+    return BudgetRow(
+        speedup_over_novia=cayman_speedup / max(novia_speedup, 1e-12),
+        speedup_over_qscores=cayman_speedup / max(qscores_speedup, 1e-12),
+        seq_blocks=solution.seq_block_total(),
+        pipelined_regions=solution.pipelined_region_total(),
+        coupled=totals.get("coupled", 0),
+        decoupled=totals.get("decoupled", 0),
+        scratchpad=totals.get("scratchpad", 0),
+        area_saving_pct=best.saving_pct,
+        cayman_speedup=cayman_speedup,
+    )
+
+
+def build_row(comparison: BenchmarkComparison) -> Table2Row:
+    return Table2Row(
+        suite=comparison.suite,
+        benchmark=comparison.name,
+        small=_budget_row(comparison, SMALL_BUDGET),
+        large=_budget_row(comparison, LARGE_BUDGET),
+        runtime_seconds=comparison.cayman.runtime_seconds,
+    )
+
+
+def generate_table2(
+    benchmarks: Optional[Sequence[str]] = None,
+    runner: Optional[ComparisonRunner] = None,
+    progress=None,
+) -> List[Table2Row]:
+    """Run the full comparison and return all Table II rows."""
+    runner = runner or ComparisonRunner()
+    names = list(benchmarks) if benchmarks else [w.name for w in all_workloads()]
+    rows = []
+    for name in names:
+        if progress is not None:
+            progress(name)
+        rows.append(build_row(runner.run(name)))
+    return rows
+
+
+def averages(rows: Sequence[Table2Row]) -> Table2Row:
+    """The paper's "average" row (arithmetic means, as in Table II)."""
+
+    def mean(values):
+        values = list(values)
+        return sum(values) / len(values) if values else 0.0
+
+    def avg_budget(select) -> BudgetRow:
+        return BudgetRow(
+            speedup_over_novia=mean(select(r).speedup_over_novia for r in rows),
+            speedup_over_qscores=mean(select(r).speedup_over_qscores for r in rows),
+            seq_blocks=round(mean(select(r).seq_blocks for r in rows)),
+            pipelined_regions=round(mean(select(r).pipelined_regions for r in rows)),
+            coupled=round(mean(select(r).coupled for r in rows)),
+            decoupled=round(mean(select(r).decoupled for r in rows)),
+            scratchpad=round(mean(select(r).scratchpad for r in rows)),
+            area_saving_pct=mean(select(r).area_saving_pct for r in rows),
+            cayman_speedup=mean(select(r).cayman_speedup for r in rows),
+        )
+
+    return Table2Row(
+        suite="",
+        benchmark="average",
+        small=avg_budget(lambda r: r.small),
+        large=avg_budget(lambda r: r.large),
+        runtime_seconds=mean(r.runtime_seconds for r in rows),
+    )
+
+
+def render_table2(rows: Sequence[Table2Row], include_average: bool = True) -> str:
+    """Text rendering matching the paper's Table II columns."""
+    headers = [
+        "suite", "benchmark",
+        "S:over-NOVIA", "S:over-QsCores", "S:#SB", "S:#PR",
+        "S:#C", "S:#D", "S:#S", "S:save%",
+        "L:over-NOVIA", "L:over-QsCores", "L:#SB", "L:#PR",
+        "L:#C", "L:#D", "L:#S", "L:save%",
+        "runtime(s)",
+    ]
+    all_rows = list(rows)
+    if include_average and all_rows:
+        all_rows.append(averages(rows))
+    body = []
+    for row in all_rows:
+        body.append([
+            row.suite, row.benchmark,
+            row.small.speedup_over_novia, row.small.speedup_over_qscores,
+            row.small.seq_blocks, row.small.pipelined_regions,
+            row.small.coupled, row.small.decoupled, row.small.scratchpad,
+            row.small.area_saving_pct,
+            row.large.speedup_over_novia, row.large.speedup_over_qscores,
+            row.large.seq_blocks, row.large.pipelined_regions,
+            row.large.coupled, row.large.decoupled, row.large.scratchpad,
+            row.large.area_saving_pct,
+            row.runtime_seconds,
+        ])
+    return render_table(headers, body)

@@ -1,0 +1,13 @@
+"""Structural Verilog generation for selected accelerators."""
+
+from .verilog import Instance, Net, Port, VerilogDesign, VerilogModule, sanitize
+from .primitives import primitive_text, primitives_for
+from .accel_gen import DatapathEmitter, generate_accelerator, generate_solution
+from .reusable_gen import generate_reusable_accelerator
+
+__all__ = [
+    "Instance", "Net", "Port", "VerilogDesign", "VerilogModule", "sanitize",
+    "primitive_text", "primitives_for",
+    "DatapathEmitter", "generate_accelerator", "generate_solution",
+    "generate_reusable_accelerator",
+]

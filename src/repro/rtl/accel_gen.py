@@ -1,0 +1,366 @@
+"""Accelerator RTL generation.
+
+Turns an :class:`~repro.model.config.AcceleratorEstimate` into a
+self-contained structural Verilog design:
+
+* one **datapath module** per synthesized unit (pipelined loop or
+  sequential basic block): one operator instance per DFG node, literal
+  constants inlined, external SSA inputs exported as ports, and one memory
+  port bundle per load/store;
+* one **control FSM** per unit sequencing its schedule;
+* a **top module** wiring the units to their interface components —
+  a shared load/store unit for *coupled* accesses, an AGU+FIFO
+  ``cayman_stream_port`` per *decoupled* access, and banked
+  ``cayman_spad_bank`` instances per *scratchpad* group;
+* the behavioral primitive library used by the instances.
+
+The output is a synthesizable-shaped netlist skeleton: the datapath and
+interface structure is complete and matches the model's area accounting,
+while floating-point operator internals are behavioral stubs standing in
+for the characterized Nangate45 implementations.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..hls.dfg import DFG, DFGNode
+from ..hls.scheduling import schedule_dfg
+from ..hls.techlib import DEFAULT_TECHLIB, TechLibrary
+from ..ir import Constant, Load, Phi, Store
+from ..model.config import AcceleratorEstimate
+from ..model.interfaces import InterfaceKind
+from .primitives import primitives_for
+from .verilog import VerilogDesign, VerilogModule, sanitize
+
+_ICMP_CODES = {"eq": 0, "ne": 1, "slt": 2, "sle": 3, "sgt": 4, "sge": 5}
+_FCMP_CODES = {"oeq": 0, "one": 1, "olt": 2, "ole": 3, "ogt": 4, "oge": 5}
+
+
+def _literal(constant: Constant, width: int) -> str:
+    if constant.type.is_float:
+        if width == 64:
+            bits = struct.unpack("<Q", struct.pack("<d", constant.value))[0]
+        else:
+            bits = struct.unpack("<I", struct.pack("<f", constant.value))[0]
+        return f"{width}'h{bits:0{width // 4}x}"
+    value = int(constant.value) & ((1 << width) - 1)
+    return f"{width}'d{value}"
+
+
+class DatapathEmitter:
+    """Emits one datapath module for a unit DFG."""
+
+    def __init__(self, module: VerilogModule, dfg: DFG):
+        self.module = module
+        self.dfg = dfg
+        self.wire_of: Dict[DFGNode, str] = {}
+        self.external_ports: Dict[object, str] = {}
+        self.memory_bundles: List[Tuple[DFGNode, str]] = []
+
+    def emit(self) -> None:
+        self.module.add_port("clk", "input")
+        self.module.add_port("ce", "input")
+        for index, node in enumerate(self.dfg.topological_order()):
+            self._emit_node(index, node)
+
+    # ------------------------------------------------------------------ nodes
+
+    def _result_wire(self, index: int, node: DFGNode) -> str:
+        # Positional naming keeps the netlist deterministic across runs
+        # (auto-generated IR value names carry a process-global counter).
+        net = self.module.add_net(f"w{index}_{node.resource}",
+                                  width=max(1, node.bits))
+        self.wire_of[node] = net.name
+        return net.name
+
+    def _operand(self, node: DFGNode, position: int, width: int) -> str:
+        operand = node.inst.operands[position]
+        producer = None
+        for pred in node.preds:
+            if pred.inst is operand and pred.copy == node.copy:
+                producer = pred
+                break
+        if producer is not None and producer in self.wire_of:
+            return self.wire_of[producer]
+        if isinstance(operand, Constant):
+            return _literal(operand, max(1, width))
+        return self._external(operand, width)
+
+    def _external(self, value, width: int) -> str:
+        key = id(value)
+        if key not in self.external_ports:
+            import re
+
+            label = getattr(value, "name", "v")
+            if re.fullmatch(r"v\d+(\.\d+)?", label):
+                # Auto-generated name: use a stable positional label instead.
+                label = f"ext{len(self.external_ports)}"
+            port = self.module.add_port(
+                f"in_{sanitize(label)}", "input", max(1, width)
+            )
+            self.external_ports[key] = port.name
+        return self.external_ports[key]
+
+    def _emit_node(self, index: int, node: DFGNode) -> None:
+        inst = node.inst
+        resource = node.resource
+        width = max(1, node.bits)
+
+        if isinstance(inst, Phi):
+            return  # pipeline registers, handled by the FSM timing
+        if resource in ("control", "alloca", "call"):
+            return
+
+        if isinstance(inst, Load):
+            wire = self._result_wire(index, node)
+            bundle = f"m{index}"
+            self.module.add_port(f"{bundle}_addr", "output", 32)
+            self.module.add_port(f"{bundle}_req", "output")
+            rdata = self.module.add_port(f"{bundle}_rdata", "input", width)
+            self.module.add_assign(wire, rdata.name)
+            address = self._operand(node, 0, 32)
+            self.module.add_assign(f"{bundle}_addr", address)
+            self.module.add_assign(f"{bundle}_req", "ce")
+            self.memory_bundles.append((node, bundle))
+            return
+        if isinstance(inst, Store):
+            bundle = f"m{index}"
+            self.module.add_port(f"{bundle}_addr", "output", 32)
+            self.module.add_port(f"{bundle}_wdata", "output", width)
+            self.module.add_port(f"{bundle}_req", "output")
+            self.module.add_assign(f"{bundle}_wdata", self._operand(node, 0, width))
+            self.module.add_assign(f"{bundle}_addr", self._operand(node, 1, 32))
+            self.module.add_assign(f"{bundle}_req", "ce")
+            self.memory_bundles.append((node, bundle))
+            return
+
+        wire = self._result_wire(index, node)
+        name = f"u{index}_{resource}"
+        params = [("WIDTH", str(width))]
+        if resource in ("icmp", "fcmp"):
+            table = _ICMP_CODES if resource == "icmp" else _FCMP_CODES
+            code = table[inst.predicate]
+            operand_width = max(1, getattr(inst.operands[0].type, "bits", 32))
+            self.module.add_instance(
+                f"cayman_{resource}", name,
+                [("a", self._operand(node, 0, operand_width)),
+                 ("b", self._operand(node, 1, operand_width)),
+                 ("pred", f"3'd{code}"), ("y", wire)],
+                [("WIDTH", str(operand_width))],
+            )
+            return
+        if resource == "select":
+            self.module.add_instance(
+                "cayman_select", name,
+                [("sel", self._operand(node, 0, 1)),
+                 ("a", self._operand(node, 1, width)),
+                 ("b", self._operand(node, 2, width)),
+                 ("y", wire)],
+                params,
+            )
+            return
+        if resource in ("sext", "zext", "trunc", "fpext", "fptrunc"):
+            in_width = max(1, getattr(inst.operands[0].type, "bits", 32))
+            self.module.add_instance(
+                f"cayman_{resource}", name,
+                [("a", self._operand(node, 0, in_width)), ("y", wire)],
+                [("IN_WIDTH", str(in_width)), ("OUT_WIDTH", str(width))],
+            )
+            return
+        if resource in ("neg", "not", "fneg", "fabs"):
+            self.module.add_instance(
+                f"cayman_{resource}", name,
+                [("a", self._operand(node, 0, width)), ("y", wire)],
+                params,
+            )
+            return
+        if resource in ("fadd", "fsub", "fmul", "fdiv", "fsqrt",
+                        "mul", "div", "rem", "sitofp", "fptosi"):
+            in_width = max(1, getattr(inst.operands[0].type, "bits", width))
+            b_conn = (
+                self._operand(node, 1, in_width)
+                if len(inst.operands) > 1 else f"{in_width}'d0"
+            )
+            self.module.add_instance(
+                f"cayman_{resource}", name,
+                [("clk", "clk"),
+                 ("a", self._operand(node, 0, in_width)),
+                 ("b", b_conn),
+                 ("y", wire)],
+                [("WIDTH", str(width))],
+            )
+            return
+        # Remaining two-input combinational ops (add/sub/logic/shift/gep).
+        self.module.add_instance(
+            f"cayman_{resource}", name,
+            [("a", self._operand(node, 0, width)),
+             ("b", self._operand(node, 1, width)),
+             ("y", wire)],
+            params,
+        )
+
+
+def _emit_fsm(design: VerilogDesign, name: str, states: int) -> VerilogModule:
+    fsm = VerilogModule(name)
+    fsm.add_port("clk", "input")
+    fsm.add_port("rst", "input")
+    fsm.add_port("start", "input")
+    fsm.add_port("busy", "output")
+    fsm.add_port("done", "output")
+    width = max(1, (max(2, states) - 1).bit_length())
+    fsm.add_net("state", width, kind="reg")
+    last = states - 1
+    fsm.add_block(f"""always @(posedge clk) begin
+  if (rst)
+    state <= {width}'d0;
+  else if (start && state == {width}'d0)
+    state <= {width}'d1;
+  else if (state != {width}'d0)
+    state <= (state == {width}'d{last}) ? {width}'d0 : state + {width}'d1;
+end""")
+    fsm.add_assign("busy", f"state != {width}'d0")
+    fsm.add_assign("done", f"state == {width}'d{last}")
+    design.add_module(fsm)
+    return fsm
+
+
+def generate_accelerator(
+    estimate: AcceleratorEstimate,
+    name: Optional[str] = None,
+    techlib: TechLibrary = DEFAULT_TECHLIB,
+) -> str:
+    """Full Verilog text for one accelerator estimate."""
+    top_name = sanitize(name or f"accel_{estimate.config.region.name}")
+    design = VerilogDesign(top_name)
+
+    plan = estimate.config.plan
+    used_resources: List[str] = []
+    unit_infos = []
+
+    for unit_index, (unit_name, dfg) in enumerate(estimate.units):
+        module = VerilogModule(sanitize(f"dp{unit_index}_{unit_name}"))
+        emitter = DatapathEmitter(module, dfg)
+        emitter.emit()
+        design.add_module(module)
+        used_resources.extend(n.resource for n in dfg.nodes)
+        schedule = schedule_dfg(
+            dfg, techlib, plan.access_timing, plan.port_counts()
+        )
+        fsm = _emit_fsm(
+            design, sanitize(f"fsm{unit_index}_{unit_name}"),
+            max(2, schedule.length),
+        )
+        unit_infos.append((module, fsm, emitter))
+
+    top = VerilogModule(top_name)
+    top.add_port("clk", "input")
+    top.add_port("rst", "input")
+    top.add_port("start", "input")
+    top.add_port("done", "output")
+    top.add_port("mem_req", "output")
+    top.add_port("mem_wen", "output")
+    top.add_port("mem_addr", "output", 32)
+    top.add_port("mem_wdata", "output", 32)
+    top.add_port("mem_rdata", "input", 32)
+    top.add_port("mem_ack", "input")
+
+    done_wires = []
+    for index, (module, fsm, emitter) in enumerate(unit_infos):
+        busy = top.add_net(f"busy_{index}")
+        done = top.add_net(f"done_{index}")
+        done_wires.append(done.name)
+        top.add_instance(
+            fsm.name, f"i_{fsm.name}",
+            [("clk", "clk"), ("rst", "rst"), ("start", "start"),
+             ("busy", busy.name), ("done", done.name)],
+        )
+        connections = [("clk", "clk"), ("ce", busy.name)]
+        for port in module.ports:
+            if port.name in ("clk", "ce"):
+                continue
+            net = top.add_net(f"u{index}_{port.name}", port.width)
+            connections.append((port.name, net.name))
+        top.add_instance(module.name, f"i_{module.name}", connections)
+
+        # Interface components for this unit's memory bundles.  Replicated
+        # copies of one access (loop unrolling) share the same interface
+        # component, mirroring the model's per-access area accounting.
+        seen_insts = set()
+        for node, bundle in emitter.memory_bundles:
+            if node.inst in seen_insts:
+                continue
+            seen_insts.add(node.inst)
+            assignment = plan.assignments.get(node.inst)
+            kind = assignment.kind if assignment else InterfaceKind.COUPLED
+            prefix = f"u{index}_{bundle}"
+            if kind is InterfaceKind.DECOUPLED:
+                used_resources.append("stream_port")
+                top.add_instance(
+                    "cayman_stream_port", f"i_{prefix}_stream",
+                    [("clk", "clk"), ("rst", "rst"), ("start", "start"),
+                     ("base", f"{prefix}_addr"), ("stride", "32'd4"),
+                     ("count", "32'd0"), ("pop", f"{prefix}_req"),
+                     ("data", f"{prefix}_rdata" if isinstance(node.inst, Load)
+                      else ""),
+                     ("valid", ""), ("mem_req", ""), ("mem_addr", ""),
+                     ("mem_rdata", "mem_rdata"), ("mem_ack", "mem_ack")],
+                )
+            elif kind is InterfaceKind.SCRATCHPAD:
+                used_resources.append("spad_bank")
+                depth = max(2, assignment.spad_bytes // 4 if assignment else 64)
+                top.add_instance(
+                    "cayman_spad_bank", f"i_{prefix}_spad",
+                    [("clk", "clk"), ("en", f"{prefix}_req"),
+                     ("wen", "1'b0" if isinstance(node.inst, Load) else "1'b1"),
+                     ("addr", f"{prefix}_addr"),
+                     ("wdata", f"{prefix}_wdata"
+                      if isinstance(node.inst, Store) else "32'd0"),
+                     ("rdata", f"{prefix}_rdata"
+                      if isinstance(node.inst, Load) else ""),
+                     ("dma_en", "1'b0"), ("dma_wen", "1'b0"),
+                     ("dma_addr", "32'd0"), ("dma_wdata", "32'd0"),
+                     ("dma_rdata", "")],
+                    [("DEPTH", str(depth))],
+                )
+            else:
+                used_resources.append("lsu_port")
+                top.add_instance(
+                    "cayman_lsu_port", f"i_{prefix}_lsu",
+                    [("clk", "clk"), ("req", f"{prefix}_req"),
+                     ("wen", "1'b0" if isinstance(node.inst, Load) else "1'b1"),
+                     ("addr", f"{prefix}_addr"),
+                     ("wdata", f"{prefix}_wdata"
+                      if isinstance(node.inst, Store) else "32'd0"),
+                     ("rdata", f"{prefix}_rdata"
+                      if isinstance(node.inst, Load) else ""),
+                     ("ready", ""),
+                     ("mem_req", ""), ("mem_wen", ""), ("mem_addr", ""),
+                     ("mem_wdata", ""), ("mem_rdata", "mem_rdata"),
+                     ("mem_ack", "mem_ack")],
+                )
+
+    if done_wires:
+        top.add_assign("done", " & ".join(done_wires))
+    else:
+        top.add_assign("done", "start")
+    top.add_assign("mem_req", "1'b0  /* arbitated per-port above */")
+    top.add_assign("mem_wen", "1'b0")
+    top.add_assign("mem_addr", "32'd0")
+    top.add_assign("mem_wdata", "32'd0")
+    design.add_module(top)
+
+    for text in primitives_for(dict.fromkeys(used_resources)):
+        design.add_raw(text)
+    return design.emit()
+
+
+def generate_solution(solution, name: str = "cayman_solution") -> str:
+    """Verilog for every accelerator in a selection solution."""
+    parts = []
+    for index, estimate in enumerate(solution.accelerators):
+        parts.append(
+            generate_accelerator(estimate, name=f"{sanitize(name)}_acc{index}")
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,273 @@
+"""Behavioral Verilog primitives instantiated by the generated datapaths.
+
+One parameterizable module per datapath resource class, plus the interface
+components (load/store unit port, AGU+FIFO stream port, scratchpad bank).
+Floating-point operators are black-box behavioral stubs (`/* fp op */`) —
+in the paper's flow these map to characterized Nangate45 implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_COMB_OPS = {
+    "add": "a + b",
+    "sub": "a - b",
+    "and": "a & b",
+    "or": "a | b",
+    "xor": "a ^ b",
+    "shl": "a << b[4:0]",
+    "shr": "a >> b[4:0]",
+    "neg": "-a",
+    "not": "~a",
+    "gep": "a + b",
+    "select": "sel ? a : b",
+}
+
+_SEQ_OPS = {
+    # resource: (latency, expression or None for black box)
+    "mul": (1, "a * b"),
+    "div": (16, None),
+    "rem": (16, None),
+    "fadd": (2, None),
+    "fsub": (2, None),
+    "fmul": (2, None),
+    "fdiv": (12, None),
+    "fsqrt": (10, None),
+    "sitofp": (1, None),
+    "fptosi": (1, None),
+}
+
+_COMB_FP = {"fneg": "{~a[WIDTH-1], a[WIDTH-2:0]}",
+            "fabs": "{1'b0, a[WIDTH-2:0]}",
+            "fcmp": None,
+            "icmp": None,
+            "sext": None, "zext": None, "trunc": None,
+            "fpext": None, "fptrunc": None, "phi": None}
+
+
+def _binary_comb(name: str, expr: str) -> str:
+    return f"""module cayman_{name} #(parameter WIDTH = 32) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  output [WIDTH-1:0] y
+);
+  assign y = {expr};
+endmodule"""
+
+
+def _unary_comb(name: str, expr: str) -> str:
+    return f"""module cayman_{name} #(parameter WIDTH = 32) (
+  input  [WIDTH-1:0] a,
+  output [WIDTH-1:0] y
+);
+  assign y = {expr};
+endmodule"""
+
+
+def _pipelined(name: str, latency: int, expr) -> str:
+    body = (
+        f"stage[0] <= {expr};" if expr is not None
+        else "stage[0] <= a; /* behavioral stub for the characterized "
+             f"{name} unit */"
+    )
+    return f"""module cayman_{name} #(parameter WIDTH = 32, parameter LATENCY = {latency}) (
+  input              clk,
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  output [WIDTH-1:0] y
+);
+  reg [WIDTH-1:0] stage [0:LATENCY-1];
+  integer i;
+  always @(posedge clk) begin
+    {body}
+    for (i = 1; i < LATENCY; i = i + 1)
+      stage[i] <= stage[i-1];
+  end
+  assign y = stage[LATENCY-1];
+endmodule"""
+
+
+_PRIMITIVE_TEXT = {}
+
+for _name, _expr in _COMB_OPS.items():
+    if _name == "select":
+        _PRIMITIVE_TEXT[_name] = f"""module cayman_select #(parameter WIDTH = 32) (
+  input              sel,
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  output [WIDTH-1:0] y
+);
+  assign y = sel ? a : b;
+endmodule"""
+    elif _name in ("neg", "not"):
+        _PRIMITIVE_TEXT[_name] = _unary_comb(_name, _expr)
+    else:
+        _PRIMITIVE_TEXT[_name] = _binary_comb(_name, _expr)
+
+for _name, (_lat, _expr) in _SEQ_OPS.items():
+    _PRIMITIVE_TEXT[_name] = _pipelined(_name, _lat, _expr)
+
+_PRIMITIVE_TEXT["icmp"] = """module cayman_icmp #(parameter WIDTH = 32) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  input  [2:0]       pred,
+  output reg         y
+);
+  wire signed [WIDTH-1:0] sa = a;
+  wire signed [WIDTH-1:0] sb = b;
+  always @(*) begin
+    case (pred)
+      3'd0: y = (sa == sb);
+      3'd1: y = (sa != sb);
+      3'd2: y = (sa <  sb);
+      3'd3: y = (sa <= sb);
+      3'd4: y = (sa >  sb);
+      default: y = (sa >= sb);
+    endcase
+  end
+endmodule"""
+
+_PRIMITIVE_TEXT["fcmp"] = """module cayman_fcmp #(parameter WIDTH = 32) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  input  [2:0]       pred,
+  output             y
+);
+  /* behavioral stub for the characterized floating-point comparator */
+  assign y = (pred[0] ^ (a == b));
+endmodule"""
+
+for _name in ("sext", "zext", "trunc", "fpext", "fptrunc"):
+    _PRIMITIVE_TEXT[_name] = f"""module cayman_{_name} #(parameter IN_WIDTH = 32, parameter OUT_WIDTH = 32) (
+  input  [IN_WIDTH-1:0]  a,
+  output [OUT_WIDTH-1:0] y
+);
+  /* width conversion */
+  generate
+    if (OUT_WIDTH >= IN_WIDTH)
+      assign y = {{{{(OUT_WIDTH-IN_WIDTH+1){{a[IN_WIDTH-1]}}}}, a[IN_WIDTH-2:0]}};
+    else
+      assign y = a[OUT_WIDTH-1:0];
+  endgenerate
+endmodule"""
+
+_PRIMITIVE_TEXT["fneg"] = _unary_comb("fneg", "{~a[WIDTH-1], a[WIDTH-2:0]}")
+_PRIMITIVE_TEXT["fabs"] = _unary_comb("fabs", "{1'b0, a[WIDTH-2:0]}")
+
+_PRIMITIVE_TEXT["lsu_port"] = """module cayman_lsu_port #(parameter WIDTH = 32, parameter ADDR = 32) (
+  input             clk,
+  input             req,
+  input             wen,
+  input  [ADDR-1:0] addr,
+  input  [WIDTH-1:0] wdata,
+  output [WIDTH-1:0] rdata,
+  output            ready,
+  // memory-system side
+  output            mem_req,
+  output            mem_wen,
+  output [ADDR-1:0] mem_addr,
+  output [WIDTH-1:0] mem_wdata,
+  input  [WIDTH-1:0] mem_rdata,
+  input             mem_ack
+);
+  assign mem_req   = req;
+  assign mem_wen   = wen;
+  assign mem_addr  = addr;
+  assign mem_wdata = wdata;
+  assign rdata     = mem_rdata;
+  assign ready     = mem_ack;
+endmodule"""
+
+_PRIMITIVE_TEXT["stream_port"] = """module cayman_stream_port #(parameter WIDTH = 32, parameter ADDR = 32, parameter DEPTH = 8) (
+  // decoupled interface: AGU + data FIFO (paper Fig. 3)
+  input              clk,
+  input              rst,
+  input              start,
+  input  [ADDR-1:0]  base,
+  input  [ADDR-1:0]  stride,
+  input  [31:0]      count,
+  input              pop,
+  output [WIDTH-1:0] data,
+  output             valid,
+  // memory-system side
+  output             mem_req,
+  output [ADDR-1:0]  mem_addr,
+  input  [WIDTH-1:0] mem_rdata,
+  input              mem_ack
+);
+  reg [ADDR-1:0] next_addr;
+  reg [31:0]     remaining;
+  reg [WIDTH-1:0] fifo [0:DEPTH-1];
+  reg [$clog2(DEPTH):0] level;
+  always @(posedge clk) begin
+    if (rst) begin
+      next_addr <= 0; remaining <= 0; level <= 0;
+    end else if (start) begin
+      next_addr <= base; remaining <= count;
+    end else begin
+      if (mem_ack && remaining != 0) begin
+        fifo[0] <= mem_rdata;
+        next_addr <= next_addr + stride;
+        remaining <= remaining - 1;
+        if (!pop) level <= level + 1;
+      end else if (pop && level != 0) begin
+        level <= level - 1;
+      end
+    end
+  end
+  assign mem_req  = (remaining != 0) && (level != DEPTH[$clog2(DEPTH):0]);
+  assign mem_addr = next_addr;
+  assign data     = fifo[0];
+  assign valid    = (level != 0);
+endmodule"""
+
+_PRIMITIVE_TEXT["spad_bank"] = """module cayman_spad_bank #(parameter WIDTH = 32, parameter DEPTH = 256, parameter ADDR = 32) (
+  // scratchpad bank with a DMA side port (paper Fig. 3)
+  input              clk,
+  input              en,
+  input              wen,
+  input  [ADDR-1:0]  addr,
+  input  [WIDTH-1:0] wdata,
+  output reg [WIDTH-1:0] rdata,
+  input              dma_en,
+  input              dma_wen,
+  input  [ADDR-1:0]  dma_addr,
+  input  [WIDTH-1:0] dma_wdata,
+  output reg [WIDTH-1:0] dma_rdata
+);
+  reg [WIDTH-1:0] mem [0:DEPTH-1];
+  always @(posedge clk) begin
+    if (en) begin
+      if (wen) mem[addr[$clog2(DEPTH)-1:0]] <= wdata;
+      rdata <= mem[addr[$clog2(DEPTH)-1:0]];
+    end
+    if (dma_en) begin
+      if (dma_wen) mem[dma_addr[$clog2(DEPTH)-1:0]] <= dma_wdata;
+      dma_rdata <= mem[dma_addr[$clog2(DEPTH)-1:0]];
+    end
+  end
+endmodule"""
+
+
+def primitive_text(resource: str) -> str:
+    """Verilog text of one primitive module."""
+    try:
+        return _PRIMITIVE_TEXT[resource]
+    except KeyError:
+        raise KeyError(f"no RTL primitive for resource {resource!r}") from None
+
+
+def primitives_for(resources: Iterable[str]) -> List[str]:
+    """Deduplicated primitive module texts for the given resource set."""
+    seen = []
+    out = []
+    for resource in resources:
+        if resource in ("load", "store"):
+            resource = "lsu_port"
+        if resource in ("control", "alloca", "call"):
+            continue
+        if resource not in seen and resource in _PRIMITIVE_TEXT:
+            seen.append(resource)
+            out.append(_PRIMITIVE_TEXT[resource])
+    return out

@@ -1,0 +1,139 @@
+"""RTL generation for *reusable* (merged) accelerators — paper Fig. 5.
+
+A reusable accelerator serves several kernels through shared reconfigurable
+datapath units.  The generated top module contains:
+
+* one datapath module per (possibly merged) unit of the group, emitted from
+  the merged DFG — shared functional units appear once;
+* one control FSM per member kernel (each kernel keeps its own control,
+  §III-E);
+* the global **Ctrl** unit: a ``kernel_select`` input, a configuration
+  register driving the datapath multiplexers' reconfiguration bits, and a
+  dispatcher that starts the selected kernel's FSM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hls.techlib import DEFAULT_TECHLIB, TechLibrary
+from ..merging.merge_driver import MergedSolution
+from .accel_gen import DatapathEmitter, _emit_fsm
+from .primitives import primitives_for
+from .verilog import VerilogDesign, VerilogModule, sanitize
+
+
+def generate_reusable_accelerator(
+    merged: MergedSolution,
+    group_index: int = 0,
+    name: Optional[str] = None,
+    techlib: TechLibrary = DEFAULT_TECHLIB,
+) -> str:
+    """Verilog for one reusable accelerator of a merged solution.
+
+    ``group_index`` picks which accelerator group to emit (groups are
+    ordered as in ``merged.accelerators``); the group must be reusable
+    (more than one member kernel) to get a Ctrl unit, but single-member
+    groups are emitted too (without one).
+    """
+    if not merged.accelerators:
+        raise ValueError("merged solution has no accelerators")
+    if not (0 <= group_index < len(merged.accelerators)):
+        raise IndexError(f"no accelerator group {group_index}")
+    group = merged.accelerators[group_index]
+    top_name = sanitize(name or f"reusable_acc{group_index}")
+    design = VerilogDesign(top_name)
+
+    # The units belonging to this group, in pool order.
+    group_root = merged.group_roots[group_index]
+    group_units = [
+        unit for unit, root in zip(merged.units, merged.unit_groups)
+        if root == group_root
+    ]
+
+    used_resources: List[str] = []
+    datapaths = []
+    total_config_bits = 0
+    for index, unit in enumerate(group_units):
+        module = VerilogModule(sanitize(f"ru{index}_{unit.name}")[:60])
+        emitter = DatapathEmitter(module, unit.dfg)
+        emitter.emit()
+        if unit.config_bits:
+            module.add_port("cfg", "input", max(1, unit.config_bits))
+        design.add_module(module)
+        used_resources.extend(n.resource for n in unit.dfg.nodes)
+        datapaths.append((module, unit))
+        total_config_bits += unit.config_bits
+
+    # One FSM per member kernel (paper: "each maintaining a standalone FSM").
+    fsms = []
+    for kernel_index, kernel_name in enumerate(group.kernel_names):
+        fsm = _emit_fsm(
+            design,
+            sanitize(f"kfsm{kernel_index}_{kernel_name}")[:60],
+            states=8,
+        )
+        fsms.append(fsm)
+
+    top = VerilogModule(top_name)
+    top.add_port("clk", "input")
+    top.add_port("rst", "input")
+    top.add_port("start", "input")
+    select_width = max(1, (max(2, len(fsms)) - 1).bit_length())
+    top.add_port("kernel_select", "input", select_width)
+    top.add_port("cfg_we", "input")
+    top.add_port("cfg_data", "input", 32)
+    top.add_port("done", "output")
+
+    # Global Ctrl: the configuration register bank feeding datapath muxes.
+    if total_config_bits:
+        top.add_net("config_reg", total_config_bits, kind="reg")
+        top.add_block(f"""// global Ctrl: reconfiguration bit registers (paper Fig. 5)
+always @(posedge clk) begin
+  if (rst)
+    config_reg <= {total_config_bits}'d0;
+  else if (cfg_we)
+    config_reg <= {{config_reg[{max(0, total_config_bits - 33)}:0], cfg_data}};
+end""")
+
+    # Dispatcher: start exactly the selected kernel's FSM.
+    done_terms = []
+    for kernel_index, fsm in enumerate(fsms):
+        start_net = top.add_net(f"start_k{kernel_index}")
+        busy_net = top.add_net(f"busy_k{kernel_index}")
+        done_net = top.add_net(f"done_k{kernel_index}")
+        top.add_assign(
+            start_net.name,
+            f"start && (kernel_select == {select_width}'d{kernel_index})",
+        )
+        top.add_instance(
+            fsm.name, f"i_{fsm.name}",
+            [("clk", "clk"), ("rst", "rst"), ("start", start_net.name),
+             ("busy", busy_net.name), ("done", done_net.name)],
+        )
+        done_terms.append(done_net.name)
+    top.add_assign("done", " | ".join(done_terms) if done_terms else "start")
+
+    # Shared datapath units, configured from the config register slice.
+    bit_cursor = 0
+    busy_any = (
+        "(" + " | ".join(f"busy_k{i}" for i in range(len(fsms))) + ")"
+        if fsms else "1'b0"
+    )
+    for index, (module, unit) in enumerate(datapaths):
+        connections = [("clk", "clk"), ("ce", busy_any)]
+        if unit.config_bits:
+            high = bit_cursor + unit.config_bits - 1
+            connections.append(("cfg", f"config_reg[{high}:{bit_cursor}]"))
+            bit_cursor += unit.config_bits
+        for port in module.ports:
+            if port.name in ("clk", "ce", "cfg"):
+                continue
+            net = top.add_net(f"u{index}_{port.name}", port.width)
+            connections.append((port.name, net.name))
+        top.add_instance(module.name, f"i_{module.name}", connections)
+
+    design.add_module(top)
+    for text in primitives_for(dict.fromkeys(used_resources)):
+        design.add_raw(text)
+    return design.emit()

@@ -1,0 +1,172 @@
+"""A small structural-Verilog writer.
+
+Builds Verilog-2001 modules from ports, nets, instances, and raw logic
+blocks.  The emitters in this package use it to produce self-contained,
+syntactically well-formed netlists for the generated accelerators.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def sanitize(name: str) -> str:
+    """Make an arbitrary string a legal Verilog identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not cleaned or not re.match(r"[A-Za-z_]", cleaned[0]):
+        cleaned = "n_" + cleaned
+    return cleaned
+
+
+@dataclass
+class Port:
+    name: str
+    direction: str       # "input" | "output" | "inout"
+    width: int = 1
+
+    def declaration(self) -> str:
+        vec = f" [{self.width - 1}:0]" if self.width > 1 else ""
+        return f"{self.direction}{vec} {self.name}"
+
+
+@dataclass
+class Net:
+    name: str
+    width: int = 1
+    kind: str = "wire"   # "wire" | "reg"
+
+    def declaration(self) -> str:
+        vec = f" [{self.width - 1}:0]" if self.width > 1 else ""
+        return f"{self.kind}{vec} {self.name};"
+
+
+@dataclass
+class Instance:
+    module: str
+    name: str
+    connections: List[Tuple[str, str]] = field(default_factory=list)
+    parameters: List[Tuple[str, str]] = field(default_factory=list)
+
+    def emit(self) -> str:
+        params = ""
+        if self.parameters:
+            inner = ", ".join(f".{k}({v})" for k, v in self.parameters)
+            params = f" #({inner})"
+        conns = ",\n    ".join(f".{k}({v})" for k, v in self.connections)
+        return f"{self.module}{params} {self.name} (\n    {conns}\n  );"
+
+
+class VerilogModule:
+    """One module under construction."""
+
+    def __init__(self, name: str):
+        if not _IDENT_RE.match(name):
+            raise ValueError(f"illegal module name {name!r}")
+        self.name = name
+        self.ports: List[Port] = []
+        self.nets: List[Net] = []
+        self.instances: List[Instance] = []
+        self.assigns: List[str] = []
+        self.blocks: List[str] = []       # raw always-blocks etc.
+        self._names: set = set()
+
+    # Construction -----------------------------------------------------------
+
+    def _unique(self, name: str) -> str:
+        base = sanitize(name)
+        candidate = base
+        counter = 0
+        while candidate in self._names:
+            counter += 1
+            candidate = f"{base}_{counter}"
+        self._names.add(candidate)
+        return candidate
+
+    def add_port(self, name: str, direction: str, width: int = 1) -> Port:
+        port = Port(self._unique(name), direction, width)
+        self.ports.append(port)
+        return port
+
+    def add_net(self, name: str, width: int = 1, kind: str = "wire") -> Net:
+        net = Net(self._unique(name), width, kind)
+        self.nets.append(net)
+        return net
+
+    def add_instance(
+        self,
+        module: str,
+        name: str,
+        connections: List[Tuple[str, str]],
+        parameters: Optional[List[Tuple[str, str]]] = None,
+    ) -> Instance:
+        inst = Instance(module, self._unique(name), list(connections),
+                        list(parameters or []))
+        self.instances.append(inst)
+        return inst
+
+    def add_assign(self, lhs: str, rhs: str) -> None:
+        self.assigns.append(f"assign {lhs} = {rhs};")
+
+    def add_block(self, text: str) -> None:
+        self.blocks.append(text.rstrip())
+
+    # Emission -----------------------------------------------------------------
+
+    def emit(self) -> str:
+        lines = [f"module {self.name} ("]
+        lines.append(
+            ",\n".join(f"  {port.declaration()}" for port in self.ports)
+        )
+        lines.append(");")
+        lines.append("")
+        for net in self.nets:
+            lines.append(f"  {net.declaration()}")
+        if self.nets:
+            lines.append("")
+        for assign in self.assigns:
+            lines.append(f"  {assign}")
+        if self.assigns:
+            lines.append("")
+        for inst in self.instances:
+            lines.append("  " + inst.emit())
+            lines.append("")
+        for block in self.blocks:
+            lines.append(_indent(block, 2))
+            lines.append("")
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+
+def _indent(text: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line if line else line for line in text.splitlines())
+
+
+class VerilogDesign:
+    """A collection of modules emitted into one .v text."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.modules: List[VerilogModule] = []
+        self.raw_modules: List[str] = []
+
+    def add_module(self, module: VerilogModule) -> VerilogModule:
+        self.modules.append(module)
+        return module
+
+    def add_raw(self, text: str) -> None:
+        self.raw_modules.append(text.rstrip())
+
+    def emit(self) -> str:
+        header = (
+            f"// Design: {self.name}\n"
+            "// Generated by the Cayman reproduction (repro.rtl).\n"
+        )
+        parts = [header]
+        parts.extend(self.raw_modules)
+        parts.extend(module.emit() for module in self.modules)
+        return "\n\n".join(parts) + "\n"

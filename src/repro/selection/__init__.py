@@ -1,0 +1,16 @@
+"""Dynamic-programming candidate selection (Algorithm 1)."""
+
+from .solution import (
+    EMPTY_SOLUTION,
+    Solution,
+    combine,
+    filter_front,
+    pareto,
+)
+from .pruning import PruneHeuristic
+from .knapsack import CandidateSelector, select_candidates
+
+__all__ = [
+    "EMPTY_SOLUTION", "Solution", "combine", "filter_front", "pareto",
+    "PruneHeuristic", "CandidateSelector", "select_candidates",
+]

@@ -1,0 +1,35 @@
+"""Heuristic pruning for the candidate-selection DP (paper §III-D line 2).
+
+A subtree is pruned when the profiling data shows it cannot matter: the
+region (and therefore everything below it) is not a hotspot worth
+acceleration.  Pruning a vertex terminates the search below it, which is
+what makes the DP fast on applications with many cold regions.
+"""
+
+from __future__ import annotations
+
+from ..analysis.wpst import WPSTNode
+from ..interp.profiler import RegionProfile
+
+
+class PruneHeuristic:
+    """Time-share based hotspot pruning.
+
+    ``threshold`` is the minimum fraction of total program time a region
+    must account for to stay in the search (default 0.1%).
+    """
+
+    def __init__(self, profile: RegionProfile, threshold: float = 0.001):
+        self.profile = profile
+        self.threshold = threshold
+
+    def prune(self, node: WPSTNode) -> bool:
+        """True when the subtree rooted at ``node`` should be skipped."""
+        if node.kind in ("root", "function"):
+            return False
+        region = node.region
+        if region is None:
+            return False
+        if self.profile.region_count(region) == 0:
+            return True  # never executed
+        return self.profile.region_time_share(region) < self.threshold

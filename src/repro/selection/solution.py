@@ -1,0 +1,121 @@
+"""Selection solutions and Pareto-front machinery (paper §III-D).
+
+A *solution* accelerates a set of non-overlapping kernels, each with a chosen
+accelerator configuration.  Solutions are compared on total accelerator area
+(weight) and total saved time (profit); fronts are kept Pareto-optimal and
+thinned by the geometric ``filter(α)`` that bounds front length by
+``log_α A``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..model.config import AcceleratorEstimate
+
+
+class Solution:
+    """A set of accelerated kernels with configurations (one solution φ)."""
+
+    __slots__ = ("accelerators", "area", "saved_seconds")
+
+    def __init__(self, accelerators: Tuple[AcceleratorEstimate, ...] = ()):
+        self.accelerators = tuple(accelerators)
+        self.area = sum(a.area for a in self.accelerators)
+        self.saved_seconds = sum(a.saved_seconds for a in self.accelerators)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.accelerators
+
+    def union(self, other: "Solution") -> "Solution":
+        """φ1 ∪ φ2 — combine kernels from disjoint subtrees."""
+        return Solution(self.accelerators + other.accelerators)
+
+    def speedup(self, total_seconds: float) -> float:
+        """Equation 1 evaluated for this solution."""
+        remaining = total_seconds - self.saved_seconds
+        if remaining <= 0:
+            return float("inf")
+        return total_seconds / remaining
+
+    def kernel_names(self) -> List[str]:
+        return [a.config.kernel_name for a in self.accelerators]
+
+    def interface_totals(self) -> dict:
+        totals = {"coupled": 0, "decoupled": 0, "scratchpad": 0, "scanchain": 0}
+        for accel in self.accelerators:
+            for key, value in accel.interface_counts.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def seq_block_total(self) -> int:
+        return sum(a.seq_blocks for a in self.accelerators)
+
+    def pipelined_region_total(self) -> int:
+        return sum(a.pipelined_regions for a in self.accelerators)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Solution {len(self.accelerators)} accels "
+            f"area={self.area:.0f} saved={self.saved_seconds * 1e6:.1f}us>"
+        )
+
+
+#: The do-nothing solution (area 0, gain 0), member of every front.
+EMPTY_SOLUTION = Solution()
+
+
+def pareto(solutions: Iterable[Solution]) -> List[Solution]:
+    """Pareto-optimal subsequence: increasing area, strictly increasing gain.
+
+    Among equal-area solutions only the best-gain one survives; any solution
+    whose gain does not beat a cheaper one is dropped.
+    """
+    ordered = sorted(solutions, key=lambda s: (s.area, -s.saved_seconds))
+    front: List[Solution] = []
+    best_saved = float("-inf")
+    for solution in ordered:
+        if solution.saved_seconds > best_saved:
+            front.append(solution)
+            best_saved = solution.saved_seconds
+    return front
+
+
+def filter_front(front: Sequence[Solution], alpha: float) -> List[Solution]:
+    """The paper's ``filter``: drop solutions too close in area.
+
+    Keeps a subsequence where every neighboring pair satisfies
+    ``a_{i+1} > α · a_i``; from each dropped run the *last* (highest-gain)
+    solution before the geometric jump is retained implicitly by keeping the
+    first solution whose area exceeds the bound.  Zero-area solutions (the
+    empty solution) are always kept.
+    """
+    if alpha <= 1.0:
+        return list(front)
+    result: List[Solution] = []
+    last_kept_area = None
+    for solution in front:
+        if solution.area <= 0:
+            result.append(solution)
+            continue
+        if last_kept_area is None or solution.area > alpha * last_kept_area:
+            result.append(solution)
+            last_kept_area = solution.area
+    return result
+
+
+def combine(
+    left: Sequence[Solution],
+    right: Sequence[Solution],
+    area_cap: float = None,
+) -> List[Solution]:
+    """The ⊗ operation: Pareto front of all pairwise unions."""
+    unions: List[Solution] = []
+    for a in left:
+        for b in right:
+            union = a.union(b)
+            if area_cap is not None and union.area > area_cap and not union.is_empty:
+                continue
+            unions.append(union)
+    return pareto(unions)

@@ -1,0 +1,16 @@
+"""Benchmark workloads from the paper's evaluation (PolyBench, MachSuite,
+MediaBench, CoreMark-Pro)."""
+
+from .registry import (
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+    workloads_by_suite,
+)
+
+__all__ = [
+    "Workload", "all_workloads", "get_workload", "register",
+    "workload_names", "workloads_by_suite",
+]

@@ -1,0 +1,533 @@
+"""CoreMark-Pro workload equivalents in mini-C.
+
+Six workloads matching the paper's selection (cjpeg-rose7-preset, zip-test,
+parser-125k, nnet-test, linear-alg-mid-100x100-sp, loops-all-mid-10k-sp).
+Each synthetic equivalent keeps the original's character: integer/branch
+heavy compression and parsing, dense FP linear algebra, and — for
+loops-all — many small loops dominated by floating-point loop-carried
+dependencies (the paper calls this out as the workload where interface
+specialization cannot help because RecMII binds).
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="cjpeg-rose7-preset",
+    suite="coremark-pro",
+    description="JPEG-style compression of a synthetic 'rose' image (CoreMark-Pro preset)",
+    outputs=("obits",),
+    source="""
+int img[32][32];
+float fblk[8][8]; float cblk[8][8]; float tblk[8][8];
+float basis[8][8];
+int qout[32][32];
+int obits[1];
+
+void init(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      int cx = i - 16; int cy = j - 16;
+      int r2 = cx * cx + cy * cy;
+      img[i][j] = (255 - r2 % 256 + (i * j) % 31) % 256;
+    }
+  for (int u = 0; u < 8; u++)
+    for (int x = 0; x < 8; x++) {
+      /* polynomial stand-in for the cosine basis */
+      int ph = ((2 * x + 1) * u) % 32;
+      float t = (float)ph / 32.0f;
+      basis[u][x] = 0.5f - t + t * t * 0.5f;
+    }
+  obits[0] = 0;
+}
+
+void transform_block(int bi, int bj) {
+  tload: for (int i = 0; i < 8; i++)
+    tload_j: for (int j = 0; j < 8; j++)
+      fblk[i][j] = (float)img[bi * 8 + i][bj * 8 + j] - 128.0f;
+  tpass1: for (int u = 0; u < 8; u++)
+    tpass1_j: for (int j = 0; j < 8; j++) {
+      float acc = 0.0f;
+      tdot1: for (int x = 0; x < 8; x++)
+        acc += basis[u][x] * fblk[x][j];
+      tblk[u][j] = acc;
+    }
+  tpass2: for (int u = 0; u < 8; u++)
+    tpass2_v: for (int v = 0; v < 8; v++) {
+      float acc = 0.0f;
+      tdot2: for (int x = 0; x < 8; x++)
+        acc += tblk[u][x] * basis[v][x];
+      cblk[u][v] = acc;
+    }
+}
+
+void quant_block(int bi, int bj) {
+  qrows: for (int i = 0; i < 8; i++)
+    qcols: for (int j = 0; j < 8; j++) {
+      float q = cblk[i][j] / (float)(6 + i + j);
+      qout[bi * 8 + i][bj * 8 + j] = (int)q;
+    }
+}
+
+void entropy_estimate(int n) {
+  int run = 0;
+  escan: for (int i = 0; i < n; i++)
+    escan_j: for (int j = 0; j < n; j++) {
+      int v = qout[i][j];
+      if (v == 0) {
+        run = run + 1;
+        if (run == 16) { obits[0] = obits[0] + 11; run = 0; }
+      } else {
+        int mag = v;
+        if (mag < 0) mag = 0 - mag;
+        int bits = 0;
+        while (mag > 0) { bits = bits + 1; mag = mag >> 1; }
+        obits[0] = obits[0] + 4 + run + bits;
+        run = 0;
+      }
+    }
+}
+
+void compress(int n) {
+  cblocks_i: for (int bi = 0; bi < n / 8; bi++)
+    cblocks_j: for (int bj = 0; bj < n / 8; bj++) {
+      transform_block(bi, bj);
+      quant_block(bi, bj);
+    }
+  entropy_estimate(n);
+}
+
+int main() {
+  init(32);
+  compress(32);
+  compress(32);
+  return obits[0];
+}
+""",
+))
+
+register(Workload(
+    name="zip-test",
+    suite="coremark-pro",
+    description="LZ77-style compression with hash-chain matching plus CRC32 (zip)",
+    outputs=("outlen", "crc"),
+    source="""
+int data[2048];
+int hashhead[256];
+int outlen[1];
+int crc[1];
+
+void init(int n) {
+  int state = 12345;
+  for (int i = 0; i < n; i++) {
+    state = (state * 1103515245 + 12345) & 2147483647;
+    int sym = (state >> 8) % 24;
+    if (sym > 15) sym = data[(i + 2048 - 7) % 2048] & 255;  /* repeats */
+    data[i] = sym & 255;
+  }
+  for (int h = 0; h < 256; h++) hashhead[h] = 0 - 1;
+  outlen[0] = 0;
+  crc[0] = 0 - 1;
+}
+
+void lz_compress(int n) {
+  int pos = 0;
+  scan: while (pos < n - 3) {
+    int h = (data[pos] * 33 + data[pos + 1] * 7 + data[pos + 2]) & 255;
+    int cand = hashhead[h];
+    hashhead[h] = pos;
+    int best = 0;
+    if (cand >= 0 && cand < pos && pos - cand < 255) {
+      int len = 0;
+      match: while (len < 16 && pos + len < n) {
+        if (data[cand + len] != data[pos + len]) break;
+        len = len + 1;
+      }
+      best = len;
+    }
+    if (best >= 3) {
+      outlen[0] = outlen[0] + 3;   /* (dist, len) token */
+      pos = pos + best;
+    } else {
+      outlen[0] = outlen[0] + 1;   /* literal */
+      pos = pos + 1;
+    }
+  }
+}
+
+void crc32(int n) {
+  int c = crc[0];
+  crc_outer: for (int i = 0; i < n; i++) {
+    c = c ^ data[i];
+    crc_bits: for (int b = 0; b < 8; b++) {
+      int lsb = c & 1;
+      c = (c >> 1) & 2147483647;
+      if (lsb == 1) c = c ^ (0 - 306674912);
+    }
+  }
+  crc[0] = c;
+}
+
+int main() {
+  init(2048);
+  lz_compress(2048);
+  crc32(2048);
+  return outlen[0];
+}
+""",
+))
+
+register(Workload(
+    name="parser-125k",
+    suite="coremark-pro",
+    description="Tokenizer + state-machine parser over a synthetic text buffer",
+    outputs=("counts",),
+    source="""
+int text[4096];
+int counts[8];
+int toktab[4096];
+
+void init(int n) {
+  int state = 99991;
+  for (int i = 0; i < n; i++) {
+    state = (state * 1103515245 + 12345) & 2147483647;
+    int c = (state >> 12) % 96 + 32;
+    text[i] = c;
+  }
+  for (int k = 0; k < 8; k++) counts[k] = 0;
+}
+
+int classify(int c) {
+  if (c >= 97 && c <= 122) return 1;  /* lower */
+  if (c >= 65 && c <= 90) return 2;   /* upper */
+  if (c >= 48 && c <= 57) return 3;   /* digit */
+  if (c == 32 || c == 9) return 0;    /* space */
+  if (c == 40 || c == 41 || c == 123 || c == 125) return 4; /* brackets */
+  return 5;                            /* punct */
+}
+
+void tokenize(int n) {
+  tok: for (int i = 0; i < n; i++)
+    toktab[i] = classify(text[i]);
+}
+
+void parse(int n) {
+  int state = 0;
+  int depth = 0;
+  fsm: for (int i = 0; i < n; i++) {
+    int t = toktab[i];
+    if (state == 0) {
+      if (t == 1 || t == 2) { state = 1; counts[0] = counts[0] + 1; }
+      else if (t == 3) { state = 2; counts[1] = counts[1] + 1; }
+      else if (t == 4) { depth = depth + 1; counts[2] = counts[2] + 1; }
+      else if (t == 5) counts[3] = counts[3] + 1;
+    } else if (state == 1) {
+      if (t == 1 || t == 2 || t == 3) counts[4] = counts[4] + 1;
+      else state = 0;
+    } else {
+      if (t == 3) counts[5] = counts[5] + 1;
+      else if (t == 1) { state = 1; counts[6] = counts[6] + 1; }
+      else state = 0;
+    }
+  }
+  counts[7] = depth;
+}
+
+int main() {
+  init(4096);
+  tokenize(4096);
+  parse(4096);
+  tokenize(4096);
+  parse(4096);
+  return counts[0];
+}
+""",
+))
+
+register(Workload(
+    name="nnet-test",
+    suite="coremark-pro",
+    description="Small MLP inference: two dense layers with piecewise sigmoid",
+    outputs=("outv",),
+    source="""
+float in0[32]; float w1[24][32]; float b1[24]; float h1[24];
+float w2[8][24]; float b2[8]; float outv[8];
+
+void init() {
+  for (int i = 0; i < 32; i++) in0[i] = (float)((i * 13 + 5) % 17) / 17.0f;
+  for (int i = 0; i < 24; i++) {
+    b1[i] = (float)(i % 5) / 10.0f;
+    for (int j = 0; j < 32; j++)
+      w1[i][j] = (float)((i * j + 3) % 19) / 19.0f - 0.5f;
+  }
+  for (int i = 0; i < 8; i++) {
+    b2[i] = (float)(i % 3) / 10.0f;
+    for (int j = 0; j < 24; j++)
+      w2[i][j] = (float)((i * 5 + j * 7) % 23) / 23.0f - 0.5f;
+  }
+}
+
+float activate(float x) {
+  /* piecewise-rational sigmoid approximation */
+  float ax = fabsf(x);
+  float y = 1.0f / (1.0f + ax);
+  if (x >= 0.0f) return 1.0f - 0.5f * y;
+  return 0.5f * y;
+}
+
+void layer1() {
+  l1: for (int i = 0; i < 24; i++) {
+    float acc = b1[i];
+    l1dot: for (int j = 0; j < 32; j++)
+      acc += w1[i][j] * in0[j];
+    h1[i] = activate(acc);
+  }
+}
+
+void layer2() {
+  l2: for (int i = 0; i < 8; i++) {
+    float acc = b2[i];
+    l2dot: for (int j = 0; j < 24; j++)
+      acc += w2[i][j] * h1[j];
+    outv[i] = activate(acc);
+  }
+}
+
+int main() {
+  init();
+  infer: for (int r = 0; r < 40; r++) {
+    layer1();
+    layer2();
+    in0[r % 32] = outv[r % 8];   /* feed back to vary inputs */
+  }
+  return (int)(outv[0] * 1000.0f);
+}
+""",
+))
+
+register(Workload(
+    name="linear-alg-mid-100x100-sp",
+    suite="coremark-pro",
+    description="Dense linear algebra mix: matvec, Gaussian elimination, back-substitution",
+    outputs=("xsol",),
+    source="""
+float M[24][24]; float rhs[24]; float xsol[24]; float Mv[24];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    rhs[i] = (float)((i * 7 + 2) % 11) / 11.0f + 0.5f;
+    for (int j = 0; j < n; j++)
+      M[i][j] = (float)((i * j + 1) % 13) / 13.0f;
+    M[i][i] = M[i][i] + (float)n;  /* diagonally dominant */
+  }
+}
+
+void matvec(int n) {
+  mv: for (int i = 0; i < n; i++) {
+    float acc = 0.0f;
+    mv_dot: for (int j = 0; j < n; j++)
+      acc += M[i][j] * rhs[j];
+    Mv[i] = acc;
+  }
+}
+
+void eliminate(int n) {
+  elim: for (int k = 0; k < n - 1; k++)
+    elim_rows: for (int i = k + 1; i < n; i++) {
+      float factor = M[i][k] / M[k][k];
+      elim_cols: for (int j = k; j < n; j++)
+        M[i][j] -= factor * M[k][j];
+      rhs[i] -= factor * rhs[k];
+    }
+}
+
+void backsolve(int n) {
+  bs: for (int i = n - 1; i >= 0; i--) {
+    float acc = rhs[i];
+    bs_dot: for (int j = i + 1; j < n; j++)
+      acc -= M[i][j] * xsol[j];
+    xsol[i] = acc / M[i][i];
+  }
+}
+
+int main() {
+  init(24);
+  matvec(24);
+  eliminate(24);
+  backsolve(24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="loops-all-mid-10k-sp",
+    suite="coremark-pro",
+    description="Many small loops with FP loop-carried dependencies (even hotspots)",
+    outputs=("acc_out",),
+    source="""
+float v0[64]; float v1[64]; float v2[64]; float v3[64];
+float v4[64]; float v5[64]; float v6[64]; float v7[64];
+float acc_out[16];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    v0[i] = (float)((i * 3 + 1) % 7) / 7.0f;
+    v1[i] = (float)((i * 5 + 2) % 11) / 11.0f;
+    v2[i] = (float)((i * 7 + 3) % 13) / 13.0f;
+    v3[i] = (float)((i * 11 + 4) % 17) / 17.0f;
+    v4[i] = (float)((i * 13 + 5) % 19) / 19.0f;
+    v5[i] = (float)((i * 17 + 6) % 23) / 23.0f;
+    v6[i] = (float)((i * 19 + 7) % 29) / 29.0f;
+    v7[i] = (float)((i * 23 + 8) % 31) / 31.0f;
+  }
+  for (int k = 0; k < 16; k++) acc_out[k] = 0.0f;
+}
+
+void loop_sum(int n) {
+  float s = 0.0f;
+  lsum: for (int i = 0; i < n; i++) s += v0[i];
+  acc_out[0] = s;
+}
+
+void loop_dot(int n) {
+  float s = 0.0f;
+  ldot: for (int i = 0; i < n; i++) s += v1[i] * v2[i];
+  acc_out[1] = s;
+}
+
+void loop_poly(int n) {
+  float s = 1.0f;
+  lpoly: for (int i = 0; i < n; i++) s = s * 0.875f + v3[i];
+  acc_out[2] = s;
+}
+
+void loop_recur(int n) {
+  float prev = 0.5f;
+  lrec: for (int i = 1; i < n; i++) {
+    float cur = 0.5f * (prev + v4[i]);
+    v4[i] = cur;
+    prev = cur;
+  }
+  acc_out[3] = prev;
+}
+
+void loop_norm(int n) {
+  float s = 0.0f;
+  lnorm: for (int i = 0; i < n; i++) s += v5[i] * v5[i];
+  acc_out[4] = sqrtf(s);
+}
+
+void loop_minmax(int n) {
+  float mn = v6[0]; float mx = v6[0];
+  lminmax: for (int i = 1; i < n; i++) {
+    if (v6[i] < mn) mn = v6[i];
+    if (v6[i] > mx) mx = v6[i];
+  }
+  acc_out[5] = mx - mn;
+}
+
+void loop_prefix(int n) {
+  float run = 0.0f;
+  lprefix: for (int i = 0; i < n; i++) {
+    run += v7[i];
+    v7[i] = run;
+  }
+  acc_out[6] = run;
+}
+
+void loop_geo(int n) {
+  float g = 1.0f;
+  lgeo: for (int i = 0; i < n; i++) g = g * (1.0f + v0[i] * 0.01f);
+  acc_out[7] = g;
+}
+
+void loop_alt(int n) {
+  float s = 0.0f; float sign = 1.0f;
+  lalt: for (int i = 0; i < n; i++) {
+    s += sign * v1[i];
+    sign = 0.0f - sign;
+  }
+  acc_out[8] = s;
+}
+
+void loop_ema(int n) {
+  float e = v2[0];
+  lema: for (int i = 1; i < n; i++) e = 0.9f * e + 0.1f * v2[i];
+  acc_out[9] = e;
+}
+
+void loop_horner(int n) {
+  float h = 0.0f;
+  lhorner: for (int i = 0; i < n; i++) h = h * 0.5f + v3[i];
+  acc_out[10] = h;
+}
+
+void loop_dotsq(int n) {
+  float s = 0.0f;
+  ldotsq: for (int i = 0; i < n; i++) {
+    float d = v4[i] - v5[i];
+    s += d * d;
+  }
+  acc_out[11] = s;
+}
+
+void loop_harmonic(int n) {
+  float s = 0.0f;
+  lharm: for (int i = 0; i < n; i++) s += 1.0f / ((float)i + 1.0f);
+  acc_out[12] = s;
+}
+
+void loop_clip(int n) {
+  float s = 0.0f;
+  lclip: for (int i = 0; i < n; i++) {
+    float x = v6[i] * 2.0f - 0.5f;
+    if (x < 0.0f) x = 0.0f;
+    if (x > 1.0f) x = 1.0f;
+    s += x;
+  }
+  acc_out[13] = s;
+}
+
+void loop_wavg(int n) {
+  float num = 0.0f; float den = 0.0f;
+  lwavg: for (int i = 0; i < n; i++) {
+    num += v7[i] * v0[i];
+    den += v0[i];
+  }
+  acc_out[14] = num / (den + 0.001f);
+}
+
+void loop_smooth(int n) {
+  float prev = v1[0];
+  lsmooth: for (int i = 1; i < n - 1; i++) {
+    float cur = 0.25f * v1[i-1] + 0.5f * v1[i] + 0.25f * v1[i+1];
+    v1[i] = 0.5f * (cur + prev);
+    prev = cur;
+  }
+  acc_out[15] = prev;
+}
+
+int main() {
+  init(64);
+  reps: for (int r = 0; r < 12; r++) {
+    loop_sum(64);
+    loop_dot(64);
+    loop_poly(64);
+    loop_recur(64);
+    loop_norm(64);
+    loop_minmax(64);
+    loop_prefix(64);
+    loop_geo(64);
+    loop_alt(64);
+    loop_ema(64);
+    loop_horner(64);
+    loop_dotsq(64);
+    loop_harmonic(64);
+    loop_clip(64);
+    loop_wavg(64);
+    loop_smooth(64);
+  }
+  return 0;
+}
+""",
+))

@@ -1,0 +1,211 @@
+"""MachSuite kernels (fft, md, spmv, nw) in mini-C.
+
+Structure follows the MachSuite reference implementations (fft/strided,
+md/knn, spmv/ellpack, nw/nw), with sizes reduced for fast interpretation.
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="fft",
+    suite="machsuite",
+    description="Iterative radix-2 FFT with strided butterflies (MachSuite fft/strided)",
+    outputs=("re", "im"),
+    source="""
+float re[64]; float im[64];
+float tw_re[32]; float tw_im[32];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    re[i] = (float)((i * 37 + 11) % 256) / 256.0f;
+    im[i] = (float)((i * 73 + 5) % 256) / 256.0f;
+  }
+  /* Twiddle factors for n = 64 via the angle-addition recurrence:
+     w_k = cos(2*pi*k/64) - i*sin(2*pi*k/64). */
+  float c = 0.99518472f;   /* cos(2*pi/64) */
+  float s = 0.09801714f;   /* sin(2*pi/64) */
+  tw_re[0] = 1.0f;
+  tw_im[0] = 0.0f;
+  twiddle: for (int k = 1; k < n / 2; k++) {
+    tw_re[k] = tw_re[k-1] * c - tw_im[k-1] * s;
+    tw_im[k] = tw_re[k-1] * s + tw_im[k-1] * c;
+  }
+}
+
+void fft(int n) {
+  /* Strided (decimation in frequency) butterflies. */
+  stages: for (int span = n / 2; span > 0; span = span / 2) {
+    int stride = n / span / 2;
+    odd_loop: for (int odd = span; odd < n; odd++) {
+      int o = odd | span;
+      int even = o ^ span;
+      float e_re = re[even] + re[o];
+      float e_im = im[even] + im[o];
+      float o_re = re[even] - re[o];
+      float o_im = im[even] - im[o];
+      int k = (o % span) * stride % (n / 2);
+      re[o] = o_re * tw_re[k] - o_im * tw_im[k];
+      im[o] = o_re * tw_im[k] + o_im * tw_re[k];
+      re[even] = e_re;
+      im[even] = e_im;
+      odd = o;
+    }
+  }
+}
+
+int main() {
+  init(64);
+  fft(64);
+  fft(64);
+  fft(64);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="md",
+    suite="machsuite",
+    description="Molecular dynamics k-nearest-neighbor force kernel (MachSuite md/knn)",
+    outputs=("fx", "fy", "fz"),
+    source="""
+float px[32]; float py[32]; float pz[32];
+float fx[32]; float fy[32]; float fz[32];
+int neighbors[32][8];
+
+void init(int n, int k) {
+  for (int i = 0; i < n; i++) {
+    px[i] = (float)((i * 29 + 7) % 64) / 16.0f;
+    py[i] = (float)((i * 43 + 3) % 64) / 16.0f;
+    pz[i] = (float)((i * 17 + 11) % 64) / 16.0f;
+    fx[i] = 0.0f;
+    fy[i] = 0.0f;
+    fz[i] = 0.0f;
+    for (int j = 0; j < k; j++)
+      neighbors[i][j] = (i + j * 5 + 1) % n;
+  }
+}
+
+void md_kernel(int n, int k) {
+  float lj1 = 1.5f;
+  float lj2 = 2.0f;
+  atoms: for (int i = 0; i < n; i++) {
+    float sx = 0.0f; float sy = 0.0f; float sz = 0.0f;
+    float xi = px[i]; float yi = py[i]; float zi = pz[i];
+    neigh: for (int j = 0; j < k; j++) {
+      int idx = neighbors[i][j];
+      float dx = xi - px[idx];
+      float dy = yi - py[idx];
+      float dz = zi - pz[idx];
+      float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+      float r2inv = 1.0f / r2;
+      float r6inv = r2inv * r2inv * r2inv;
+      float potential = r6inv * (lj1 * r6inv - lj2);
+      float force = r2inv * potential;
+      sx += dx * force;
+      sy += dy * force;
+      sz += dz * force;
+    }
+    fx[i] = sx;
+    fy[i] = sy;
+    fz[i] = sz;
+  }
+}
+
+int main() {
+  init(32, 8);
+  md_kernel(32, 8);
+  md_kernel(32, 8);
+  md_kernel(32, 8);
+  md_kernel(32, 8);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="spmv",
+    suite="machsuite",
+    description="Sparse matrix-vector multiply in ELLPACK format (MachSuite spmv)",
+    outputs=("out",),
+    source="""
+float nzval[48][6]; int cols[48][6];
+float vec[48]; float out[48];
+
+void init(int n, int l) {
+  for (int i = 0; i < n; i++) {
+    vec[i] = (float)((i * 3 + 1) % 16) / 16.0f;
+    out[i] = 0.0f;
+    for (int j = 0; j < l; j++) {
+      nzval[i][j] = (float)((i * j + 7) % 32) / 32.0f;
+      cols[i][j] = (i * 7 + j * 13) % n;
+    }
+  }
+}
+
+void spmv(int n, int l) {
+  rows: for (int i = 0; i < n; i++) {
+    float sum = 0.0f;
+    cols_loop: for (int j = 0; j < l; j++) {
+      float val = nzval[i][j];
+      int c = cols[i][j];
+      sum += val * vec[c];
+    }
+    out[i] = sum;
+  }
+}
+
+int main() {
+  init(48, 6);
+  spmv(48, 6);
+  spmv(48, 6);
+  spmv(48, 6);
+  spmv(48, 6);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="nw",
+    suite="machsuite",
+    description="Needleman-Wunsch sequence alignment DP (MachSuite nw)",
+    outputs=("score",),
+    source="""
+int seqA[32]; int seqB[32];
+int score[33][33];
+
+void init(int la, int lb) {
+  for (int i = 0; i < la; i++) seqA[i] = (i * 7 + 3) % 4;
+  for (int j = 0; j < lb; j++) seqB[j] = (j * 11 + 1) % 4;
+}
+
+void nw(int la, int lb) {
+  int gap = 0 - 1;
+  int match = 1;
+  int mismatch = 0 - 1;
+  init_row: for (int j = 0; j <= lb; j++) score[0][j] = j * gap;
+  init_col: for (int i = 0; i <= la; i++) score[i][0] = i * gap;
+  fill: for (int i = 1; i <= la; i++) {
+    fill_j: for (int j = 1; j <= lb; j++) {
+      int sub = mismatch;
+      if (seqA[i-1] == seqB[j-1]) sub = match;
+      int diag = score[i-1][j-1] + sub;
+      int up = score[i-1][j] + gap;
+      int left = score[i][j-1] + gap;
+      int best = diag;
+      if (up > best) best = up;
+      if (left > best) best = left;
+      score[i][j] = best;
+    }
+  }
+}
+
+int main() {
+  init(32, 32);
+  nw(32, 32);
+  nw(32, 32);
+  return 0;
+}
+""",
+))

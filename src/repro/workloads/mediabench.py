@@ -1,0 +1,235 @@
+"""MediaBench application equivalents (cjpeg, epic) in mini-C.
+
+The full MediaBench applications are tens of thousands of lines of C; the
+synthetic equivalents here reproduce the *pipeline structure* the paper's
+flow sees: many distinct hot regions with mixed control flow (color
+conversion, block transforms, quantization, entropy-style scans for cjpeg;
+separable pyramid filtering and quantization for epic).  This preserves the
+candidate-selection and merging behaviour (many similar DFGs across stages)
+without the application scaffolding.
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="cjpeg",
+    suite="mediabench",
+    description="JPEG-style compression pipeline: RGB->YCC, 8x8 DCT, quantize, zigzag RLE",
+    outputs=("bitlen",),
+    source="""
+int rgb[3][24][24];
+float ycc[3][24][24];
+float block[8][8]; float coef[8][8]; float tmpb[8][8];
+float dctm[8][8];
+int quant[3][24][24];
+int qtab[8][8];
+int zz[64];
+int bitlen[1];
+
+void init(int w, int h) {
+  for (int c = 0; c < 3; c++)
+    for (int i = 0; i < h; i++)
+      for (int j = 0; j < w; j++)
+        rgb[c][i][j] = (i * 31 + j * 17 + c * 77) % 256;
+  /* 8x8 DCT basis, built from the cos recurrence per row. */
+  for (int u = 0; u < 8; u++) {
+    float c0 = 1.0f;
+    float cs = 0.98078528f;  /* cos(pi/16) */
+    float sn = 0.19509032f;  /* sin(pi/16) */
+    float cr = 1.0f; float ci = 0.0f;
+    /* angle per column step: (2*0+1)*u*pi/16 increments of u*pi/8 */
+    float stepc = 1.0f; float steps = 0.0f;
+    for (int t = 0; t < u; t++) {
+      float nc = stepc * 0.92387953f - steps * 0.38268343f; /* cos/sin pi/8 */
+      steps = stepc * 0.38268343f + steps * 0.92387953f;
+      stepc = nc;
+    }
+    /* start angle = u*pi/16: advance half a step */
+    float hc = 1.0f; float hs = 0.0f;
+    for (int t = 0; t < u; t++) {
+      float nh = hc * cs - hs * sn;
+      hs = hc * sn + hs * cs;
+      hc = nh;
+    }
+    cr = hc; ci = hs;
+    for (int x = 0; x < 8; x++) {
+      dctm[u][x] = cr * 0.5f;
+      float nr = cr * stepc - ci * steps;
+      ci = cr * steps + ci * stepc;
+      cr = nr;
+    }
+  }
+  for (int i = 0; i < 8; i++)
+    for (int j = 0; j < 8; j++)
+      qtab[i][j] = 8 + i + j;
+  bitlen[0] = 0;
+}
+
+void color_convert(int w, int h) {
+  ycc_rows: for (int i = 0; i < h; i++)
+    ycc_cols: for (int j = 0; j < w; j++) {
+      float r = (float)rgb[0][i][j];
+      float g = (float)rgb[1][i][j];
+      float b = (float)rgb[2][i][j];
+      ycc[0][i][j] = 0.299f * r + 0.587f * g + 0.114f * b;
+      ycc[1][i][j] = 128.0f - 0.168736f * r - 0.331264f * g + 0.5f * b;
+      ycc[2][i][j] = 128.0f + 0.5f * r - 0.418688f * g - 0.081312f * b;
+    }
+}
+
+void dct_block(int c, int bi, int bj) {
+  load_blk: for (int i = 0; i < 8; i++)
+    load_blk_j: for (int j = 0; j < 8; j++)
+      block[i][j] = ycc[c][bi * 8 + i][bj * 8 + j] - 128.0f;
+  rowpass: for (int u = 0; u < 8; u++)
+    rowpass_j: for (int j = 0; j < 8; j++) {
+      tmpb[u][j] = 0.0f;
+      rowdot: for (int x = 0; x < 8; x++)
+        tmpb[u][j] += dctm[u][x] * block[x][j];
+    }
+  colpass: for (int u = 0; u < 8; u++)
+    colpass_v: for (int v = 0; v < 8; v++) {
+      coef[u][v] = 0.0f;
+      coldot: for (int x = 0; x < 8; x++)
+        coef[u][v] += tmpb[u][x] * dctm[v][x];
+    }
+}
+
+void quantize_block(int c, int bi, int bj) {
+  qrows: for (int i = 0; i < 8; i++)
+    qcols: for (int j = 0; j < 8; j++) {
+      float v = coef[i][j] / (float)qtab[i][j];
+      int q = (int)v;
+      quant[c][bi * 8 + i][bj * 8 + j] = q;
+    }
+}
+
+void rle_block(int c, int bi, int bj) {
+  /* Zigzag-order run-length estimate of the entropy coder's output size. */
+  scan: for (int d = 0; d < 15; d++) {
+    int imin = 0;
+    if (d > 7) imin = d - 7;
+    int imax = d;
+    if (imax > 7) imax = 7;
+    diag: for (int i = imin; i <= imax; i++) {
+      int j = d - i;
+      zz[d * 4 + i % 4] = quant[c][bi * 8 + i][bj * 8 + j];
+    }
+  }
+  int run = 0;
+  count: for (int k = 0; k < 64; k++) {
+    int v = zz[k % 60];
+    if (v == 0) {
+      run = run + 1;
+    } else {
+      int mag = v;
+      if (mag < 0) mag = 0 - mag;
+      int bits = 1;
+      while (mag > 0) { bits = bits + 1; mag = mag >> 1; }
+      bitlen[0] = bitlen[0] + run + bits;
+      run = 0;
+    }
+  }
+}
+
+void compress(int w, int h) {
+  comps: for (int c = 0; c < 3; c++)
+    blocks_i: for (int bi = 0; bi < h / 8; bi++)
+      blocks_j: for (int bj = 0; bj < w / 8; bj++) {
+        dct_block(c, bi, bj);
+        quantize_block(c, bi, bj);
+        rle_block(c, bi, bj);
+      }
+}
+
+int main() {
+  init(24, 24);
+  color_convert(24, 24);
+  compress(24, 24);
+  return bitlen[0];
+}
+""",
+))
+
+register(Workload(
+    name="epic",
+    suite="mediabench",
+    description="EPIC-style image pyramid: separable filters, decimation, quantization",
+    outputs=("qimg",),
+    source="""
+float img[32][32]; float lowp[32][32]; float highp[32][32];
+float tmp[32][32];
+float kernel[5];
+int qimg[32][32];
+
+void init(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      img[i][j] = (float)((i * 57 + j * 23) % 251) / 251.0f;
+  kernel[0] = 0.0625f; kernel[1] = 0.25f; kernel[2] = 0.375f;
+  kernel[3] = 0.25f; kernel[4] = 0.0625f;
+}
+
+void filter_rows(int n) {
+  frows: for (int i = 0; i < n; i++)
+    fcols: for (int j = 2; j < n - 2; j++) {
+      float acc = 0.0f;
+      ftap: for (int t = 0; t < 5; t++)
+        acc += kernel[t] * img[i][j + t - 2];
+      tmp[i][j] = acc;
+    }
+}
+
+void filter_cols(int n) {
+  fcrows: for (int i = 2; i < n - 2; i++)
+    fccols: for (int j = 2; j < n - 2; j++) {
+      float acc = 0.0f;
+      fctap: for (int t = 0; t < 5; t++)
+        acc += kernel[t] * tmp[i + t - 2][j];
+      lowp[i][j] = acc;
+    }
+}
+
+void highpass(int n) {
+  hrows: for (int i = 0; i < n; i++)
+    hcols: for (int j = 0; j < n; j++)
+      highp[i][j] = img[i][j] - lowp[i][j];
+}
+
+void decimate(int n) {
+  drows: for (int i = 0; i < n / 2; i++)
+    dcols: for (int j = 0; j < n / 2; j++)
+      img[i][j] = lowp[i * 2][j * 2];
+}
+
+void quantize(int n, float step) {
+  qrows: for (int i = 0; i < n; i++)
+    qcols: for (int j = 0; j < n; j++) {
+      float v = highp[i][j] / step;
+      int q = (int)v;
+      int mag = q;
+      if (mag < 0) mag = 0 - mag;
+      if (mag < 1) q = 0;       /* dead zone */
+      qimg[i][j] = q;
+    }
+}
+
+void pyramid(int levels) {
+  int n = 32;
+  level: for (int l = 0; l < levels; l++) {
+    filter_rows(n);
+    filter_cols(n);
+    highpass(n);
+    quantize(n, 0.05f);
+    decimate(n);
+    n = n / 2;
+  }
+}
+
+int main() {
+  init(32);
+  pyramid(3);
+  return 0;
+}
+""",
+))

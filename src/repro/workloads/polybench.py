@@ -1,0 +1,676 @@
+"""PolyBench kernels (16 of the paper's benchmarks) in mini-C.
+
+Sizes are scaled down from the PolyBench "MINI/SMALL" datasets so that the
+reference interpreter profiles each program quickly; the loop structure,
+dependence patterns, and access patterns are unchanged.
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="3mm",
+    suite="polybench",
+    description="Three chained matrix multiplications G = (A*B) * (C*D)",
+    outputs=("G",),
+    source="""
+float A[16][16]; float B[16][16]; float C[16][16]; float D[16][16];
+float E[16][16]; float F[16][16]; float G[16][16];
+
+void init(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i][j] = (float)((i * j + 1) % n) / (float)n;
+      B[i][j] = (float)((i * (j + 1) + 2) % n) / (float)n;
+      C[i][j] = (float)((i * (j + 3) + 1) % n) / (float)n;
+      D[i][j] = (float)((i * (j + 2) + 2) % n) / (float)n;
+    }
+}
+
+void mm1(int n) {
+  mm1_i: for (int i = 0; i < n; i++)
+    mm1_j: for (int j = 0; j < n; j++) {
+      E[i][j] = 0.0f;
+      mm1_k: for (int k = 0; k < n; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+}
+
+void mm2(int n) {
+  mm2_i: for (int i = 0; i < n; i++)
+    mm2_j: for (int j = 0; j < n; j++) {
+      F[i][j] = 0.0f;
+      mm2_k: for (int k = 0; k < n; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+}
+
+void mm3(int n) {
+  mm3_i: for (int i = 0; i < n; i++)
+    mm3_j: for (int j = 0; j < n; j++) {
+      G[i][j] = 0.0f;
+      mm3_k: for (int k = 0; k < n; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+
+int main() {
+  init(16);
+  mm1(16);
+  mm2(16);
+  mm3(16);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="atax",
+    suite="polybench",
+    description="Matrix-transpose-vector product y = A^T (A x)",
+    outputs=("y",),
+    source="""
+float A[20][24]; float x[24]; float y[24]; float tmp[20];
+
+void init(int m, int n) {
+  for (int j = 0; j < n; j++) x[j] = 1.0f + (float)j / (float)n;
+  for (int i = 0; i < m; i++)
+    for (int j = 0; j < n; j++)
+      A[i][j] = (float)((i + j) % n) / (float)(5 * m);
+}
+
+void atax(int m, int n) {
+  clear_y: for (int j = 0; j < n; j++) y[j] = 0.0f;
+  rows: for (int i = 0; i < m; i++) {
+    tmp[i] = 0.0f;
+    ax: for (int j = 0; j < n; j++) tmp[i] += A[i][j] * x[j];
+    aty: for (int j = 0; j < n; j++) y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}
+
+int main() {
+  init(20, 24);
+  atax(20, 24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="bicg",
+    suite="polybench",
+    description="BiCG sub-kernel: s = A^T r, q = A p",
+    outputs=("s", "q"),
+    source="""
+float A[20][24]; float s[24]; float q[20]; float p[24]; float r[20];
+
+void init(int m, int n) {
+  for (int i = 0; i < m; i++) r[i] = (float)(i % 8) / 8.0f;
+  for (int j = 0; j < n; j++) p[j] = (float)(j % 4) / 4.0f;
+  for (int i = 0; i < m; i++)
+    for (int j = 0; j < n; j++)
+      A[i][j] = (float)((i * (j + 1)) % m) / (float)m;
+}
+
+void bicg(int m, int n) {
+  clear_s: for (int j = 0; j < n; j++) s[j] = 0.0f;
+  sweep: for (int i = 0; i < m; i++) {
+    q[i] = 0.0f;
+    inner_s: for (int j = 0; j < n; j++) s[j] = s[j] + r[i] * A[i][j];
+    inner_q: for (int j = 0; j < n; j++) q[i] += A[i][j] * p[j];
+  }
+}
+
+int main() {
+  init(20, 24);
+  bicg(20, 24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="doitgen",
+    suite="polybench",
+    description="Multiresolution analysis kernel: sum over 3D tensor x C4",
+    outputs=("Aout",),
+    source="""
+float Aout[8][8][12]; float C4[12][12]; float sum[12];
+
+void init(int nr, int nq, int np) {
+  for (int i = 0; i < nr; i++)
+    for (int j = 0; j < nq; j++)
+      for (int k = 0; k < np; k++)
+        Aout[i][j][k] = (float)((i * j + k) % np) / (float)np;
+  for (int i = 0; i < np; i++)
+    for (int j = 0; j < np; j++)
+      C4[i][j] = (float)(i * j % np) / (float)np;
+}
+
+void doitgen(int nr, int nq, int np) {
+  r_loop: for (int r = 0; r < nr; r++)
+    q_loop: for (int q = 0; q < nq; q++) {
+      p_loop: for (int p = 0; p < np; p++) {
+        sum[p] = 0.0f;
+        s_loop: for (int s = 0; s < np; s++)
+          sum[p] += Aout[r][q][s] * C4[s][p];
+      }
+      copy: for (int p = 0; p < np; p++)
+        Aout[r][q][p] = sum[p];
+    }
+}
+
+int main() {
+  init(8, 8, 12);
+  doitgen(8, 8, 12);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="mvt",
+    suite="polybench",
+    description="Two matrix-vector products: x1 += A y1, x2 += A^T y2",
+    outputs=("x1", "x2"),
+    source="""
+float A[24][24]; float x1[24]; float x2[24]; float y1[24]; float y2[24];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    x1[i] = (float)(i % 5) / (float)n;
+    x2[i] = (float)((i + 3) % 7) / (float)n;
+    y1[i] = (float)((i + 1) % 4) / (float)n;
+    y2[i] = (float)((i + 2) % 9) / (float)n;
+    for (int j = 0; j < n; j++)
+      A[i][j] = (float)((i * j + 1) % n) / (float)n;
+  }
+}
+
+void mvt(int n) {
+  mv1: for (int i = 0; i < n; i++)
+    mv1_inner: for (int j = 0; j < n; j++)
+      x1[i] += A[i][j] * y1[j];
+  mv2: for (int i = 0; i < n; i++)
+    mv2_inner: for (int j = 0; j < n; j++)
+      x2[i] += A[j][i] * y2[j];
+}
+
+int main() {
+  init(24);
+  mvt(24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="symm",
+    suite="polybench",
+    description="Symmetric matrix multiply C = alpha*A*B + beta*C",
+    outputs=("C",),
+    source="""
+float A[16][16]; float B[16][16]; float C[16][16];
+
+void init(int m) {
+  for (int i = 0; i < m; i++)
+    for (int j = 0; j < m; j++) {
+      A[i][j] = (float)((i + j) % 13) / 13.0f;
+      B[i][j] = (float)((i * 2 + j) % 11) / 11.0f;
+      C[i][j] = (float)((i - j + 16) % 7) / 7.0f;
+    }
+}
+
+void symm(int m, float alpha, float beta) {
+  row: for (int i = 0; i < m; i++)
+    col: for (int j = 0; j < m; j++) {
+      float temp = 0.0f;
+      lower: for (int k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp;
+    }
+}
+
+int main() {
+  init(16);
+  symm(16, 1.5f, 1.2f);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="syrk",
+    suite="polybench",
+    description="Symmetric rank-k update C = alpha*A*A^T + beta*C",
+    outputs=("C",),
+    source="""
+float A[16][18]; float C[16][16];
+
+void init(int n, int m) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < m; j++)
+      A[i][j] = (float)((i * j + 2) % m) / (float)m;
+    for (int j = 0; j < n; j++)
+      C[i][j] = (float)((i + j) % n) / (float)n;
+  }
+}
+
+void syrk(int n, int m, float alpha, float beta) {
+  scale: for (int i = 0; i < n; i++)
+    scale_j: for (int j = 0; j <= i; j++)
+      C[i][j] = C[i][j] * beta;
+  update: for (int i = 0; i < n; i++)
+    update_k: for (int k = 0; k < m; k++)
+      update_j: for (int j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+}
+
+int main() {
+  init(16, 18);
+  syrk(16, 18, 1.5f, 1.2f);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="trmm",
+    suite="polybench",
+    description="Triangular matrix multiply B = alpha * A^T * B",
+    outputs=("B",),
+    source="""
+float A[16][16]; float B[16][18];
+
+void init(int m, int n) {
+  for (int i = 0; i < m; i++) {
+    for (int j = 0; j < m; j++)
+      A[i][j] = (float)((i * j) % m) / (float)m;
+    for (int j = 0; j < n; j++)
+      B[i][j] = (float)((n + i - j + 32) % n) / (float)n;
+  }
+}
+
+void trmm(int m, int n, float alpha) {
+  row: for (int i = 0; i < m; i++)
+    col: for (int j = 0; j < n; j++) {
+      tri: for (int k = i + 1; k < m; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+}
+
+int main() {
+  init(16, 18);
+  trmm(16, 18, 1.5f);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="cholesky",
+    suite="polybench",
+    description="Cholesky decomposition of a symmetric positive-definite matrix",
+    outputs=("L",),
+    source="""
+float L[16][16];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++)
+      L[i][j] = (float)((-j % n) + n) / (float)n + 1.0f;
+    for (int j = i + 1; j < n; j++)
+      L[i][j] = 0.0f;
+    L[i][i] = 1.0f;
+  }
+  /* Make positive-definite: L = L * L^T (in place, via temp row sums). */
+  for (int i = n - 1; i >= 0; i--)
+    for (int j = n - 1; j >= 0; j--) {
+      float acc = 0.0f;
+      int lim = i;
+      if (j < i) lim = j;
+      for (int k = 0; k <= lim; k++)
+        acc += L[i][k] * L[j][k];
+      L[i][j] = acc + (i == j ? 1.0f : 0.0f);
+    }
+}
+
+void cholesky(int n) {
+  outer: for (int i = 0; i < n; i++) {
+    offdiag: for (int j = 0; j < i; j++) {
+      dot: for (int k = 0; k < j; k++)
+        L[i][j] -= L[i][k] * L[j][k];
+      L[i][j] = L[i][j] / L[j][j];
+    }
+    diag: for (int k = 0; k < i; k++)
+      L[i][i] -= L[i][k] * L[i][k];
+    L[i][i] = sqrtf(L[i][i]);
+  }
+}
+
+int main() {
+  init(16);
+  cholesky(16);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="gramschmidt",
+    suite="polybench",
+    description="Modified Gram-Schmidt QR decomposition",
+    outputs=("Q", "R"),
+    source="""
+float Amat[16][14]; float R[14][14]; float Q[16][14];
+
+void init(int m, int n) {
+  for (int i = 0; i < m; i++)
+    for (int j = 0; j < n; j++) {
+      Amat[i][j] = (float)(((i + 3) * (j + 1) * 7) % 19) / 19.0f
+                   + (i == j ? 1.5f : 0.0f);
+      Q[i][j] = 0.0f;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      R[i][j] = 0.0f;
+}
+
+void gramschmidt(int m, int n) {
+  cols: for (int k = 0; k < n; k++) {
+    float nrm = 0.0f;
+    norm: for (int i = 0; i < m; i++)
+      nrm += Amat[i][k] * Amat[i][k];
+    R[k][k] = sqrtf(nrm);
+    normalize: for (int i = 0; i < m; i++)
+      Q[i][k] = Amat[i][k] / R[k][k];
+    reduce: for (int j = k + 1; j < n; j++) {
+      R[k][j] = 0.0f;
+      proj: for (int i = 0; i < m; i++)
+        R[k][j] += Q[i][k] * Amat[i][j];
+      subtract: for (int i = 0; i < m; i++)
+        Amat[i][j] = Amat[i][j] - Q[i][k] * R[k][j];
+    }
+  }
+}
+
+int main() {
+  init(16, 14);
+  gramschmidt(16, 14);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="lu",
+    suite="polybench",
+    description="LU decomposition without pivoting",
+    outputs=("M",),
+    source="""
+float M[18][18];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++)
+      M[i][j] = (float)((-j % n) + n) / (float)n + 1.0f;
+    for (int j = i + 1; j < n; j++)
+      M[i][j] = 0.0f;
+    M[i][i] = 1.0f;
+  }
+  for (int i = n - 1; i >= 0; i--)
+    for (int j = n - 1; j >= 0; j--) {
+      float acc = 0.0f;
+      int lim = i;
+      if (j < i) lim = j;
+      for (int k = 0; k <= lim; k++)
+        acc += M[i][k] * M[j][k];
+      M[i][j] = acc + (i == j ? 1.0f : 0.0f);
+    }
+}
+
+void lu(int n) {
+  outer: for (int i = 0; i < n; i++) {
+    lower: for (int j = 0; j < i; j++) {
+      elim1: for (int k = 0; k < j; k++)
+        M[i][j] -= M[i][k] * M[k][j];
+      M[i][j] = M[i][j] / M[j][j];
+    }
+    upper: for (int j = i; j < n; j++)
+      elim2: for (int k = 0; k < i; k++)
+        M[i][j] -= M[i][k] * M[k][j];
+  }
+}
+
+int main() {
+  init(18);
+  lu(18);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="trisolv",
+    suite="polybench",
+    description="Triangular solve L x = b",
+    outputs=("x",),
+    source="""
+float L[24][24]; float x[24]; float b[24];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    x[i] = 0.0f - 999.0f;
+    b[i] = (float)i / (float)n;
+    for (int j = 0; j <= i; j++)
+      L[i][j] = (float)(i + n - j + 1) * 2.0f / (float)n;
+  }
+}
+
+void trisolv(int n) {
+  solve: for (int i = 0; i < n; i++) {
+    x[i] = b[i];
+    subst: for (int j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+}
+
+int main() {
+  init(24);
+  trisolv(24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="covariance",
+    suite="polybench",
+    description="Covariance matrix computation",
+    outputs=("cov",),
+    source="""
+float data[20][16]; float cov[16][16]; float mean[16];
+
+void init(int n, int m) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < m; j++)
+      data[i][j] = (float)(i * j % m) / (float)m + 0.5f;
+}
+
+void covariance(int n, int m) {
+  means: for (int j = 0; j < m; j++) {
+    mean[j] = 0.0f;
+    mean_sum: for (int i = 0; i < n; i++)
+      mean[j] += data[i][j];
+    mean[j] = mean[j] / (float)n;
+  }
+  center: for (int i = 0; i < n; i++)
+    center_j: for (int j = 0; j < m; j++)
+      data[i][j] -= mean[j];
+  covar: for (int i = 0; i < m; i++)
+    covar_j: for (int j = i; j < m; j++) {
+      cov[i][j] = 0.0f;
+      covar_k: for (int k = 0; k < n; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] = cov[i][j] / (float)(n - 1);
+      cov[j][i] = cov[i][j];
+    }
+}
+
+int main() {
+  init(20, 16);
+  covariance(20, 16);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="jacobi-2d",
+    suite="polybench",
+    description="2D Jacobi 5-point stencil over several time steps",
+    outputs=("Agrid",),
+    source="""
+float Agrid[24][24]; float Bgrid[24][24];
+
+void init(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      Agrid[i][j] = (float)i * ((float)j + 2.0f) / (float)n;
+      Bgrid[i][j] = (float)i * ((float)j + 3.0f) / (float)n;
+    }
+}
+
+void jacobi(int t, int n) {
+  steps: for (int s = 0; s < t; s++) {
+    sweep1: for (int i = 1; i < n - 1; i++)
+      sweep1_j: for (int j = 1; j < n - 1; j++)
+        Bgrid[i][j] = 0.2f * (Agrid[i][j] + Agrid[i][j-1] + Agrid[i][j+1]
+                              + Agrid[i+1][j] + Agrid[i-1][j]);
+    sweep2: for (int i = 1; i < n - 1; i++)
+      sweep2_j: for (int j = 1; j < n - 1; j++)
+        Agrid[i][j] = 0.2f * (Bgrid[i][j] + Bgrid[i][j-1] + Bgrid[i][j+1]
+                              + Bgrid[i+1][j] + Bgrid[i-1][j]);
+  }
+}
+
+int main() {
+  init(24);
+  jacobi(6, 24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="deriche",
+    suite="polybench",
+    description="Deriche recursive edge-detection filter (horizontal + vertical passes)",
+    outputs=("imgOut",),
+    source="""
+float imgIn[24][18]; float imgOut[24][18];
+float ybuf1[24][18]; float ybuf2[24][18];
+
+void init(int w, int h) {
+  for (int i = 0; i < w; i++)
+    for (int j = 0; j < h; j++)
+      imgIn[i][j] = (float)((313 * i + 991 * j) % 65536) / 65535.0f;
+}
+
+void deriche(int w, int h) {
+  /* Coefficients for alpha = 0.25, precomputed (exp() folded). */
+  float a1 = 0.0658f; float a2 = 0.0457f; float a3 = 0.0457f; float a4 = 0.0658f;
+  float b1 = 1.5576f; float b2 = 0.6065f; float c1 = 1.0f;
+
+  hpass: for (int i = 0; i < w; i++) {
+    float ym1 = 0.0f; float ym2 = 0.0f; float xm1 = 0.0f;
+    hfwd: for (int j = 0; j < h; j++) {
+      ybuf1[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 - b2 * ym2;
+      xm1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = ybuf1[i][j];
+    }
+  }
+  hrev: for (int i = 0; i < w; i++) {
+    float yp1 = 0.0f; float yp2 = 0.0f; float xp1 = 0.0f; float xp2 = 0.0f;
+    hbwd: for (int j = h - 1; j >= 0; j--) {
+      ybuf2[i][j] = a3 * xp1 + a4 * xp2 + b1 * yp1 - b2 * yp2;
+      xp2 = xp1;
+      xp1 = imgIn[i][j];
+      yp2 = yp1;
+      yp1 = ybuf2[i][j];
+    }
+  }
+  hsum: for (int i = 0; i < w; i++)
+    hsum_j: for (int j = 0; j < h; j++)
+      imgOut[i][j] = c1 * (ybuf1[i][j] + ybuf2[i][j]);
+
+  vpass: for (int j = 0; j < h; j++) {
+    float tm1 = 0.0f; float ym1 = 0.0f; float ym2 = 0.0f;
+    vfwd: for (int i = 0; i < w; i++) {
+      ybuf1[i][j] = a1 * imgOut[i][j] + a2 * tm1 + b1 * ym1 - b2 * ym2;
+      tm1 = imgOut[i][j];
+      ym2 = ym1;
+      ym1 = ybuf1[i][j];
+    }
+  }
+  vrev: for (int j = 0; j < h; j++) {
+    float tp1 = 0.0f; float tp2 = 0.0f; float yp1 = 0.0f; float yp2 = 0.0f;
+    vbwd: for (int i = w - 1; i >= 0; i--) {
+      ybuf2[i][j] = a3 * tp1 + a4 * tp2 + b1 * yp1 - b2 * yp2;
+      tp2 = tp1;
+      tp1 = imgOut[i][j];
+      yp2 = yp1;
+      yp1 = ybuf2[i][j];
+    }
+  }
+  vsum: for (int i = 0; i < w; i++)
+    vsum_j: for (int j = 0; j < h; j++)
+      imgOut[i][j] = c1 * (ybuf1[i][j] + ybuf2[i][j]);
+}
+
+int main() {
+  init(24, 18);
+  deriche(24, 18);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="floyd-warshall",
+    suite="polybench",
+    description="All-pairs shortest paths (integer weights)",
+    outputs=("paths",),
+    source="""
+int paths[20][20];
+
+void init(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      paths[i][j] = i * j % 7 + 1;
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0)
+        paths[i][j] = 999;
+    }
+}
+
+void floyd(int n) {
+  k_loop: for (int k = 0; k < n; k++)
+    i_loop: for (int i = 0; i < n; i++)
+      j_loop: for (int j = 0; j < n; j++) {
+        int via = paths[i][k] + paths[k][j];
+        if (via < paths[i][j])
+          paths[i][j] = via;
+      }
+}
+
+int main() {
+  init(20);
+  floyd(20);
+  return 0;
+}
+""",
+))

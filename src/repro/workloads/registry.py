@@ -1,0 +1,74 @@
+"""Benchmark registry: every workload of the paper's evaluation (§IV-A).
+
+Each workload is a self-contained mini-C program (kernel + input
+initialization + ``main``) re-expressing the paper's benchmark, sized so the
+reference interpreter profiles it in at most a few seconds.  MediaBench and
+CoreMark-Pro applications — whose full sources are far outside a kernel
+language — are represented by synthetic equivalents with the same loop,
+control-flow, and memory-access structure (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    suite: str           # "polybench" | "machsuite" | "mediabench" | "coremark-pro"
+    description: str
+    source: str
+    entry: str = "main"
+    #: Names of global arrays holding the kernel's outputs (used by tests).
+    outputs: tuple = ()
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def workloads_by_suite(suite: str) -> List[Workload]:
+    _ensure_loaded()
+    return [w for w in _REGISTRY.values() if w.suite == suite]
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    from . import coremark_pro, machsuite, mediabench, polybench  # noqa: F401
+
+    _loaded = True

@@ -1,0 +1,46 @@
+"""Tests for the DOT exporters."""
+
+from repro.analysis import WPST, cfg_to_dot, dfg_to_dot, wpst_to_dot
+from repro.frontend import compile_source
+from repro.hls import DFG
+
+
+SOURCE = """
+float a[8]; float b[8];
+void f(int n) { loop: for (int i = 0; i < n; i++) b[i] = a[i] * 2.0f; }
+int main() { f(8); return 0; }
+"""
+
+
+def test_cfg_to_dot():
+    module = compile_source(SOURCE, optimize=False)
+    func = module.get_function("f")
+    text = cfg_to_dot(func)
+    assert text.startswith('digraph "f"')
+    assert '"loop.header" -> "loop.body"' in text
+    assert text.count("->") == len(
+        [s for b in func.blocks for s in b.successors]
+    )
+
+
+def test_cfg_to_dot_with_instructions():
+    module = compile_source(SOURCE, optimize=False)
+    text = cfg_to_dot(module.get_function("f"), include_instructions=True)
+    assert "fmul" in text
+
+
+def test_wpst_to_dot():
+    module = compile_source(SOURCE)
+    text = wpst_to_dot(WPST(module))
+    assert "doubleoctagon" in text      # root
+    assert "octagon" in text            # functions
+    assert "region:loop" in text
+
+
+def test_dfg_to_dot():
+    module = compile_source(SOURCE, optimize=False)
+    func = module.get_function("f")
+    dfg = DFG.from_blocks([func.block_by_name("loop.body")])
+    text = dfg_to_dot(dfg, "body")
+    assert "fmul" in text and "->" in text
+    assert text.count("[label=") == len(dfg.nodes)

@@ -1,0 +1,106 @@
+"""Property tests for SESE region discovery on random CFGs.
+
+Invariants checked on arbitrary generated control-flow graphs:
+
+* every reported region satisfies the single-entry/single-exit edge
+  conditions;
+* the region family is laminar (tree-compatible), which Algorithm 1's
+  non-overlap guarantee depends on;
+* every basic block appears as exactly one bb leaf of the PST.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ProgramStructureTree, find_sese_regions
+from repro.ir import IRBuilder, I32, Module, VOID
+
+
+def build_cfg(edges_spec, num_blocks):
+    module = Module("m")
+    func = module.add_function("f", VOID, [I32])
+    blocks = [func.add_block(f"b{i}") for i in range(num_blocks)]
+    builder = IRBuilder()
+    for i, block in enumerate(blocks):
+        targets = sorted({j for (src, j) in edges_spec if src == i})
+        builder.position_at_end(block)
+        if not targets:
+            builder.ret()
+        elif len(targets) == 1:
+            builder.br(blocks[targets[0]])
+        else:
+            cond = builder.icmp("sgt", func.arguments[0], builder.const_i32(0))
+            builder.cond_br(cond, blocks[targets[0]], blocks[targets[1]])
+    # Drop unreachable blocks so the function is analysis-clean.
+    reachable = set()
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        stack.extend(block.successors)
+    for block in [b for b in func.blocks if b not in reachable]:
+        for inst in list(block.instructions):
+            inst.drop_operands()
+        func.remove_block(block)
+    return func
+
+
+cfg_strategy = st.integers(min_value=2, max_value=9).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=2 * n,
+        ),
+    )
+)
+
+
+@given(cfg_strategy)
+@settings(max_examples=80, deadline=None)
+def test_regions_satisfy_sese_conditions(spec):
+    num_blocks, edges_spec = spec
+    func = build_cfg(edges_spec, num_blocks)
+    for region in find_sese_regions(func):
+        assert region.entry in region.blocks
+        assert region.exit not in region.blocks
+        for block in func.blocks:
+            if block in region.blocks:
+                # No edge leaves the region except to the exit.
+                for succ in block.successors:
+                    assert succ in region.blocks or succ is region.exit
+            else:
+                # No edge enters the region except at the entry.
+                for succ in block.successors:
+                    if succ in region.blocks:
+                        assert succ is region.entry
+
+
+@given(cfg_strategy)
+@settings(max_examples=80, deadline=None)
+def test_region_family_is_laminar(spec):
+    num_blocks, edges_spec = spec
+    func = build_cfg(edges_spec, num_blocks)
+    regions = find_sese_regions(func)
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            overlap = a.blocks & b.blocks
+            assert (
+                not overlap or overlap == a.blocks or overlap == b.blocks
+            ), f"{a.name} and {b.name} overlap without nesting"
+
+
+@given(cfg_strategy)
+@settings(max_examples=60, deadline=None)
+def test_pst_bb_leaves_partition_blocks(spec):
+    num_blocks, edges_spec = spec
+    func = build_cfg(edges_spec, num_blocks)
+    pst = ProgramStructureTree(func)
+    leaves = [r.entry for r in pst.bb_regions]
+    assert sorted(b.name for b in leaves) == sorted(b.name for b in func.blocks)
+    # Each leaf appears under at most one parent's children list.
+    for region in pst.ctrl_regions:
+        child_blocks = [c.entry for c in region.children if c.kind == "bb"]
+        assert len(child_blocks) == len(set(child_blocks))

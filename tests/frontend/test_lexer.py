@@ -1,0 +1,111 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while whilex")
+        assert tokens[0].kind == "kw_int"
+        assert tokens[1].kind == "ident"
+        assert tokens[2].kind == "kw_while"
+        assert tokens[3].kind == "ident"  # not a keyword prefix match
+
+    def test_underscore_identifiers(self):
+        tokens = tokenize("_x x_1 __abc")
+        assert all(t.kind == "ident" for t in tokens[:3])
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        token = tokenize("12345")[0]
+        assert token.kind == "int"
+        assert token.value == "12345"
+
+    def test_float_with_dot(self):
+        assert tokenize("3.25")[0].kind == "float"
+
+    def test_float_with_suffix(self):
+        token = tokenize("7f")[0]
+        assert token.kind == "float"
+        assert token.value == "7"
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e-3")[0].kind == "float"
+        assert tokenize("2.5E+10")[0].kind == "float"
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].kind == "float"
+
+    def test_trailing_dot_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("1.5.")
+
+    def test_dot_alone_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("x . y")
+
+
+class TestPunctuation:
+    def test_maximal_munch(self):
+        assert values("a<<=1") == ["a", "<<=", "1"]
+        assert values("a<=b") == ["a", "<=", "b"]
+        assert values("a< =b") == ["a", "<", "=", "b"]
+        assert values("i++ +j") == ["i", "++", "+", "j"]
+
+    def test_all_compound_ops(self):
+        for op in ["==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "<<", ">>"]:
+            assert op in values(f"a {op} b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_location_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].location.line == 2
+
+
+class TestErrors:
+    def test_invalid_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_helpers(self):
+        token = tokenize("(")[0]
+        assert token.is_punct("(")
+        assert not token.is_punct(")")
+        kw = tokenize("for")[0]
+        assert kw.is_keyword("for")

@@ -1,0 +1,179 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse
+
+
+def parse_stmt(body: str) -> ast.Stmt:
+    program = parse(f"void f() {{ {body} }}")
+    return program.functions[0].body.statements[0]
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    stmt = parse_stmt(f"x = {expr};")
+    assert isinstance(stmt, ast.AssignStmt)
+    return stmt.value
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        program = parse("int g; float A[4][5]; int main() { return 0; }")
+        assert [d.name for d in program.globals] == ["g", "A"]
+        assert program.globals[1].type_spec.array_dims == [4, 5]
+        assert program.functions[0].name == "main"
+
+    def test_params_with_array_decay(self):
+        program = parse("void f(float A[8][16], int n, float *p) {}")
+        params = program.functions[0].params
+        assert params[0].type_spec.array_dims == [8, 16]
+        assert params[2].type_spec.pointer_depth == 1
+
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 1; }")
+        assert program.functions[0].params == []
+
+    def test_static_and_const_skipped(self):
+        program = parse("static const int g; void f(const int n) {}")
+        assert program.globals[0].name == "g"
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmt = parse_stmt("int x = 1 + 2;")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert isinstance(stmt.init, ast.BinaryExpr)
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (a < b) x = 1; else x = 2;")
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.else_body is None
+        assert stmt.then_body.else_body is not None
+
+    def test_for_loop_parts(self):
+        stmt = parse_stmt("for (int i = 0; i < n; i++) x += i;")
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert isinstance(stmt.step, ast.AssignStmt)
+
+    def test_for_with_empty_parts(self):
+        stmt = parse_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_break_continue(self):
+        stmt = parse_stmt("while (1) { if (x) break; continue; }")
+        assert isinstance(stmt, ast.WhileStmt)
+        inner = stmt.body.statements
+        assert isinstance(inner[0].then_body, ast.BreakStmt)
+        assert isinstance(inner[1], ast.ContinueStmt)
+
+    def test_label_attaches_to_loop(self):
+        stmt = parse_stmt("hot: for (int i = 0; i < 4; i++) x += i;")
+        assert stmt.label == "hot"
+
+    def test_label_vs_ternary(self):
+        # `a ? b : c` must not parse `b :` as a label.
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, ast.ConditionalExpr)
+
+    def test_compound_assignments(self):
+        for op, expected in [("+=", "+"), ("-=", "-"), ("*=", "*"), ("/=", "/"), ("%=", "%")]:
+            stmt = parse_stmt(f"x {op} 2;")
+            assert isinstance(stmt, ast.AssignStmt)
+            assert stmt.op == expected
+
+    def test_increment_decrement(self):
+        inc = parse_stmt("x++;")
+        dec = parse_stmt("x--;")
+        assert inc.op == "+" and isinstance(inc.value, ast.IntLiteral)
+        assert dec.op == "-"
+
+    def test_empty_statement(self):
+        stmt = parse_stmt(";")
+        assert isinstance(stmt, ast.BlockStmt) and not stmt.statements
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_precedence_cmp_over_logic(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "<"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.lhs.op == "-"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_unary_ops(self):
+        assert parse_expr("-x").op == "-"
+        assert parse_expr("!x").op == "!"
+        assert parse_expr("~x").op == "~"
+        # unary plus is a no-op
+        assert isinstance(parse_expr("+x"), ast.NameRef)
+
+    def test_cast_expression(self):
+        expr = parse_expr("(float)n")
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.target.base == "float"
+
+    def test_parenthesized_name_is_not_cast(self):
+        expr = parse_expr("(n)")
+        assert isinstance(expr, ast.NameRef)
+
+    def test_chained_subscripts(self):
+        expr = parse_expr("A[i][j + 1]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x + 2)")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 2
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr.false_expr, ast.ConditionalExpr)
+
+    def test_shift_and_bitwise(self):
+        expr = parse_expr("a >> 2 & 255")
+        assert expr.op == "&"
+        assert expr.lhs.op == ">>"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f() { x = 1 }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse("void f() { x = 1;")
+
+    def test_bad_array_dim(self):
+        with pytest.raises(ParseError):
+            parse("int A[n];")
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse("void f() { x = ; }")
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as err:
+            parse("void f() {\n  x = ;\n}")
+        assert "2:" in str(err.value)

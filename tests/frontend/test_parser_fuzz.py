@@ -1,0 +1,70 @@
+"""Fuzz the mini-C frontend: arbitrary input must fail *cleanly*.
+
+The frontend's contract is that any input either compiles or raises a
+:class:`~repro.frontend.errors.FrontendError` subclass with a source
+location — never an uncontrolled exception.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import FrontendError, compile_source
+from repro.ir import verify_module
+
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=120,
+)
+
+token_soup = st.lists(
+    st.sampled_from([
+        "int", "float", "void", "for", "if", "else", "while", "return",
+        "(", ")", "{", "}", "[", "]", ";", ",", "=", "+", "*", "<", "%",
+        "x", "y", "f", "main", "0", "1", "2.5f", "&&", "++",
+    ]),
+    max_size=40,
+).map(" ".join)
+
+
+@given(printable)
+@settings(max_examples=200, deadline=None)
+def test_arbitrary_text_fails_cleanly(source):
+    try:
+        module = compile_source(source)
+    except FrontendError:
+        return
+    verify_module(module)  # anything accepted must be valid IR
+
+
+@given(token_soup)
+@settings(max_examples=200, deadline=None)
+def test_token_soup_fails_cleanly(source):
+    try:
+        module = compile_source(source)
+    except FrontendError:
+        return
+    verify_module(module)
+
+
+@given(st.integers(0, 400))
+@settings(max_examples=30, deadline=None)
+def test_truncated_valid_program(cut):
+    """Any prefix of a valid program lexes/parses to a clean outcome."""
+    full = """
+    float v[8];
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 8; i++) {
+        v[i] = (float)i * 2.0f;
+        if (i % 2 == 0) s += i; else s -= 1;
+      }
+      return s;
+    }
+    """
+    source = full[:cut]
+    try:
+        module = compile_source(source)
+    except FrontendError:
+        return
+    verify_module(module)

@@ -1,0 +1,118 @@
+"""Direct unit tests for the datapath area models."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hls import (
+    AccessTiming,
+    AreaBreakdown,
+    DEFAULT_TECHLIB,
+    DFG,
+    pipeline_loop,
+    pipelined_datapath_area,
+    schedule_dfg,
+    sequential_datapath_area,
+)
+
+
+def dfg_of(source, fname="f", block="entry"):
+    module = compile_source(source, optimize=False)
+    return DFG.from_blocks([module.get_function(fname).block_by_name(block)])
+
+
+TIMING = lambda n: AccessTiming(1, None)
+
+WIDE = """
+float g[4];
+void f(float a, float b, float c, float d) {
+  g[0] = (a * b) + (c * d) + (a * d) + (b * c);
+}
+"""
+
+
+class TestAreaBreakdown:
+    def test_total_and_add(self):
+        a = AreaBreakdown(functional_units=10, registers=5, control=2,
+                          interfaces=3, muxes=1)
+        b = AreaBreakdown(functional_units=1)
+        combined = a + b
+        assert combined.total == 22
+        assert combined.functional_units == 11
+
+    def test_default_zero(self):
+        assert AreaBreakdown().total == 0
+
+
+class TestSequentialArea:
+    def test_fu_sharing_cheaper_than_duplication(self):
+        """The serialized adder chain shares one FU across three ops."""
+        dfg = dfg_of(WIDE)
+        schedule = schedule_dfg(dfg, DEFAULT_TECHLIB, TIMING)
+        from repro.hls import functional_unit_usage
+
+        usage = functional_unit_usage(dfg, schedule)
+        adds = sum(1 for n in dfg.nodes if n.resource == "fadd")
+        assert adds == 3
+        # The adds depend on each other, so they time-share one unit...
+        assert usage["fadd"] == 1
+        area = sequential_datapath_area(dfg, schedule, DEFAULT_TECHLIB)
+        # ...the area model charges one adder plus sharing muxes, which is
+        # far below three dedicated adders.
+        assert area.functional_units < (
+            3 * DEFAULT_TECHLIB.area("fadd")
+            + 4 * DEFAULT_TECHLIB.area("fmul")
+            + DEFAULT_TECHLIB.area("gep")
+            + DEFAULT_TECHLIB.area("store")
+        )
+        assert area.muxes > 0
+
+    def test_fsm_grows_with_schedule(self):
+        short = dfg_of("float g[2]; void f(float a) { g[0] = a + 1.0f; }")
+        long = dfg_of(
+            "float g[2]; void f(float a) { g[0] = ((((a/2.0f)/3.0f)/4.0f)/5.0f); }"
+        )
+        s1 = schedule_dfg(short, DEFAULT_TECHLIB, TIMING)
+        s2 = schedule_dfg(long, DEFAULT_TECHLIB, TIMING)
+        a1 = sequential_datapath_area(short, s1, DEFAULT_TECHLIB)
+        a2 = sequential_datapath_area(long, s2, DEFAULT_TECHLIB)
+        assert a2.control > a1.control
+
+
+class TestPipelinedArea:
+    def loop_dfg(self):
+        source = """
+        float x[64]; float y[64];
+        void f(int n) { l: for (int i = 0; i < n; i++) y[i] = x[i] * 2.0f + 1.0f; }
+        """
+        module = compile_source(source, optimize=False)
+        func = module.get_function("f")
+        from repro.analysis import LoopInfo
+
+        loop = LoopInfo(func).loops[0]
+        return DFG.from_blocks(sorted(loop.blocks, key=lambda b: b.name))
+
+    def test_lower_ii_needs_more_units(self):
+        dfg = self.loop_dfg().replicate(4)
+        schedule = schedule_dfg(dfg, DEFAULT_TECHLIB, TIMING)
+        fast = pipelined_datapath_area(dfg, 1, schedule.length, DEFAULT_TECHLIB, schedule)
+        slow = pipelined_datapath_area(dfg, 4, schedule.length, DEFAULT_TECHLIB, schedule)
+        assert fast.functional_units > slow.functional_units
+
+    def test_unrolling_scales_area(self):
+        base = self.loop_dfg()
+        wide = base.replicate(8)
+        s1 = schedule_dfg(base, DEFAULT_TECHLIB, TIMING)
+        s8 = schedule_dfg(wide, DEFAULT_TECHLIB, TIMING)
+        a1 = pipelined_datapath_area(base, 1, s1.length, DEFAULT_TECHLIB, s1)
+        a8 = pipelined_datapath_area(wide, 1, s8.length, DEFAULT_TECHLIB, s8)
+        assert a8.functional_units >= 6 * a1.functional_units
+
+    def test_nonpipelined_fu_counts_occupancy(self):
+        """A divider (non-pipelined, 12 cycles) at II=1 needs ~12 instances."""
+        source = "float g[4]; void f(float a, float b) { g[0] = a / b; }"
+        dfg = dfg_of(source)
+        schedule = schedule_dfg(dfg, DEFAULT_TECHLIB, TIMING)
+        at_ii1 = pipelined_datapath_area(dfg, 1, schedule.length, DEFAULT_TECHLIB, schedule)
+        at_ii12 = pipelined_datapath_area(dfg, 12, schedule.length, DEFAULT_TECHLIB, schedule)
+        assert at_ii1.functional_units >= 10 * DEFAULT_TECHLIB.area("fdiv")
+        assert at_ii12.functional_units < at_ii1.functional_units

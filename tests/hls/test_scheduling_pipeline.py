@@ -1,0 +1,243 @@
+"""Tests for list scheduling with chaining and loop pipelining — including
+the interface-impact shapes of the paper's Fig. 4."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.hls import (
+    AccessTiming,
+    DEFAULT_TECHLIB,
+    DFG,
+    functional_unit_usage,
+    pipeline_loop,
+    recurrence_mii,
+    register_bits,
+    resource_mii,
+    schedule_dfg,
+)
+from repro.ir import Load, Store
+from repro.model import InterfaceAssignment, InterfaceKind, InterfacePlan
+
+
+def block_dfg(source, fname="f", block="entry"):
+    module = compile_source(source, optimize=False)
+    func = module.get_function(fname)
+    return DFG.from_blocks([func.block_by_name(block)]), func
+
+
+def plan_for(dfg, kind: InterfaceKind) -> InterfacePlan:
+    plan = InterfacePlan()
+    for node in dfg.memory_nodes():
+        plan.assign(InterfaceAssignment(node.inst, kind))
+    return plan
+
+
+class TestChaining:
+    def test_int_ops_chain_into_one_cycle(self):
+        dfg, _ = block_dfg(
+            "int g[4]; void f(int a, int b) { g[0] = ((a + b) + a) + b; }"
+        )
+        compute = [n for n in dfg.nodes if n.resource == "add"]
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, lambda n: AccessTiming(1, None)
+        )
+        # Two 0.9ns adds fit a 2ns cycle; the third spills to the next.
+        starts = sorted(schedule.start[n] for n in compute)
+        assert starts[0] == starts[1]
+        assert starts[2] == starts[0] + 1
+
+    def test_multicycle_op_latency(self):
+        dfg, _ = block_dfg(
+            "float g[4]; void f(float a, float b) { g[0] = a / b; }"
+        )
+        fdiv = next(n for n in dfg.nodes if n.resource == "fdiv")
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, lambda n: AccessTiming(1, None)
+        )
+        assert (
+            schedule.finish[fdiv] - schedule.start[fdiv]
+            == DEFAULT_TECHLIB.latency_cycles("fdiv")
+        )
+
+    def test_dependences_respected(self):
+        dfg, _ = block_dfg(
+            "float g[4]; void f(float a, float b) { g[0] = (a + b) * a; }"
+        )
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, lambda n: AccessTiming(1, None)
+        )
+        fadd = next(n for n in dfg.nodes if n.resource == "fadd")
+        fmul = next(n for n in dfg.nodes if n.resource == "fmul")
+        assert schedule.start[fmul] >= schedule.finish[fadd]
+
+
+class TestPortContention:
+    SRC = "float x[64]; float y[64]; float z[64];" \
+          "void f(int i) { z[i] = x[i] + y[i]; }"
+
+    def test_coupled_port_serializes(self):
+        dfg, _ = block_dfg(self.SRC)
+        plan = plan_for(dfg, InterfaceKind.COUPLED)
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+        )
+        loads = [n for n in dfg.nodes if isinstance(n.inst, Load)]
+        assert schedule.start[loads[0]] != schedule.start[loads[1]]
+
+    def test_decoupled_ports_parallel(self):
+        dfg, _ = block_dfg(self.SRC)
+        plan = plan_for(dfg, InterfaceKind.DECOUPLED)
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+        )
+        loads = [n for n in dfg.nodes if isinstance(n.inst, Load)]
+        assert schedule.start[loads[0]] == schedule.start[loads[1]]
+
+    def test_sequential_latency_coupled_worse(self):
+        dfg, _ = block_dfg(self.SRC)
+        lengths = {}
+        for kind in (InterfaceKind.COUPLED, InterfaceKind.DECOUPLED,
+                     InterfaceKind.SCANCHAIN):
+            plan = plan_for(dfg, kind)
+            schedule = schedule_dfg(
+                dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+            )
+            lengths[kind] = schedule.length
+        assert lengths[InterfaceKind.DECOUPLED] < lengths[InterfaceKind.COUPLED]
+        assert lengths[InterfaceKind.COUPLED] < lengths[InterfaceKind.SCANCHAIN]
+
+
+class TestFig4Shapes:
+    """Paper Fig. 4: interface impact on a pipelined stream loop."""
+
+    LOOP = """
+    float x[64]; float y[64]; float z[64];
+    void f(int n) {
+      loop: for (int i = 0; i < n; i++) z[i] = x[i] + y[i];
+    }
+    """
+
+    def loop_dfg(self):
+        module = compile_source(self.LOOP, optimize=False)
+        func = module.get_function("f")
+        from repro.analysis import LoopInfo
+
+        info = LoopInfo(func)
+        loop = info.loops[0]
+        blocks = [b for b in func.blocks if b in loop.blocks]
+        return DFG.from_blocks(blocks)
+
+    def test_coupled_ii_equals_access_count(self):
+        dfg = self.loop_dfg()
+        plan = plan_for(dfg, InterfaceKind.COUPLED)
+        result = pipeline_loop(
+            dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+        )
+        assert result.ii == 3  # three accesses share one LSU port
+
+    def test_decoupled_ii_is_one(self):
+        dfg = self.loop_dfg()
+        plan = plan_for(dfg, InterfaceKind.DECOUPLED)
+        result = pipeline_loop(
+            dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+        )
+        assert result.ii == 1
+
+    def test_latency_ordering_matches_fig4(self):
+        dfg = self.loop_dfg()
+        N = 1000
+        latencies = {}
+        for kind in (InterfaceKind.COUPLED, InterfaceKind.DECOUPLED):
+            plan = plan_for(dfg, kind)
+            result = pipeline_loop(
+                dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+            )
+            latencies[kind] = result.latency(N)
+        # Fig. 4: decoupled ~3x better for a 3-access loop body.
+        ratio = latencies[InterfaceKind.COUPLED] / latencies[InterfaceKind.DECOUPLED]
+        assert 2.5 <= ratio <= 3.5
+
+    def test_unrolled_scratchpad_parallel_access(self):
+        dfg = self.loop_dfg().replicate(2)
+        plan = InterfacePlan()
+        group = object()
+        for node in dfg.memory_nodes():
+            plan.assign(InterfaceAssignment(
+                node.inst, InterfaceKind.SCRATCHPAD,
+                spad_group=group, spad_bytes=256, partitions=2,
+            ))
+        result = pipeline_loop(
+            dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts()
+        )
+        coupled_plan = plan_for(dfg, InterfaceKind.COUPLED)
+        coupled = pipeline_loop(
+            dfg, DEFAULT_TECHLIB, coupled_plan.access_timing,
+            coupled_plan.port_counts(),
+        )
+        # Fig. 4 bottom: scratchpad beats coupled for the unrolled loop.
+        assert result.ii < coupled.ii
+
+
+class TestRecurrenceMII:
+    def test_accumulator_recurrence_bounds_ii(self):
+        src = """
+        float a[64]; float s[4];
+        void f(int n) {
+          loop: for (int i = 0; i < n; i++) s[0] = s[0] + a[i];
+        }
+        """
+        module = compile_source(src, optimize=False)
+        func = module.get_function("f")
+        from repro.analysis import AccessPatternAnalysis, MemoryDependenceAnalysis
+
+        apa = AccessPatternAnalysis(func)
+        md = MemoryDependenceAnalysis(apa)
+        loop = apa.loop_info.loops[0]
+        dfg = DFG.from_blocks(sorted(loop.blocks, key=lambda b: b.name))
+        plan = plan_for(dfg, InterfaceKind.DECOUPLED)
+        node_of = {n.inst: n for n in dfg.nodes}
+        recurrences = [
+            (node_of[d.sink.inst], node_of[d.source.inst], d.effective_distance)
+            for d in md.recurrence_deps(loop)
+        ]
+        assert recurrences
+        result = pipeline_loop(
+            dfg, DEFAULT_TECHLIB, plan.access_timing, plan.port_counts(),
+            recurrences,
+        )
+        assert result.rec_mii > 1
+        assert result.ii == result.rec_mii
+
+    def test_distance_relaxes_recurrence(self):
+        dfg, _ = block_dfg(
+            "float a[8]; float g[8]; void f(int i) { g[i] = a[i] + 1.0f; }"
+        )
+        timing = lambda n: AccessTiming(1, None)
+        load = next(n for n in dfg.nodes if isinstance(n.inst, Load))
+        store = next(n for n in dfg.nodes if isinstance(n.inst, Store))
+        tight = recurrence_mii(dfg, DEFAULT_TECHLIB, timing, [(load, store, 1)])
+        relaxed = recurrence_mii(dfg, DEFAULT_TECHLIB, timing, [(load, store, 4)])
+        assert relaxed <= tight
+        assert tight >= 2
+
+
+class TestAreaHelpers:
+    def test_fu_usage_counts_concurrency(self):
+        dfg, _ = block_dfg(
+            "float g[4]; void f(float a, float b, float c, float d)"
+            " { g[0] = (a * b) + (c * d); }"
+        )
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, lambda n: AccessTiming(1, None)
+        )
+        usage = functional_unit_usage(dfg, schedule)
+        assert usage["fmul"] == 2  # both multiplies run concurrently
+
+    def test_register_bits_nonzero_for_cross_cycle_values(self):
+        dfg, _ = block_dfg(
+            "float g[4]; void f(float a, float b) { g[0] = (a * b) + a; }"
+        )
+        schedule = schedule_dfg(
+            dfg, DEFAULT_TECHLIB, lambda n: AccessTiming(1, None)
+        )
+        assert register_bits(dfg, schedule) > 0

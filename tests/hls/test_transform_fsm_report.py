@@ -1,0 +1,224 @@
+"""Tests for the remaining HLS pieces: unroll legality/factors, FSM area
+modeling, synthesis reports, and schedule-validity properties on random
+DFGs (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.analysis import AccessPatternAnalysis, MemoryDependenceAnalysis
+from repro.hls import (
+    AccessTiming,
+    AreaBreakdown,
+    ControlFSM,
+    ControlPlan,
+    DEFAULT_TECHLIB,
+    DFG,
+    GlobalControlUnit,
+    SynthesisReport,
+    legal_unroll_factors,
+    schedule_dfg,
+    unroll_dfg,
+    unroll_legal,
+)
+from repro.ir import Constant, F32, IRBuilder, Module, VOID
+from repro.hls.dfg import DFGNode
+
+
+def loop_of(source, loop_name, fname="f"):
+    module = compile_source(source, optimize=False)
+    func = module.get_function(fname)
+    apa = AccessPatternAnalysis(func)
+    md = MemoryDependenceAnalysis(apa)
+    loop = next(l for l in apa.loop_info.loops if l.name == loop_name)
+    return loop, md
+
+
+class TestTransform:
+    STREAM = """
+    float a[64]; float b[64];
+    void f(int n) { l: for (int i = 0; i < n; i++) b[i] = a[i] * 2.0f; }
+    """
+    CARRIED = """
+    float a[64];
+    void f(int n) { l: for (int i = 1; i < n; i++) a[i] = a[i-1] * 0.5f; }
+    """
+
+    def test_unroll_legality(self):
+        loop, md = loop_of(self.STREAM, "l")
+        assert unroll_legal(loop, md)
+        loop, md = loop_of(self.CARRIED, "l")
+        assert not unroll_legal(loop, md)
+
+    def test_legal_factors_capped_by_trip(self):
+        loop, md = loop_of(self.STREAM, "l")
+        assert legal_unroll_factors(loop, md, trip_count=3) == [1, 2]
+        assert legal_unroll_factors(loop, md, trip_count=100) == [1, 2, 4, 8]
+        assert legal_unroll_factors(loop, md, trip_count=None) == [1, 2, 4, 8]
+
+    def test_illegal_loop_factor_one(self):
+        loop, md = loop_of(self.CARRIED, "l")
+        assert legal_unroll_factors(loop, md, trip_count=100) == [1]
+
+    def test_unroll_dfg(self):
+        loop, md = loop_of(self.STREAM, "l")
+        blocks = sorted(loop.blocks, key=lambda b: b.name)
+        dfg = DFG.from_blocks(blocks)
+        unrolled = unroll_dfg(loop, dfg, 4)
+        assert unrolled.factor == 4
+        assert len(unrolled.dfg) == 4 * len(dfg)
+        assert unrolled.residual_trip_factor == 0.25
+
+    def test_unroll_factor_validation(self):
+        loop, md = loop_of(self.STREAM, "l")
+        dfg = DFG.from_blocks(sorted(loop.blocks, key=lambda b: b.name))
+        with pytest.raises(ValueError):
+            unroll_dfg(loop, dfg, 0)
+
+
+class TestFSMAndReports:
+    def test_fsm_area_scales_with_states(self):
+        small = ControlFSM("a", states=4)
+        large = ControlFSM("b", states=40)
+        assert large.area(DEFAULT_TECHLIB) > small.area(DEFAULT_TECHLIB)
+
+    def test_ctrl_unit_area(self):
+        ctrl = GlobalControlUnit(config_bits=64, members=3)
+        assert ctrl.area(DEFAULT_TECHLIB) > 0
+        bigger = GlobalControlUnit(config_bits=256, members=3)
+        assert bigger.area(DEFAULT_TECHLIB) > ctrl.area(DEFAULT_TECHLIB)
+
+    def test_control_plan_sums(self):
+        plan = ControlPlan(
+            fsms=[ControlFSM("a", 4), ControlFSM("b", 8)],
+            ctrl=GlobalControlUnit(config_bits=16, members=2),
+        )
+        total = plan.area(DEFAULT_TECHLIB)
+        assert total == pytest.approx(
+            ControlFSM("a", 4).area(DEFAULT_TECHLIB)
+            + ControlFSM("b", 8).area(DEFAULT_TECHLIB)
+            + GlobalControlUnit(16, 2).area(DEFAULT_TECHLIB)
+        )
+
+    def test_report_describe(self):
+        report = SynthesisReport(
+            name="pipe:l", kind="pipelined", latency_cycles=120.0,
+            ii=2, depth=9, area=AreaBreakdown(functional_units=1000.0),
+            interface_counts={"decoupled": 2},
+        )
+        text = report.describe()
+        assert "II=2" in text and "pipe:l" in text and "decoupled=2" in text
+        assert report.total_area == 1000.0
+
+    def test_estimator_attaches_reports(self):
+        from repro.analysis import WPST
+        from repro.interp import profile_module
+        from repro.model import AcceleratorModel
+
+        src = """
+        float a[64]; float b[64];
+        void f(int n) { l: for (int i = 0; i < n; i++) b[i] = a[i] * 2.0f; }
+        int main() { for (int r = 0; r < 10; r++) f(64); return 0; }
+        """
+        module = compile_source(src)
+        profile = profile_module(module)
+        wpst = WPST(module)
+        model = AcceleratorModel(module, profile)
+        node = next(
+            n for n in wpst.ctrl_flow_vertices()
+            if n.function.name == "f" and n.name == "region:l"
+        )
+        for estimate in model.candidates(node):
+            assert len(estimate.reports) == len(estimate.units)
+            for report in estimate.reports:
+                assert report.kind in ("pipelined", "sequential")
+                assert report.latency_cycles > 0
+                assert report.total_area > 0
+
+
+# -- Property test: schedules from random DFGs are always valid ------------------
+
+
+@st.composite
+def random_dfg(draw):
+    """A random float DFG built over a pool of constants and prior nodes."""
+    module = Module("m")
+    func = module.add_function("f", VOID, [F32, F32], ["p", "q"])
+    block = func.add_block("entry")
+    builder = IRBuilder(block)
+    pool = [func.arguments[0], func.arguments[1], Constant(F32, 1.5)]
+    size = draw(st.integers(min_value=1, max_value=14))
+    for _ in range(size):
+        op = draw(st.sampled_from(["fadd", "fsub", "fmul"]))
+        lhs = pool[draw(st.integers(0, len(pool) - 1))]
+        rhs = pool[draw(st.integers(0, len(pool) - 1))]
+        pool.append(builder._binop(op, lhs, rhs, ""))
+    builder.ret()
+    return DFG.from_blocks([block])
+
+
+@given(random_dfg())
+@settings(max_examples=60, deadline=None)
+def test_schedule_respects_dependences(dfg):
+    schedule = schedule_dfg(
+        dfg, DEFAULT_TECHLIB, lambda n: AccessTiming(1, None)
+    )
+    for node in dfg.nodes:
+        assert 0 <= schedule.start[node] < schedule.finish[node]
+        for pred in node.preds:
+            # A float op cannot start before its producer's result exists.
+            assert schedule.start[node] >= schedule.start[pred]
+            info = DEFAULT_TECHLIB.op(pred.resource, pred.bits)
+            if info.cycles > 0:
+                assert schedule.start[node] >= schedule.finish[pred]
+    assert schedule.length == max(schedule.finish[n] for n in dfg.nodes)
+
+
+class TestReassociabilityRule:
+    """Unrolling legality for SSA recurrences (reassociable reductions only)."""
+
+    def legal(self, source):
+        loop, md = loop_of(source, "l")
+        return unroll_legal(loop, md)
+
+    def test_sum_reduction_unrollable(self):
+        assert self.legal(
+            "float a[64]; float s[1];"
+            "void f(int n) { float t = 0.0f;"
+            " l: for (int i = 0; i < n; i++) t += a[i]; s[0] = t; }"
+        )
+
+    def test_product_reduction_unrollable(self):
+        assert self.legal(
+            "float a[64]; float s[1];"
+            "void f(int n) { float t = 1.0f;"
+            " l: for (int i = 0; i < n; i++) t = t * a[i]; s[0] = t; }"
+        )
+
+    def test_subtraction_reduction_unrollable(self):
+        assert self.legal(
+            "float a[64]; float s[1];"
+            "void f(int n) { float t = 0.0f;"
+            " l: for (int i = 0; i < n; i++) t -= a[i]; s[0] = t; }"
+        )
+
+    def test_iir_recurrence_blocks_unroll(self):
+        assert not self.legal(
+            "float a[64]; float s[64];"
+            "void f(int n) { float t = 0.0f;"
+            " l: for (int i = 0; i < n; i++) {"
+            "   t = 0.125f * a[i] + 0.875f * t; s[i] = t; } }"
+        )
+
+    def test_horner_recurrence_blocks_unroll(self):
+        assert not self.legal(
+            "float a[64]; float s[1];"
+            "void f(int n) { float t = 0.0f;"
+            " l: for (int i = 0; i < n; i++) t = t * 0.5f + a[i]; s[0] = t; }"
+        )
+
+    def test_plain_stream_unrollable(self):
+        assert self.legal(
+            "float a[64]; float b[64];"
+            "void f(int n) { l: for (int i = 0; i < n; i++) b[i] = a[i] * 2.0f; }"
+        )

@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(
+        """
+        float x[64]; float y[64];
+        void saxpy(int n, float k) {
+          linear: for (int i = 0; i < n; i++) y[i] = k * x[i];
+        }
+        int main() {
+          for (int i = 0; i < 64; i++) x[i] = (float)i;
+          for (int r = 0; r < 8; r++) saxpy(64, 2.0f);
+          return 0;
+        }
+        """
+    )
+    return str(path)
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command(self, kernel_file, capsys):
+        assert main(["run", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "pareto front" in out
+        assert "budget 25%" in out and "budget 65%" in out
+        assert "saxpy" in out
+
+    def test_run_coupled_only(self, kernel_file, capsys):
+        assert main(["run", kernel_file, "--coupled-only"]) == 0
+        out = capsys.readouterr().out
+        assert "C/D/S=" in out
+        # no decoupled/scratchpad interfaces in any printed accelerator
+        for line in out.splitlines():
+            if "C/D/S=" in line:
+                counts = line.rsplit("C/D/S=", 1)[1].split("/")
+                assert counts[1] == "0" and counts[2] == "0"
+
+    def test_dump_command(self, kernel_file, capsys):
+        assert main(["dump", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "func void @saxpy" in out
+        assert "[root]" in out and "region:linear" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Cayman" in out and "specialized" in out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench-list"]) == 0
+        out = capsys.readouterr().out
+        assert "3mm" in out and "zip-test" in out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "trisolv", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "trisolv" in out and "over-NOVIA" in out
+
+    def test_fig6_subset(self, capsys):
+        assert main(["fig6", "trisolv"]) == 0
+        out = capsys.readouterr().out
+        assert "== trisolv ==" in out
+        assert "cayman:" in out

@@ -1,0 +1,66 @@
+"""Determinism: repeated runs produce identical results.
+
+A reproduction package must be deterministic — same source, same numbers.
+The whole flow avoids hash-order and RNG dependence; these tests pin that.
+"""
+
+import pytest
+
+from repro import Cayman
+from repro.baselines import Novia, QsCores
+from repro.workloads import get_workload
+
+
+def fingerprint(result):
+    return (
+        tuple(result.pareto_points()),
+        tuple(
+            (m.area_before, m.area_after, m.merge_steps,
+             tuple(sorted(m.solution.kernel_names())))
+            for m in result.merged
+        ),
+        result.total_seconds,
+    )
+
+
+class TestDeterminism:
+    def test_cayman_is_deterministic(self):
+        workload = get_workload("atax")
+        first = Cayman().run(workload.source, name="atax")
+        second = Cayman().run(workload.source, name="atax")
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_baselines_are_deterministic(self):
+        workload = get_workload("trisolv")
+        assert (
+            Novia().run(workload.source).pareto_points()
+            == Novia().run(workload.source).pareto_points()
+        )
+        assert (
+            QsCores().run(workload.source).pareto_points()
+            == QsCores().run(workload.source).pareto_points()
+        )
+
+    def test_profile_is_deterministic(self):
+        from repro.frontend import compile_source
+        from repro.interp import profile_module
+
+        workload = get_workload("fft")
+        module = compile_source(workload.source)
+        a = profile_module(module)
+        b = profile_module(module)
+        assert a.total_cycles == b.total_cycles
+        assert a.counters.total_instructions == b.counters.total_instructions
+
+    def test_rtl_is_deterministic(self):
+        from repro.rtl import generate_solution
+
+        workload = get_workload("trisolv")
+        first = Cayman().run(workload.source, name="t")
+        second = Cayman().run(workload.source, name="t")
+        best1 = first.best_under_budget(0.65)
+        best2 = second.best_under_budget(0.65)
+        assert (
+            generate_solution(best1.solution, "x")
+            == generate_solution(best2.solution, "x")
+        )

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Pareto-optimal solutions" in proc.stdout
+        assert "Best solution under the 25% area budget" in proc.stdout
+
+    def test_custom_kernel(self):
+        proc = run_example("custom_kernel.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "wPST" in proc.stdout
+        assert "Accelerator configurations" in proc.stdout
+
+    def test_pareto_explorer(self):
+        proc = run_example("pareto_explorer.py", "trisolv")
+        assert proc.returncode == 0, proc.stderr
+        assert "Best speedup per flow" in proc.stdout
+        assert "cayman" in proc.stdout
+
+    def test_pareto_explorer_list(self):
+        proc = run_example("pareto_explorer.py", "--list")
+        assert proc.returncode == 0, proc.stderr
+        assert "3mm" in proc.stdout
+
+    def test_reproduce_table2_subset(self):
+        proc = run_example("reproduce_table2.py", "trisolv")
+        assert proc.returncode == 0, proc.stderr
+        assert "over-NOVIA" in proc.stdout
+
+    def test_generate_rtl(self, tmp_path):
+        out = tmp_path / "out.v"
+        proc = run_example("generate_rtl.py", "-o", str(out))
+        assert proc.returncode == 0, proc.stderr
+        text = out.read_text()
+        assert text.count("module ") >= 2
+        assert "endmodule" in text

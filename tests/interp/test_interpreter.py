@@ -1,0 +1,160 @@
+"""Tests for the flat memory, interpreter semantics, and CPU cost model."""
+
+import pytest
+
+from repro.interp import (
+    CPU_CYCLES,
+    CPU_FREQ_HZ,
+    ExecutionLimitExceeded,
+    FlatMemory,
+    Interpreter,
+    InterpreterError,
+    MemoryError_,
+    cycles_to_seconds,
+    instruction_cycles,
+)
+from repro.ir import ArrayType, F32, F64, I8, I32, I64, PointerType
+
+from ..conftest import run_c
+
+
+class TestFlatMemory:
+    def test_scalar_roundtrip(self):
+        mem = FlatMemory(4096)
+        addr = mem.allocate(I32)
+        mem.store(addr, I32, -12345)
+        assert mem.load(addr, I32) == -12345
+
+    def test_int_wrapping_on_store(self):
+        mem = FlatMemory(4096)
+        addr = mem.allocate(I8)
+        mem.store(addr, I8, 200)
+        assert mem.load(addr, I8) == 200 - 256
+
+    def test_float_roundtrip(self):
+        mem = FlatMemory(4096)
+        addr = mem.allocate(F32)
+        mem.store(addr, F32, 1.5)
+        assert mem.load(addr, F32) == 1.5
+        addr64 = mem.allocate(F64)
+        mem.store(addr64, F64, 3.141592653589793)
+        assert mem.load(addr64, F64) == 3.141592653589793
+
+    def test_f32_precision_loss(self):
+        mem = FlatMemory(4096)
+        addr = mem.allocate(F32)
+        mem.store(addr, F32, 0.1)
+        assert mem.load(addr, F32) != 0.1  # rounded to f32
+        assert abs(mem.load(addr, F32) - 0.1) < 1e-7
+
+    def test_alignment(self):
+        mem = FlatMemory(4096)
+        mem.allocate(I8)
+        addr = mem.allocate(I64, align=8)
+        assert addr % 8 == 0
+
+    def test_null_guard(self):
+        mem = FlatMemory(4096)
+        with pytest.raises(MemoryError_):
+            mem.load(0, I32)
+
+    def test_out_of_memory(self):
+        mem = FlatMemory(256)
+        with pytest.raises(MemoryError_):
+            mem.allocate(ArrayType(I32, 1000))
+
+    def test_bulk_helpers(self):
+        mem = FlatMemory(4096)
+        addr = mem.allocate(ArrayType(F32, 4))
+        mem.write_array_f(addr, [1.0, 2.0, 3.0, 4.0])
+        assert mem.read_array_f(addr, 4) == [1.0, 2.0, 3.0, 4.0]
+        iaddr = mem.allocate(ArrayType(I32, 3))
+        mem.write_array_i(iaddr, [-1, 0, 7])
+        assert mem.read_array_i(iaddr, 3) == [-1, 0, 7]
+
+
+class TestInterpreterSemantics:
+    def test_return_value(self):
+        result, _ = run_c("int main() { return 42; }")
+        assert result == 42
+
+    def test_arguments(self):
+        result, _ = run_c(
+            "int f(int a, int b) { return a * 10 + b; } int main() { return f(3, 4); }"
+        )
+        assert result == 34
+
+    def test_entry_with_args(self):
+        from repro.frontend import compile_source
+
+        module = compile_source("int dbl(int x) { return x * 2; }")
+        interp = Interpreter(module)
+        assert interp.run("dbl", [21]) == 42
+
+    def test_float32_rounding_in_ops(self):
+        result, _ = run_c(
+            "int main() { float a = 16777216.0f; float b = a + 1.0f;"
+            " return (int)(b - a); }"
+        )
+        assert result == 0  # 2^24 + 1 is not representable in f32
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(InterpreterError):
+            run_c("int main() { int z = 0; return 1 / z; }")
+
+    def test_float_division_by_zero_traps(self):
+        with pytest.raises(InterpreterError):
+            run_c("int main() { float z = 0.0f; return (int)(1.0f / z); }")
+
+    def test_instruction_limit(self):
+        from repro.frontend import compile_source
+
+        module = compile_source(
+            "int main() { int s = 0; for (int i = 0; i < 1000000; i++) s += 1; return s; }"
+        )
+        interp = Interpreter(module, max_instructions=1000)
+        with pytest.raises(ExecutionLimitExceeded):
+            interp.run("main")
+
+    def test_phi_swap_is_atomic(self):
+        """Simultaneous phi semantics: (a, b) = (b, a) each iteration."""
+        result, _ = run_c(
+            """
+            int main() {
+              int a = 1; int b = 2;
+              for (int i = 0; i < 3; i++) {
+                int t = a; a = b; b = t;
+              }
+              return a * 10 + b;
+            }
+            """,
+            optimize=False,
+        )
+        assert result == 21
+
+    def test_cycles_accumulate(self):
+        from repro.frontend import compile_source
+
+        module = compile_source("int main() { return 1 + 2; }", optimize=False)
+        interp = Interpreter(module)
+        interp.run("main")
+        assert interp.cycles > 0
+        assert interp.instructions >= 2
+
+
+class TestCPUModel:
+    def test_all_resource_classes_costed(self):
+        for resource in ("add", "fadd", "fdiv", "load", "store", "fsqrt",
+                         "icmp", "control", "call", "phi"):
+            assert instruction_cycles(resource) >= 0
+
+    def test_unknown_resource_raises(self):
+        with pytest.raises(KeyError):
+            instruction_cycles("teleport")
+
+    def test_relative_costs_sensible(self):
+        assert CPU_CYCLES["fdiv"] > CPU_CYCLES["fmul"] > CPU_CYCLES["add"]
+        assert CPU_CYCLES["div"] > CPU_CYCLES["mul"]
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(CPU_FREQ_HZ) == 1.0

@@ -1,0 +1,66 @@
+"""Tests for the profiler's setup/args hooks (the 'input file' mechanism)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, profile_module
+
+
+SOURCE = """
+float data[16]; float out[1];
+float reduce(int n) {
+  float s = 0.0f;
+  acc: for (int i = 0; i < n; i++) s += data[i];
+  out[0] = s;
+  return s;
+}
+"""
+
+
+class TestSetupHook:
+    def test_setup_initializes_inputs(self):
+        module = compile_source(SOURCE)
+
+        def setup(interp):
+            interp.memory.write_array_f(
+                interp.address_of_global("data"), [float(i) for i in range(16)]
+            )
+
+        profile = profile_module(module, entry="reduce", args=[16], setup=setup)
+        assert profile.total_cycles > 0
+        # Re-run plainly to read the result back.
+        interp = Interpreter(module)
+        setup(interp)
+        result = interp.run("reduce", [16])
+        assert result == sum(range(16))
+
+    def test_entry_args_control_trip_count(self):
+        module = compile_source(SOURCE)
+        from repro.analysis import LoopInfo
+
+        short = profile_module(module, entry="reduce", args=[4])
+        full = profile_module(module, entry="reduce", args=[16])
+        info = LoopInfo(module.get_function("reduce"))
+        loop = info.loops[0]
+        assert short.trip_count(loop) == 4
+        assert full.trip_count(loop) == 16
+
+    def test_float_args(self):
+        module = compile_source(
+            "float f(float x, float y) { return x * y + 1.0f; }"
+        )
+        interp = Interpreter(module)
+        assert interp.run("f", [2.0, 3.0]) == 7.0
+
+    def test_wrong_arity_rejected(self):
+        module = compile_source(SOURCE)
+        from repro.interp import InterpreterError
+
+        with pytest.raises(InterpreterError):
+            Interpreter(module).run("reduce", [1, 2, 3])
+
+    def test_custom_memory_size(self):
+        module = compile_source(SOURCE)
+        interp = Interpreter(module, memory_size=1 << 12)
+        assert interp.memory.size == 1 << 12
+        interp.run("reduce", [16])

@@ -1,0 +1,187 @@
+"""Tests for the IR builder, module structure, printer, and verifier."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    Constant,
+    F32,
+    I32,
+    IRBuilder,
+    Module,
+    Phi,
+    Return,
+    Store,
+    VOID,
+    VerificationError,
+    print_function,
+    print_module,
+    verify_function,
+    verify_module,
+)
+
+
+def build_max_function():
+    """int max(int a, int b) via a diamond CFG with a phi."""
+    module = Module("m")
+    func = module.add_function("max", I32, [I32, I32], ["a", "b"])
+    entry = func.add_block("entry")
+    then = func.add_block("then")
+    other = func.add_block("else")
+    merge = func.add_block("merge")
+    b = IRBuilder(entry)
+    a_arg, b_arg = func.arguments
+    cond = b.icmp("sgt", a_arg, b_arg)
+    b.cond_br(cond, then, other)
+    b.position_at_end(then)
+    b.br(merge)
+    b.position_at_end(other)
+    b.br(merge)
+    b.position_at_end(merge)
+    phi = b.phi(I32, "result")
+    phi.add_incoming(a_arg, then)
+    phi.add_incoming(b_arg, other)
+    b.ret(phi)
+    return module, func
+
+
+class TestBuilder:
+    def test_diamond_function_verifies(self):
+        module, func = build_max_function()
+        verify_module(module)
+
+    def test_builder_requires_block(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError):
+            b.add(b.const_i32(1), b.const_i32(2))
+
+    def test_unique_block_names(self):
+        module = Module("m")
+        func = module.add_function("f", VOID, [])
+        b1 = func.add_block("bb")
+        b2 = func.add_block("bb")
+        assert b1.name != b2.name
+
+    def test_constants(self):
+        assert IRBuilder.const_bool(True).value == 1
+        assert IRBuilder.const_i64(5).type.bits == 64
+        assert IRBuilder.const_f64(2.5).value == 2.5
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function("f", VOID, [])
+        with pytest.raises(ValueError):
+            module.add_function("f", VOID, [])
+
+    def test_duplicate_global_rejected(self):
+        module = Module("m")
+        module.add_global("g", I32)
+        with pytest.raises(ValueError):
+            module.add_global("g", I32)
+
+    def test_lookup_errors(self):
+        module = Module("m")
+        with pytest.raises(KeyError):
+            module.get_function("missing")
+        with pytest.raises(KeyError):
+            module.get_global("missing")
+
+
+class TestPrinter:
+    def test_print_function_contains_blocks(self):
+        module, func = build_max_function()
+        text = print_function(func)
+        assert "func i32 @max" in text
+        assert "phi i32" in text
+        assert "condbr" in text
+
+    def test_print_module(self):
+        module, _ = build_max_function()
+        module.add_global("tbl", I32)
+        text = print_module(module)
+        assert "@tbl = global i32" in text
+
+    def test_printed_names_unique(self):
+        module, func = build_max_function()
+        text = print_function(func)
+        defined = [
+            line.split(" = ")[0].strip()
+            for line in text.splitlines()
+            if " = " in line
+        ]
+        assert len(defined) == len(set(defined))
+
+
+class TestVerifier:
+    def test_missing_terminator(self):
+        module = Module("m")
+        func = module.add_function("f", VOID, [])
+        func.add_block("entry")  # empty block, no terminator
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(func)
+
+    def test_use_before_def_same_block(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [])
+        entry = func.add_block("entry")
+        b = IRBuilder(entry)
+        x = b.add(b.const_i32(1), b.const_i32(2))
+        y = b.mul(x, b.const_i32(3))
+        b.ret(y)
+        # Swap definition order to break dominance.
+        entry.instructions[0], entry.instructions[1] = (
+            entry.instructions[1], entry.instructions[0],
+        )
+        with pytest.raises(VerificationError, match="before definition"):
+            verify_function(func)
+
+    def test_phi_incoming_must_match_predecessors(self):
+        module, func = build_max_function()
+        merge = func.block_by_name("merge")
+        phi = next(merge.phis())
+        phi.remove_incoming(func.block_by_name("then"))
+        with pytest.raises(VerificationError, match="incoming"):
+            verify_function(func)
+
+    def test_cross_block_dominance(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [I32])
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        b = IRBuilder(entry)
+        cond = b.icmp("sgt", func.arguments[0], b.const_i32(0))
+        b.cond_br(cond, left, right)
+        b.position_at_end(left)
+        x = b.add(func.arguments[0], b.const_i32(1))
+        b.ret(x)
+        b.position_at_end(right)
+        # Illegal: uses x defined in 'left', which does not dominate 'right'.
+        right.append(Return(x))
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(func)
+
+    def test_valid_loop_verifies(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [I32])
+        entry = func.add_block("entry")
+        header = func.add_block("header")
+        body = func.add_block("body")
+        exit_ = func.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        i_phi = Phi(I32, "i")
+        header.insert_front(i_phi)
+        cond = b.icmp("slt", i_phi, func.arguments[0])
+        b.cond_br(cond, body, exit_)
+        b.position_at_end(body)
+        nxt = b.add(i_phi, b.const_i32(1))
+        b.br(header)
+        i_phi.add_incoming(b.const_i32(0), entry)
+        i_phi.add_incoming(nxt, body)
+        b.position_at_end(exit_)
+        b.ret(i_phi)
+        verify_function(func)

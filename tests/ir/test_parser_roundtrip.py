@@ -1,0 +1,151 @@
+"""IR text parser tests: grammar units plus full print→parse round-trips
+over every benchmark workload (structure- and semantics-preserving)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import (
+    ArrayType,
+    F32,
+    F64,
+    I32,
+    IRParseError,
+    PointerType,
+    VOID,
+    parse_module,
+    parse_type,
+    print_module,
+    verify_module,
+)
+from repro.workloads import all_workloads
+
+
+class TestTypeParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("i32", I32),
+        ("f64", F64),
+        ("void", VOID),
+        ("f32*", PointerType(F32)),
+        ("[10 x f32]", ArrayType(F32, 10)),
+        ("[3 x [4 x i32]]", ArrayType(ArrayType(I32, 4), 3)),
+        ("[4 x f32]*", PointerType(ArrayType(F32, 4))),
+    ])
+    def test_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    @pytest.mark.parametrize("text", ["x32", "[3 f32]", "i32 junk", "[3 x f32"])
+    def test_invalid(self, text):
+        with pytest.raises(IRParseError):
+            parse_type(text)
+
+
+class TestModuleParsing:
+    def test_globals(self):
+        module = parse_module("; module m\n\n@g = global [8 x f32]\n")
+        assert module.name == "m"
+        assert module.get_global("g").allocated_type == ArrayType(F32, 8)
+
+    def test_simple_function(self):
+        text = """
+func i32 @add3(i32 %a) {
+entry:
+  %r = add i32 %a, 3
+  ret %r
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("add3", [39]) == 42
+
+    def test_forward_branch_targets(self):
+        text = """
+func i32 @f(i32 %a) {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr %c, pos, neg
+pos:
+  ret 1
+neg:
+  ret 0
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("f", [5]) == 1
+        assert Interpreter(module).run("f", [-5]) == 0
+
+    def test_phi_and_loop(self):
+        text = """
+func i32 @sum(i32 %n) {
+entry:
+  br header
+header:
+  %i = phi i32 [0, entry], [%i1, body]
+  %s = phi i32 [0, entry], [%s1, body]
+  %c = icmp slt i32 %i, %n
+  condbr %c, body, exit
+body:
+  %s1 = add i32 %s, %i
+  %i1 = add i32 %i, 1
+  br header
+exit:
+  ret %s
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("sum", [10]) == 45
+
+    def test_calls_between_functions(self):
+        text = """
+func i32 @dbl(i32 %x) {
+entry:
+  %r = mul i32 %x, 2
+  ret %r
+}
+
+func i32 @main() {
+entry:
+  %a = call @dbl(21)
+  ret %a
+}
+"""
+        module = parse_module(text)
+        assert Interpreter(module).run("main") == 42
+
+    def test_undefined_value_rejected(self):
+        with pytest.raises(IRParseError, match="undefined"):
+            parse_module("func i32 @f() {\nentry:\n  ret %nope\n}")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IRParseError, match="unknown opcode"):
+            parse_module("func i32 @f() {\nentry:\n  %x = warp i32 1, 2\n  ret %x\n}")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name", [w.name for w in all_workloads()]
+    )
+    def test_workload_roundtrip_stable(self, name):
+        """print(parse(print(m))) == print(m) for every benchmark."""
+        from repro.workloads import get_workload
+
+        workload = get_workload(name)
+        module = compile_source(workload.source, name)
+        text = print_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert print_module(reparsed) == text
+
+    @pytest.mark.parametrize("name", ["atax", "fft", "zip-test", "nw"])
+    def test_roundtrip_preserves_semantics(self, name):
+        from repro.workloads import get_workload
+
+        workload = get_workload(name)
+        module = compile_source(workload.source, name)
+        reparsed = parse_module(print_module(module))
+        a = Interpreter(module)
+        b = Interpreter(reparsed)
+        assert a.run(workload.entry) == b.run(workload.entry)
+        assert a.instructions == b.instructions

@@ -1,0 +1,312 @@
+"""Tests for the accelerator model: interface plans, configuration
+generation heuristics (paper §III-C), and performance/area estimation."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.analysis import WPST
+from repro.hls import AGU_AREA_UM2, DEFAULT_TECHLIB, FIFO_AREA_UM2, LSU_AREA_UM2
+from repro.interp import profile_module
+from repro.model import (
+    AcceleratorModel,
+    InterfaceAssignment,
+    InterfaceKind,
+    InterfacePlan,
+)
+from repro.ir import Load, Store
+
+
+def build(src, entry="main"):
+    module = compile_source(src)
+    profile = profile_module(module, entry=entry)
+    wpst = WPST(module, entry_function=entry)
+    model = AcceleratorModel(module, profile)
+    return module, profile, wpst, model
+
+
+def region_node(wpst, func_name, region_name):
+    for node in wpst.ctrl_flow_vertices():
+        if node.function.name == func_name and node.name == region_name:
+            return node
+    raise AssertionError(f"no region {region_name} in {func_name}")
+
+
+STREAM_LOOP = """
+float x[128]; float y[128];
+void initd(int n) { for (int i = 0; i < n; i++) { x[i] = (float)i; y[i] = 0.0f; } }
+void saxpy(int n, float k, float b) {
+  linear: for (int i = 0; i < n; i++) y[i] = k * x[i] + b;
+}
+int main() {
+  initd(128);
+  for (int r = 0; r < 10; r++) saxpy(128, 2.0f, 1.0f);
+  return 0;
+}
+"""
+
+REUSE_LOOP = """
+float A[24][24]; float w[24]; float out[24];
+void initd(int n) {
+  for (int i = 0; i < n; i++) {
+    w[i] = (float)(i % 5); out[i] = 0.0f;
+    for (int j = 0; j < n; j++) A[i][j] = (float)(i + j);
+  }
+}
+void matvec(int n) {
+  rows: for (int i = 0; i < n; i++)
+    dot: for (int j = 0; j < n; j++)
+      out[i] += A[i][j] * w[j];
+}
+int main() { initd(24); for (int r = 0; r < 10; r++) matvec(24); return 0; }
+"""
+
+
+class TestInterfacePlan:
+    def test_counts(self):
+        module = compile_source(STREAM_LOOP)
+        func = module.get_function("saxpy")
+        accesses = [i for i in func.instructions() if isinstance(i, (Load, Store))]
+        plan = InterfacePlan()
+        plan.assign(InterfaceAssignment(accesses[0], InterfaceKind.DECOUPLED))
+        plan.assign(InterfaceAssignment(accesses[1], InterfaceKind.COUPLED))
+        counts = plan.counts()
+        assert counts["decoupled"] == 1 and counts["coupled"] == 1
+
+    def test_interface_area_composition(self):
+        module = compile_source(STREAM_LOOP)
+        func = module.get_function("saxpy")
+        accesses = [i for i in func.instructions() if isinstance(i, (Load, Store))]
+        plan = InterfacePlan()
+        plan.assign(InterfaceAssignment(accesses[0], InterfaceKind.DECOUPLED))
+        assert plan.interface_area(DEFAULT_TECHLIB) == AGU_AREA_UM2 + FIFO_AREA_UM2
+        plan.assign(InterfaceAssignment(accesses[1], InterfaceKind.COUPLED))
+        assert plan.interface_area(DEFAULT_TECHLIB) == (
+            AGU_AREA_UM2 + FIFO_AREA_UM2 + LSU_AREA_UM2
+        )
+
+    def test_spad_group_sharing(self):
+        module = compile_source(REUSE_LOOP)
+        func = module.get_function("matvec")
+        accesses = [i for i in func.instructions() if isinstance(i, (Load, Store))]
+        plan = InterfacePlan()
+        group = object()
+        for inst in accesses[:2]:
+            plan.assign(InterfaceAssignment(
+                inst, InterfaceKind.SCRATCHPAD, spad_group=group, spad_bytes=512
+            ))
+        single = InterfacePlan()
+        single.assign(InterfaceAssignment(
+            accesses[0], InterfaceKind.SCRATCHPAD, spad_group=group,
+            spad_bytes=512,
+        ))
+        # Two accesses to one buffer cost the same as one (shared SRAM+DMA).
+        assert plan.interface_area(DEFAULT_TECHLIB) == pytest.approx(
+            single.interface_area(DEFAULT_TECHLIB)
+        )
+
+    def test_dma_cycles_direction_aware(self):
+        module = compile_source(REUSE_LOOP)
+        func = module.get_function("matvec")
+        loads = [i for i in func.instructions() if isinstance(i, Load)]
+        plan = InterfacePlan()
+        group = object()
+        plan.assign(InterfaceAssignment(
+            loads[0], InterfaceKind.SCRATCHPAD, spad_group=group, spad_bytes=80
+        ))
+        read_only = plan.dma_cycles_per_invocation(DEFAULT_TECHLIB)
+        stores = [i for i in func.instructions() if isinstance(i, Store)]
+        plan.assign(InterfaceAssignment(
+            stores[0], InterfaceKind.SCRATCHPAD, spad_group=group, spad_bytes=80
+        ))
+        read_write = plan.dma_cycles_per_invocation(DEFAULT_TECHLIB)
+        assert read_write == 2 * read_only
+
+
+class TestConfigurationHeuristics:
+    def test_stream_accesses_get_decoupled(self):
+        module, profile, wpst, model = build(STREAM_LOOP)
+        node = region_node(wpst, "saxpy", "region:linear")
+        ctx = model.context(node.function)
+        config = model.build_config(node.region, ctx, factor=1, mode="full")
+        counts = config.plan.counts()
+        assert counts["decoupled"] == 2
+        assert counts["coupled"] == 0
+
+    def test_reused_vector_gets_scratchpad(self):
+        """w[j] is read n times per row: count >= beta * footprint."""
+        module, profile, wpst, model = build(REUSE_LOOP)
+        node = region_node(wpst, "matvec", "region:rows")
+        ctx = model.context(node.function)
+        config = model.build_config(node.region, ctx, factor=1, mode="full")
+        kinds = {
+            a.inst: a.kind for a in config.plan.assignments.values()
+        }
+        w_access = next(
+            a for a in config.plan.assignments.values()
+            if ctx.access.info(a.inst).base.name == "w"
+        )
+        assert w_access.kind is InterfaceKind.SCRATCHPAD
+
+    def test_coupled_only_mode(self):
+        module, profile, wpst, model = build(STREAM_LOOP)
+        node = region_node(wpst, "saxpy", "region:linear")
+        ctx = model.context(node.function)
+        config = model.build_config(node.region, ctx, factor=1, mode="coupled_only")
+        counts = config.plan.counts()
+        assert counts["coupled"] > 0
+        assert counts["decoupled"] == counts["scratchpad"] == 0
+
+    def test_innermost_loops_pipelined(self):
+        module, profile, wpst, model = build(REUSE_LOOP)
+        node = region_node(wpst, "matvec", "region:rows")
+        ctx = model.context(node.function)
+        config = model.build_config(node.region, ctx, factor=1, mode="full")
+        pipelined = [p.loop.name for p in config.loop_plans.values() if p.pipelined]
+        assert pipelined == ["dot"]
+
+    def test_unroll_lands_on_legal_loop(self):
+        """dot has an accumulator; the unroll goes to the outer rows loop."""
+        module, profile, wpst, model = build(REUSE_LOOP)
+        node = region_node(wpst, "matvec", "region:rows")
+        ctx = model.context(node.function)
+        config = model.build_config(node.region, ctx, factor=4, mode="full")
+        unrolls = {p.loop.name: p.unroll for p in config.loop_plans.values()}
+        # After accumulator promotion the inner dot loop has no carried
+        # memory dependence, so the unroll lands on the innermost loop.
+        assert max(unrolls.values()) == 4
+
+    def test_dependent_loop_not_unrolled(self):
+        src = """
+        float v[256];
+        void scan(int n) {
+          pref: for (int i = 1; i < n; i++) v[i] = v[i] + v[i-1];
+        }
+        int main() { for (int r = 0; r < 20; r++) scan(256); return 0; }
+        """
+        module, profile, wpst, model = build(src)
+        node = region_node(wpst, "scan", "region:pref")
+        ctx = model.context(node.function)
+        config = model.build_config(node.region, ctx, factor=8, mode="full")
+        assert all(p.unroll == 1 for p in config.loop_plans.values())
+
+
+class TestEstimation:
+    def test_candidates_profitable_and_pareto_diverse(self):
+        module, profile, wpst, model = build(STREAM_LOOP)
+        node = region_node(wpst, "saxpy", "region:linear")
+        estimates = model.candidates(node)
+        assert estimates
+        for est in estimates:
+            assert est.is_profitable
+            assert est.area > 0
+            assert est.cycles > 0
+        labels = {e.config.label for e in estimates}
+        assert len(labels) > 1  # multiple configurations explored
+
+    def test_coupled_only_model_restricts(self):
+        module = compile_source(STREAM_LOOP)
+        profile = profile_module(module)
+        wpst = WPST(module)
+        model = AcceleratorModel(module, profile, coupled_only=True)
+        node = region_node(wpst, "saxpy", "region:linear")
+        for est in model.candidates(node):
+            counts = est.interface_counts
+            assert counts["decoupled"] == 0 and counts["scratchpad"] == 0
+
+    def test_unrolling_improves_best_latency(self):
+        module, profile, wpst, model = build(STREAM_LOOP)
+        node = region_node(wpst, "saxpy", "region:linear")
+        estimates = model.candidates(node)
+        by_label = {e.config.label: e for e in estimates}
+        if "u1/full" in by_label and "u8/full" in by_label:
+            assert by_label["u8/full"].cycles < by_label["u1/full"].cycles
+            assert by_label["u8/full"].area > by_label["u1/full"].area
+
+    def test_region_with_call_rejected(self):
+        src = """
+        float g[8];
+        float helper(float x) { return x * 2.0f; }
+        void k(int n) {
+          loop: for (int i = 0; i < n; i++) g[i % 8] = helper((float)i);
+        }
+        int main() { for (int r = 0; r < 50; r++) k(64); return 0; }
+        """
+        module, profile, wpst, model = build(src)
+        node = region_node(wpst, "k", "region:loop")
+        assert model.candidates(node) == []
+
+    def test_unexecuted_region_rejected(self):
+        src = """
+        float g[8];
+        void cold(int n) { loop: for (int i = 0; i < n; i++) g[i % 8] = 1.0f; }
+        int main() { return 0; }
+        """
+        module, profile, wpst, model = build(src)
+        node = region_node(wpst, "cold", "region:loop")
+        assert model.candidates(node) == []
+
+    def test_estimates_cached(self):
+        module, profile, wpst, model = build(STREAM_LOOP)
+        node = region_node(wpst, "saxpy", "region:linear")
+        first = model.candidates(node)
+        second = model.candidates(node)
+        assert first is second
+
+    def test_speedup_equation_consistency(self):
+        """Eq. 1: solution speedup from saved seconds."""
+        from repro.selection import Solution
+
+        module, profile, wpst, model = build(STREAM_LOOP)
+        node = region_node(wpst, "saxpy", "region:linear")
+        best = max(model.candidates(node), key=lambda e: e.saved_seconds)
+        solution = Solution((best,))
+        t_all = profile.total_seconds
+        expected = t_all / (t_all - best.kernel_seconds + best.accel_seconds)
+        assert solution.speedup(t_all) == pytest.approx(expected)
+
+
+class TestPerNestExploration:
+    MULTI_NEST = """
+    float a[128]; float b[128]; float c[64]; float d[64];
+    void k(int n, int m) {
+      hot: for (int i = 0; i < n; i++) b[i] = a[i] * 2.0f + 1.0f;
+      cold: for (int i = 0; i < m; i++) d[i] = c[i] + 0.5f;
+    }
+    int main() {
+      for (int i = 0; i < 128; i++) { a[i] = (float)i; c[i % 64] = (float)i; }
+      for (int r = 0; r < 20; r++) k(128, 64);
+      return 0;
+    }
+    """
+
+    def test_per_nest_configs_generated(self):
+        module, profile, wpst, model = build(self.MULTI_NEST)
+        node = next(
+            n for n in wpst.ctrl_flow_vertices()
+            if n.function.name == "k"
+            and n.region.blocks > {module.get_function("k").entry} - {None}
+            and len([l for l in model.context(n.function).loop_info.loops
+                     if l.blocks <= n.region.blocks]) >= 2
+        )
+        labels = {e.config.label for e in model.candidates(node)}
+        per_nest = [l for l in labels if "@" in l]
+        assert per_nest, f"no per-nest configs among {labels}"
+
+    def test_per_nest_unrolls_only_one_nest(self):
+        module, profile, wpst, model = build(self.MULTI_NEST)
+        node = next(
+            n for n in wpst.ctrl_flow_vertices()
+            if n.function.name == "k"
+            and len([l for l in model.context(n.function).loop_info.loops
+                     if l.blocks <= n.region.blocks]) >= 2
+        )
+        ctx = model.context(node.function)
+        nests = model._top_level_nests(node.region, ctx)
+        assert len(nests) >= 2
+        config = model.build_config(
+            node.region, ctx, 8, "full", only_nest=nests[0]
+        )
+        unrolled = [p.loop for p in config.loop_plans.values() if p.unroll > 1]
+        assert unrolled
+        for loop in unrolled:
+            assert nests[0].contains_loop(loop)

@@ -1,0 +1,226 @@
+"""Tests for constant folding, LICM, and CFG simplification — including
+semantic-preservation property tests against the interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import BinaryOp, Branch, CondBranch, Constant, verify_module
+from repro.opt import (
+    fold_constants,
+    hoist_invariants,
+    optimize_module,
+    simplify_cfg,
+)
+
+
+def compile_noopt(src):
+    return compile_source(src, optimize=False)
+
+
+class TestConstFold:
+    def test_folds_constant_arithmetic(self):
+        module = compile_noopt("int main() { return (3 + 4) * 5 - 100 / 10; }")
+        func = module.get_function("main")
+        fold_constants(func)
+        from repro.ir import Return
+
+        ret = func.entry.terminator
+        assert isinstance(ret, Return)
+        assert isinstance(ret.value, Constant)
+        assert ret.value.value == 25
+
+    def test_identities(self):
+        module = compile_noopt(
+            "int f(int x) { return ((x + 0) * 1 - 0) + (x - x); }"
+        )
+        func = module.get_function("f")
+        fold_constants(func)
+        # Everything reduces to `ret x`; no arithmetic remains.
+        assert not any(isinstance(i, BinaryOp) for i in func.instructions())
+
+    def test_mul_by_zero(self):
+        module = compile_noopt("int f(int x) { return x * 0; }")
+        func = module.get_function("f")
+        fold_constants(func)
+        ret = func.entry.terminator
+        assert isinstance(ret.value, Constant) and ret.value.value == 0
+
+    def test_int_overflow_wraps(self):
+        module = compile_noopt("int main() { return 2147483647 + 1 < 0; }")
+        func = module.get_function("main")
+        fold_constants(func)
+        assert Interpreter(module).run("main") == 1
+
+    def test_comparison_folding(self):
+        module = compile_noopt("int main() { if (3 < 5) return 1; return 2; }")
+        func = module.get_function("main")
+        fold_constants(func)
+        term = func.entry.terminator
+        assert isinstance(term, CondBranch)
+        assert isinstance(term.condition, Constant)
+
+    def test_cast_folding(self):
+        module = compile_noopt("int main() { return (int)(2.75f * 2.0f); }")
+        func = module.get_function("main")
+        fold_constants(func)
+        assert Interpreter(module).run("main") == 5
+
+
+class TestLICM:
+    def test_hoists_invariant_multiply(self):
+        src = """
+        float out[64];
+        void f(int n, float a, float b) {
+          loop: for (int i = 0; i < n; i++) out[i] = (a * b) + (float)i;
+        }
+        """
+        module = compile_noopt(src)
+        func = module.get_function("f")
+        count = hoist_invariants(func)
+        assert count >= 1
+        verify_module(module)
+        body = func.block_by_name("loop.body")
+        assert not any(
+            i.opcode == "fmul" for i in body.instructions
+        ), "a*b should have left the loop body"
+
+    def test_does_not_hoist_variant(self):
+        src = """
+        float out[64];
+        void f(int n, float a) {
+          loop: for (int i = 0; i < n; i++) out[i] = a * (float)i;
+        }
+        """
+        module = compile_noopt(src)
+        func = module.get_function("f")
+        hoist_invariants(func)
+        body = func.block_by_name("loop.body")
+        assert any(i.opcode == "fmul" for i in body.instructions)
+
+    def test_does_not_hoist_division(self):
+        """Hoisting a div could trap on the zero-trip path."""
+        src = """
+        float out[64];
+        void f(int n, float a, float b) {
+          loop: for (int i = 0; i < n; i++) out[i] = a / b;
+        }
+        """
+        module = compile_noopt(src)
+        func = module.get_function("f")
+        hoist_invariants(func)
+        body = func.block_by_name("loop.body")
+        assert any(i.opcode == "fdiv" for i in body.instructions)
+
+    def test_nested_hoist_to_outermost(self):
+        src = """
+        float out[8][8];
+        void f(int n, float a, float b) {
+          o: for (int i = 0; i < n; i++)
+            in: for (int j = 0; j < n; j++)
+              out[i][j] = a * b;
+        }
+        """
+        module = compile_noopt(src)
+        func = module.get_function("f")
+        hoist_invariants(func)
+        verify_module(module)
+        entry = func.entry
+        assert any(i.opcode == "fmul" for i in entry.instructions)
+
+
+class TestSimplifyCFG:
+    def test_constant_branch_folded(self):
+        module = compile_noopt("int main() { if (1) return 5; return 6; }")
+        func = module.get_function("main")
+        fold_constants(func)
+        simplify_cfg(func)
+        verify_module(module)
+        assert Interpreter(module).run("main") == 5
+        assert len(func.blocks) == 1
+
+    def test_straightline_merge(self):
+        module = compile_noopt(
+            "int f(int a) { int x = a + 1; { int y = x * 2; return y; } }"
+        )
+        func = module.get_function("f")
+        before = len(func.blocks)
+        simplify_cfg(func)
+        assert len(func.blocks) <= before
+        verify_module(module)
+
+    def test_loop_structure_preserved(self):
+        src = """
+        int main() {
+          int s = 0;
+          loop: for (int i = 0; i < 10; i++) s += i;
+          return s;
+        }
+        """
+        module = compile_noopt(src)
+        func = module.get_function("main")
+        simplify_cfg(func)
+        verify_module(module)
+        assert Interpreter(module).run("main") == 45
+        from repro.analysis import LoopInfo
+
+        assert len(LoopInfo(func).loops) == 1
+
+    def test_forwarder_bypassed(self):
+        src = """
+        int f(int a) {
+          int r = 0;
+          if (a > 0) { r = 1; } else { r = 2; }
+          return r;
+        }
+        """
+        module = compile_noopt(src)
+        func = module.get_function("f")
+        simplify_cfg(func)
+        verify_module(module)
+        interp_module = compile_noopt(src)
+        for value in (-3, 0, 7):
+            assert (
+                Interpreter(module).run("f", [value])
+                == Interpreter(interp_module).run("f", [value])
+            )
+
+
+# -- Property test: the whole pipeline preserves program results -----------------
+
+
+@st.composite
+def random_scalar_program(draw):
+    """A small straight-line + branch + loop integer program."""
+    consts = draw(st.lists(st.integers(-50, 50), min_size=3, max_size=6))
+    ops = draw(st.lists(st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+                        min_size=2, max_size=5))
+    expr = f"a"
+    for i, op in enumerate(ops):
+        expr = f"({expr} {op} {consts[i % len(consts)]})"
+    bound = draw(st.integers(1, 12))
+    threshold = draw(st.integers(-10, 10))
+    return f"""
+    int f(int a) {{
+      int acc = 0;
+      for (int i = 0; i < {bound}; i++) {{
+        int v = {expr};
+        if (v > {threshold}) acc += v; else acc -= i;
+        a = a + 1;
+      }}
+      return acc;
+    }}
+    """
+
+
+@given(random_scalar_program(), st.integers(-20, 20))
+@settings(max_examples=50, deadline=None)
+def test_pipeline_preserves_semantics(source, arg):
+    plain = compile_source(source, optimize=False)
+    optimized = compile_source(source, optimize=True)
+    verify_module(optimized)
+    assert (
+        Interpreter(plain).run("f", [arg])
+        == Interpreter(optimized).run("f", [arg])
+    )

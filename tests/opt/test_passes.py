@@ -1,0 +1,204 @@
+"""Tests for the optimization passes: accumulator promotion and DCE.
+
+The key property: optimized and unoptimized programs compute identical
+results (the passes only change *where* values live).
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import Load, Store, verify_module
+from repro.opt import (
+    eliminate_dead_code,
+    optimize_module,
+    promote_accumulators,
+)
+
+
+DOT = """
+float A[20][20]; float B[20][20]; float z[20];
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    z[i] = 0.0f;
+    for (int j = 0; j < n; j++) { A[i][j] = (float)(i+j); B[i][j] = (float)(i*j%5); }
+  }
+}
+void kernel(int n) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      z[i] += A[i][j] * B[i][j];
+}
+int main() { init(20); kernel(20); return 0; }
+"""
+
+
+def loads_stores_in_loop(module, fname, loop_name):
+    from repro.analysis import LoopInfo
+
+    func = module.get_function(fname)
+    info = LoopInfo(func)
+    loop = next(l for l in info.loops if l.name == loop_name)
+    loads = stores = 0
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Load):
+                loads += 1
+            elif isinstance(inst, Store):
+                stores += 1
+    return loads, stores
+
+
+class TestPromotion:
+    def test_promotes_accumulator(self):
+        module = compile_source(DOT, optimize=False)
+        count = promote_accumulators(module.get_function("kernel"))
+        assert count == 1
+        verify_module(module)
+        # z's load/store left the inner loop.
+        loads, stores = loads_stores_in_loop(module, "kernel", "for.header.1")
+        assert loads == 2 and stores == 0
+
+    def test_semantics_preserved(self):
+        import numpy as np
+
+        results = {}
+        for optimize in (False, True):
+            module = compile_source(DOT, optimize=optimize)
+            interp = Interpreter(module)
+            interp.run("main")
+            results[optimize] = interp.memory.read_array_f(
+                interp.address_of_global("z"), 20
+            )
+        assert np.allclose(results[False], results[True])
+
+    def test_reduces_cpu_cycles(self):
+        cycles = {}
+        for optimize in (False, True):
+            module = compile_source(DOT, optimize=optimize)
+            interp = Interpreter(module)
+            interp.run("main")
+            cycles[optimize] = interp.cycles
+        assert cycles[True] < cycles[False]
+
+    def test_no_promotion_with_aliasing_access(self):
+        src = """
+        float v[32];
+        void kernel(int n) {
+          for (int i = 1; i < n; i++)
+            for (int j = 0; j < n; j++)
+              v[i] += v[j];   /* v[j] sweeps over v[i]'s address */
+        }
+        int main() { kernel(8); return 0; }
+        """
+        module = compile_source(src, optimize=False)
+        assert promote_accumulators(module.get_function("kernel")) == 0
+
+    def test_no_promotion_for_conditional_store(self):
+        src = """
+        float v[32]; float w[32];
+        void kernel(int n) {
+          for (int i = 0; i < n; i++) {
+            float x = w[i];
+            if (x > 0.5f) v[0] = v[0] + x;
+          }
+        }
+        int main() { kernel(8); return 0; }
+        """
+        module = compile_source(src, optimize=False)
+        assert promote_accumulators(module.get_function("kernel")) == 0
+
+    def test_promotion_with_disjoint_constant_offsets(self):
+        src = """
+        float acc[4]; float w[32];
+        void kernel(int n) {
+          for (int i = 0; i < n; i++) {
+            acc[0] = acc[0] + w[i];
+            acc[1] = acc[1] + w[i] * 2.0f;
+          }
+        }
+        int main() {
+          for (int i = 0; i < 32; i++) w[i] = (float)i;
+          acc[0] = 0.0f; acc[1] = 0.0f;
+          kernel(32);
+          return (int)acc[0];
+        }
+        """
+        module = compile_source(src, optimize=False)
+        promoted = promote_accumulators(module.get_function("kernel"))
+        assert promoted == 2
+        interp = Interpreter(module)
+        result = interp.run("main")
+        assert result == sum(range(32))
+
+    def test_zero_trip_loop_safe(self):
+        src = """
+        float z[4]; float w[8];
+        int main() {
+          z[0] = 5.0f;
+          for (int i = 0; i < 0; i++) z[0] = z[0] + w[i];
+          return (int)z[0];
+        }
+        """
+        result_noopt = compile_and_run(src, optimize=False)
+        result_opt = compile_and_run(src, optimize=True)
+        assert result_noopt == result_opt == 5
+
+
+def compile_and_run(src, optimize):
+    module = compile_source(src, optimize=optimize)
+    return Interpreter(module).run("main")
+
+
+class TestDCE:
+    def test_removes_dead_chain(self):
+        module = compile_source(
+            "int main(){ int unused = (3 + 4) * 5; return 1; }", optimize=False
+        )
+        func = module.get_function("main")
+        removed = eliminate_dead_code(func)
+        # Constant-operand arithmetic feeding nothing must vanish.
+        assert removed >= 1
+        verify_module(module)
+
+    def test_keeps_stores(self):
+        module = compile_source(
+            "float g[2]; int main(){ g[0] = 1.0f; return 0; }", optimize=False
+        )
+        func = module.get_function("main")
+        eliminate_dead_code(func)
+        assert any(isinstance(i, Store) for i in func.instructions())
+
+    def test_keeps_calls(self):
+        module = compile_source(
+            "int g() { return 1; } int main(){ g(); return 0; }", optimize=False
+        )
+        func = module.get_function("main")
+        eliminate_dead_code(func)
+        from repro.ir import Call
+
+        assert any(isinstance(i, Call) for i in func.instructions())
+
+
+class TestPipeline:
+    def test_optimize_module_verifies(self):
+        module = compile_source(DOT, optimize=False)
+        optimize_module(module)
+        verify_module(module)
+
+    def test_workloads_preserve_semantics_spot_check(self):
+        """atax: optimized vs unoptimized outputs match."""
+        import numpy as np
+
+        from repro.workloads import get_workload
+
+        w = get_workload("atax")
+        outs = {}
+        for optimize in (False, True):
+            module = compile_source(w.source, optimize=optimize)
+            interp = Interpreter(module)
+            interp.run("main")
+            outs[optimize] = interp.memory.read_array_f(
+                interp.address_of_global("y"), 24
+            )
+        assert np.allclose(outs[False], outs[True], rtol=1e-5)

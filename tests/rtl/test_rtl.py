@@ -1,0 +1,234 @@
+"""Tests for the structural Verilog backend."""
+
+import re
+
+import pytest
+
+from repro.framework import Cayman
+from repro.hls import DFG
+from repro.frontend import compile_source
+from repro.rtl import (
+    VerilogDesign,
+    VerilogModule,
+    generate_accelerator,
+    generate_solution,
+    primitive_text,
+    primitives_for,
+    sanitize,
+)
+
+SAXPY = """
+float x[128]; float y[128];
+void saxpy(int n, float k, float b) {
+  linear: for (int i = 0; i < n; i++) y[i] = k * x[i] + b;
+}
+int main() {
+  for (int i = 0; i < 128; i++) x[i] = (float)i;
+  for (int r = 0; r < 10; r++) saxpy(128, 2.0f, 1.0f);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def saxpy_estimate():
+    result = Cayman().run(SAXPY, name="saxpy")
+    best = result.best_under_budget(0.65)
+    return max(best.solution.accelerators, key=lambda e: e.area), best.solution
+
+
+def modules_in(text):
+    return re.findall(r"^module (\w+)", text, re.M)
+
+
+class TestVerilogWriter:
+    def test_module_emission(self):
+        module = VerilogModule("m")
+        module.add_port("clk", "input")
+        module.add_port("q", "output", 8)
+        module.add_net("tmp", 8)
+        module.add_assign("q", "tmp")
+        text = module.emit()
+        assert text.startswith("module m (")
+        assert "output [7:0] q" in text
+        assert "wire [7:0] tmp;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_unique_names(self):
+        module = VerilogModule("m")
+        a = module.add_net("x")
+        b = module.add_net("x")
+        assert a.name != b.name
+
+    def test_sanitize(self):
+        assert sanitize("bb:loop.body") == "bb_loop_body"
+        assert sanitize("3mm") == "n_3mm"
+        assert sanitize("ok_name") == "ok_name"
+
+    def test_bad_module_name_rejected(self):
+        with pytest.raises(ValueError):
+            VerilogModule("3bad")
+
+
+class TestPrimitives:
+    def test_known_primitives(self):
+        for resource in ("add", "fadd", "fmul", "icmp", "select", "gep",
+                         "lsu_port", "stream_port", "spad_bank", "fsqrt"):
+            text = primitive_text(resource)
+            assert f"module cayman_{resource}" in text
+            assert len(re.findall(r"\bmodule\b", text)) == len(
+                re.findall(r"\bendmodule\b", text)
+            )
+
+    def test_unknown_primitive(self):
+        with pytest.raises(KeyError):
+            primitive_text("quantum")
+
+    def test_primitives_for_dedupes(self):
+        texts = primitives_for(["add", "add", "fadd", "control"])
+        assert len(texts) == 2
+
+
+class TestAcceleratorGeneration:
+    def test_balanced_and_complete(self, saxpy_estimate):
+        estimate, _ = saxpy_estimate
+        text = generate_accelerator(estimate, "saxpy_accel")
+        mods = modules_in(text)
+        assert len(mods) == len(re.findall(r"^endmodule", text, re.M))
+        assert "saxpy_accel" in mods
+        assert any(m.startswith("dp0_") for m in mods)
+        assert any(m.startswith("fsm0_") for m in mods)
+
+    def test_instance_count_matches_dfg(self, saxpy_estimate):
+        estimate, _ = saxpy_estimate
+        text = generate_accelerator(estimate, "saxpy_accel")
+        unit_name, dfg = estimate.units[0]
+        compute_ops = [
+            n for n in dfg.nodes
+            if n.resource not in ("load", "store", "phi", "control",
+                                  "alloca", "call")
+        ]
+        dp_match = re.search(
+            r"^module dp0_.*?^endmodule", text, re.M | re.S
+        )
+        assert dp_match is not None
+        instances = re.findall(r"cayman_\w+(?: #\(.*?\))? u\d+", dp_match.group(0))
+        assert len(instances) == len(compute_ops)
+
+    def test_interfaces_instantiated(self, saxpy_estimate):
+        estimate, _ = saxpy_estimate
+        text = generate_accelerator(estimate, "saxpy_accel")
+        counts = estimate.interface_counts
+        stream_instances = len(re.findall(r"cayman_stream_port i_", text))
+        spad_instances = len(re.findall(r"cayman_spad_bank i_", text))
+        lsu_instances = len(re.findall(r"cayman_lsu_port i_", text))
+        # One interface component per access instruction (unroll copies
+        # share it), summed over all units that contain the instruction.
+        assert stream_instances >= counts.get("decoupled", 0)
+        assert spad_instances >= counts.get("scratchpad", 0)
+        assert lsu_instances >= counts.get("coupled", 0)
+        total = stream_instances + spad_instances + lsu_instances
+        per_inst = sum(
+            v for k, v in counts.items() if k != "scanchain"
+        )
+        assert total <= 2 * max(1, per_inst)
+
+    def test_fsm_has_state_machine(self, saxpy_estimate):
+        estimate, _ = saxpy_estimate
+        text = generate_accelerator(estimate, "saxpy_accel")
+        assert "always @(posedge clk)" in text
+        assert re.search(r"assign done = state ==", text)
+
+    def test_top_level_ports(self, saxpy_estimate):
+        estimate, _ = saxpy_estimate
+        text = generate_accelerator(estimate, "saxpy_accel")
+        top = re.search(r"^module saxpy_accel.*?^endmodule", text, re.M | re.S)
+        assert top is not None
+        for port in ("clk", "rst", "start", "done", "mem_addr", "mem_rdata"):
+            assert port in top.group(0)
+
+    def test_solution_generation(self, saxpy_estimate):
+        _, solution = saxpy_estimate
+        text = generate_solution(solution, "demo")
+        assert text.count("// Design:") == len(solution.accelerators)
+
+    def test_float_literal_encoding(self):
+        from repro.ir import Constant, F32
+        from repro.rtl.accel_gen import _literal
+
+        assert _literal(Constant(F32, 1.0), 32) == "32'h3f800000"
+        assert _literal(Constant(F32, -2.0), 32) == "32'hc0000000"
+
+    def test_int_literal_encoding(self):
+        from repro.ir import Constant, I32
+        from repro.rtl.accel_gen import _literal
+
+        assert _literal(Constant(I32, 5), 32) == "32'd5"
+        assert _literal(Constant(I32, -1), 32) == f"32'd{(1 << 32) - 1}"
+
+
+THREE_KERNELS = """
+float a1[64]; float a2[64]; float a3[64];
+float b1[64]; float b2[64]; float b3[64];
+void k1(int n) { l1: for (int i = 0; i < n; i++) b1[i] = 2.0f * a1[i] + 1.0f; }
+void k2(int n) { l2: for (int i = 0; i < n; i++) b2[i] = 2.0f * a2[i] + 1.0f; }
+void k3(int n) { l3: for (int i = 0; i < n; i++) b3[i] = 2.0f * a3[i] + 1.0f; }
+int main() {
+  for (int r = 0; r < 30; r++) { k1(64); k2(64); k3(64); }
+  return 0;
+}
+"""
+
+
+class TestReusableAcceleratorRTL:
+    @pytest.fixture(scope="class")
+    def merged(self):
+        result = Cayman().run(THREE_KERNELS, name="triple")
+        return result.best_under_budget(0.65)
+
+    def test_reusable_group_exists(self, merged):
+        assert any(a.is_reusable for a in merged.accelerators)
+        assert merged.units and len(merged.unit_groups) == len(merged.units)
+        assert len(merged.group_roots) == len(merged.accelerators)
+
+    def test_generate_reusable(self, merged):
+        from repro.rtl import generate_reusable_accelerator
+
+        index = next(
+            i for i, a in enumerate(merged.accelerators) if a.is_reusable
+        )
+        text = generate_reusable_accelerator(merged, index, "triple_saxpy")
+        mods = modules_in(text)
+        assert len(mods) == len(re.findall(r"^endmodule", text, re.M))
+        assert "triple_saxpy" in mods
+        # One FSM per member kernel (Fig. 5).
+        members = merged.accelerators[index].region_count
+        assert sum(1 for m in mods if m.startswith("kfsm")) == members
+        # The Ctrl dispatcher selects the kernel.
+        assert "kernel_select" in text
+        # Merged datapath appears once, not per member.
+        assert sum(1 for m in mods if m.startswith("ru")) < members * 2
+
+    def test_config_register_when_muxes_exist(self, merged):
+        from repro.rtl import generate_reusable_accelerator
+
+        index = next(
+            i for i, a in enumerate(merged.accelerators) if a.is_reusable
+        )
+        group_root = merged.group_roots[index]
+        config_bits = sum(
+            u.config_bits
+            for u, root in zip(merged.units, merged.unit_groups)
+            if root == group_root
+        )
+        text = generate_reusable_accelerator(merged, index)
+        if config_bits:
+            assert "config_reg" in text
+        else:
+            assert "config_reg" not in text
+
+    def test_bad_group_index(self, merged):
+        from repro.rtl import generate_reusable_accelerator
+
+        with pytest.raises(IndexError):
+            generate_reusable_accelerator(merged, 99)

@@ -1,0 +1,228 @@
+"""Algorithm 1 tests: the DP against brute-force tree-knapsack enumeration
+on synthetic wPSTs, plus pruning behaviour on real programs."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.wpst import WPSTNode
+from repro.selection import CandidateSelector, EMPTY_SOLUTION, Solution
+from repro.selection.knapsack import select_candidates
+
+from .test_solution_pareto import FakeEstimate
+
+
+class FakeWPST:
+    def __init__(self, root):
+        self.root = root
+
+
+class FakeModel:
+    """Model serving canned estimates per vertex name."""
+
+    def __init__(self, estimates_by_name):
+        self.estimates = estimates_by_name
+
+    def candidates(self, node):
+        return self.estimates.get(node.name, [])
+
+
+def vertex(kind, name, children=()):
+    node = WPSTNode(kind, name)
+    for child in children:
+        node.add_child(child)
+    return node
+
+
+def brute_force_best(root, model, budget):
+    """Enumerate all legal selections (no ancestor/descendant pairs)."""
+    region_nodes = [n for n in root.walk() if n.is_region or n.kind in ("bb", "ctrl-flow")]
+
+    def descendants(node):
+        return set(node.walk()) - {node}
+
+    best = (0.0, 0.0)  # (saved, area)
+    options = []
+    for node in region_nodes:
+        for est in model.candidates(node):
+            options.append((node, est))
+
+    for r in range(len(options) + 1):
+        for combo in itertools.combinations(options, r):
+            nodes = [n for n, _ in combo]
+            if len(set(nodes)) != len(nodes):
+                continue
+            legal = True
+            for i, a in enumerate(nodes):
+                for b in nodes[i + 1:]:
+                    if a in descendants(b) or b in descendants(a):
+                        legal = False
+                        break
+                if not legal:
+                    break
+            if not legal:
+                continue
+            area = sum(e.area for _, e in combo)
+            saved = sum(e.saved_seconds for _, e in combo)
+            if area <= budget and saved > best[0]:
+                best = (saved, area)
+    return best
+
+
+def _make(spec, counter):
+    kind, children = spec
+    node = vertex(kind, f"v{next(counter)}")
+    for child in children:
+        node.add_child(_make(child, counter))
+    return node
+
+
+tree_strategy = st.recursive(
+    st.just(("bb", [])),
+    lambda inner: st.tuples(
+        st.just("ctrl-flow"), st.lists(inner, min_size=1, max_size=3)
+    ),
+    max_leaves=6,
+).map(lambda spec: _make(("root", [("function", [spec])]), itertools.count()))
+
+
+estimate_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=2,
+)
+
+
+class TestDPvsBruteForce:
+    @given(tree_strategy, st.data(), st.integers(min_value=10, max_value=120))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_with_tight_alpha(self, root, data, budget):
+        estimates = {}
+        for node in root.walk():
+            if node.kind in ("bb", "ctrl-flow"):
+                pairs = data.draw(estimate_lists)
+                estimates[node.name] = [
+                    FakeEstimate(float(a), float(s), node.name) for a, s in pairs
+                ]
+        model = FakeModel(estimates)
+        selector = CandidateSelector(
+            FakeWPST(root), model, alpha=1.0000001
+        )
+        selector.run()
+        best = selector.best_under_budget(budget)
+        expected_saved, _ = brute_force_best(root, model, budget)
+        assert best.saved_seconds == pytest.approx(expected_saved)
+        assert best.area <= budget
+
+    @given(tree_strategy, st.data(), st.integers(min_value=10, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_filtered_dp_never_exceeds_optimum(self, root, data, budget):
+        estimates = {}
+        for node in root.walk():
+            if node.kind in ("bb", "ctrl-flow"):
+                pairs = data.draw(estimate_lists)
+                estimates[node.name] = [
+                    FakeEstimate(float(a), float(s), node.name) for a, s in pairs
+                ]
+        model = FakeModel(estimates)
+        selector = CandidateSelector(FakeWPST(root), model, alpha=1.3)
+        selector.run()
+        best = selector.best_under_budget(budget)
+        expected_saved, _ = brute_force_best(root, model, budget)
+        assert best.saved_seconds <= expected_saved + 1e-9
+        assert best.area <= budget
+
+
+class TestSelectorStructure:
+    def test_parent_selection_excludes_children(self):
+        leaf = vertex("bb", "leaf")
+        parent = vertex("ctrl-flow", "parent", [leaf])
+        func = vertex("function", "f", [parent])
+        root = vertex("root", "app", [func])
+        model = FakeModel({
+            "leaf": [FakeEstimate(10.0, 5.0, "leaf")],
+            "parent": [FakeEstimate(12.0, 9.0, "parent")],
+        })
+        selector = CandidateSelector(FakeWPST(root), model, alpha=1.0001)
+        selector.run()
+        best = selector.best_under_budget(100.0)
+        # Best single choice is the parent; leaf+parent would overlap.
+        assert best.saved_seconds == 9.0
+        assert len(best.accelerators) == 1
+
+    def test_sibling_selection_combines(self):
+        a = vertex("bb", "a")
+        b = vertex("bb", "b")
+        parent = vertex("ctrl-flow", "parent", [a, b])
+        func = vertex("function", "f", [parent])
+        root = vertex("root", "app", [func])
+        model = FakeModel({
+            "a": [FakeEstimate(10.0, 5.0, "a")],
+            "b": [FakeEstimate(10.0, 5.0, "b")],
+            "parent": [FakeEstimate(30.0, 8.0, "parent")],
+        })
+        selector = CandidateSelector(FakeWPST(root), model, alpha=1.0001)
+        selector.run()
+        # Siblings combine: 10 gain at area 20 beats parent's 8 at 30.
+        best = selector.best_under_budget(100.0)
+        assert best.saved_seconds == 10.0
+        assert len(best.accelerators) == 2
+
+    def test_budget_zero_gives_empty(self):
+        a = vertex("bb", "a")
+        func = vertex("function", "f", [a])
+        root = vertex("root", "app", [func])
+        model = FakeModel({"a": [FakeEstimate(10.0, 5.0, "a")]})
+        selector = CandidateSelector(FakeWPST(root), model, alpha=1.1)
+        selector.run()
+        best = selector.best_under_budget(0.0)
+        assert best.is_empty
+
+    def test_alpha_must_exceed_one(self):
+        root = vertex("root", "app")
+        with pytest.raises(ValueError):
+            CandidateSelector(FakeWPST(root), FakeModel({}), alpha=1.0)
+
+
+class TestPruningOnRealPrograms:
+    def test_cold_regions_pruned(self, fig2_module, fig2_profile):
+        from repro.analysis import WPST
+        from repro.model import AcceleratorModel
+
+        wpst = WPST(fig2_module)
+        model = AcceleratorModel(fig2_module, fig2_profile)
+        selector = select_candidates(
+            wpst, model, profile=fig2_profile, prune_threshold=0.9
+        )
+        # With an absurd threshold everything is pruned.
+        assert selector.pruned_vertices > 0
+        best = selector.best_under_budget(1e12)
+        assert best.is_empty
+
+    def test_front_is_pareto_on_real_program(self, fig2_module, fig2_profile):
+        from repro.analysis import WPST
+        from repro.model import AcceleratorModel
+
+        wpst = WPST(fig2_module)
+        model = AcceleratorModel(fig2_module, fig2_profile)
+        selector = select_candidates(wpst, model, profile=fig2_profile)
+        front = selector.fronts[wpst.root]
+        for a, b in zip(front, front[1:]):
+            assert a.area <= b.area
+            assert a.saved_seconds < b.saved_seconds
+
+    def test_selected_kernels_never_overlap(self, fig2_module, fig2_profile):
+        from repro.analysis import WPST
+        from repro.model import AcceleratorModel
+
+        wpst = WPST(fig2_module)
+        model = AcceleratorModel(fig2_module, fig2_profile)
+        selector = select_candidates(wpst, model, profile=fig2_profile)
+        for solution in selector.fronts[wpst.root]:
+            regions = [a.config.region for a in solution.accelerators]
+            for i, r1 in enumerate(regions):
+                for r2 in regions[i + 1:]:
+                    assert not (r1.blocks & r2.blocks)

@@ -1,0 +1,155 @@
+"""Property and unit tests for solutions, Pareto fronts, and filter(α)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.selection import (
+    EMPTY_SOLUTION,
+    Solution,
+    combine,
+    filter_front,
+    pareto,
+)
+
+
+class FakeEstimate:
+    """Minimal stand-in for AcceleratorEstimate in selection math."""
+
+    def __init__(self, area, saved_seconds, name="k"):
+        self.area = area
+        self.saved_seconds = saved_seconds
+        self.seq_blocks = 1
+        self.pipelined_regions = 0
+        self.interface_counts = {}
+
+        class _Cfg:
+            kernel_name = name
+
+        self.config = _Cfg()
+
+
+def sol(area, saved):
+    return Solution((FakeEstimate(area, saved),))
+
+
+solutions_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=1000, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=30,
+).map(lambda pairs: [sol(a, s) for a, s in pairs] + [EMPTY_SOLUTION])
+
+
+class TestSolution:
+    def test_empty_solution(self):
+        assert EMPTY_SOLUTION.is_empty
+        assert EMPTY_SOLUTION.area == 0
+        assert EMPTY_SOLUTION.saved_seconds == 0
+
+    def test_union_adds(self):
+        u = sol(10, 1).union(sol(20, 2))
+        assert u.area == 30
+        assert u.saved_seconds == 3
+        assert len(u.accelerators) == 2
+
+    def test_speedup_equation(self):
+        s = sol(10, 0.5)
+        assert s.speedup(1.0) == pytest.approx(2.0)
+        assert EMPTY_SOLUTION.speedup(1.0) == 1.0
+
+    def test_speedup_saturates(self):
+        s = sol(10, 1.0)
+        assert s.speedup(1.0) == float("inf")
+
+
+class TestPareto:
+    @given(solutions_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_front_sorted_and_strictly_improving(self, solutions):
+        front = pareto(solutions)
+        for a, b in zip(front, front[1:]):
+            assert a.area <= b.area
+            assert a.saved_seconds < b.saved_seconds
+
+    @given(solutions_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_no_dominated_survivor(self, solutions):
+        front = pareto(solutions)
+        for kept in front:
+            for other in solutions:
+                dominates = (
+                    other.area <= kept.area
+                    and other.saved_seconds > kept.saved_seconds
+                ) or (
+                    other.area < kept.area
+                    and other.saved_seconds >= kept.saved_seconds
+                )
+                assert not dominates
+
+    @given(solutions_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_best_gain_preserved(self, solutions):
+        front = pareto(solutions)
+        assert max(s.saved_seconds for s in front) == max(
+            s.saved_seconds for s in solutions
+        )
+
+
+class TestFilter:
+    @given(solutions_strategy, st.floats(min_value=1.01, max_value=3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_geometric_spacing_invariant(self, solutions, alpha):
+        front = pareto(solutions)
+        filtered = filter_front(front, alpha)
+        positives = [s for s in filtered if s.area > 0]
+        for a, b in zip(positives, positives[1:]):
+            assert b.area > alpha * a.area
+
+    @given(solutions_strategy, st.floats(min_value=1.01, max_value=3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_filter_is_subsequence(self, solutions, alpha):
+        front = pareto(solutions)
+        filtered = filter_front(front, alpha)
+        iterator = iter(front)
+        for item in filtered:
+            assert any(item is x for x in iterator)
+
+    def test_zero_area_always_kept(self):
+        front = pareto([EMPTY_SOLUTION, sol(1, 1), sol(1.05, 2)])
+        filtered = filter_front(front, 1.5)
+        assert EMPTY_SOLUTION in filtered
+
+    def test_log_bound_on_front_length(self):
+        """filter reduces a dense front of max area A to ~log_alpha A."""
+        import math
+
+        dense = pareto([sol(a, a) for a in range(1, 1001)])
+        alpha = 1.1
+        filtered = filter_front(dense, alpha)
+        bound = math.log(1000, alpha) + 2
+        assert len(filtered) <= bound
+
+
+class TestCombine:
+    def test_cross_product_union(self):
+        left = [EMPTY_SOLUTION, sol(10, 1)]
+        right = [EMPTY_SOLUTION, sol(5, 2)]
+        front = combine(left, right)
+        areas = sorted(s.area for s in front)
+        assert 15 in areas  # both selected
+        assert front[-1].saved_seconds == 3
+
+    def test_area_cap_prunes(self):
+        left = [EMPTY_SOLUTION, sol(10, 1)]
+        right = [EMPTY_SOLUTION, sol(10, 1)]
+        front = combine(left, right, area_cap=15)
+        assert all(s.area <= 15 for s in front)
+
+    @given(solutions_strategy, solutions_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_combine_is_pareto(self, left, right):
+        front = combine(pareto(left), pareto(right))
+        for a, b in zip(front, front[1:]):
+            assert a.area <= b.area and a.saved_seconds < b.saved_seconds
