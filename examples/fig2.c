@@ -1,0 +1,41 @@
+/* The paper's Fig. 2 example application: two accelerable functions
+ * (a linear map and a row-wise dot product) driven from main.
+ * Try: python -m repro lint examples/fig2.c
+ *      python -m repro run examples/fig2.c
+ */
+float x[256]; float y[256];
+float A[48][48]; float B[48][48]; float z[48];
+
+void initdata(int n, int m) {
+  for (int i = 0; i < n; i++) {
+    z[i] = 0.0f;
+    for (int j = 0; j < n; j++) {
+      A[i][j] = (float)(i + j);
+      B[i][j] = (float)(i - j);
+    }
+  }
+  for (int i = 0; i < m; i++) { x[i] = (float)i; y[i] = 0.0f; }
+}
+
+void func0(int n, float k, float b) {
+  linear: for (int i = 0; i < n; i++) {
+    y[i] = k * x[i] + b;
+  }
+}
+
+void func1(int n, int m) {
+  outer: for (int i = 0; i < n; i++) {
+    dot_product: for (int j = 0; j < m; j++) {
+      z[i] += A[i][j] * B[i][j];
+    }
+  }
+}
+
+int main() {
+  initdata(48, 256);
+  for (int r = 0; r < 16; r++) {
+    func0(256, 2.0f, 1.0f);
+    func1(48, 48);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+/* Minimal single-kernel example: saxpy over global arrays.
+ * Try: python -m repro lint examples/saxpy.c
+ */
+int A[64]; int B[64]; int C[64];
+
+void saxpy(int n, int a) {
+  for (int i = 0; i < n; i = i + 1) {
+    C[i] = a * A[i] + B[i];
+  }
+}
+
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { A[i] = i; B[i] = 2 * i; }
+  saxpy(64, 3);
+  return C[10];
+}

@@ -8,6 +8,7 @@ Commands:
 * ``fig6``           — regenerate the paper's Fig. 6 Pareto-front series.
 * ``table1``         — print the Table I capability matrix.
 * ``dump <file.c>``  — compile and print the optimized IR and the wPST.
+* ``lint <file.c>``  — run the static diagnostics engine (Cayman Lint).
 * ``bench-list``     — list the available benchmark workloads.
 """
 
@@ -154,6 +155,30 @@ def _cmd_emit_rtl(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .diagnostics import render_json, render_text, run_lint
+    from .frontend import compile_source
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    module = compile_source(source, name, optimize=not args.no_opt)
+    profile = wpst = model = None
+    if not args.no_profile:
+        from .analysis import WPST
+        from .interp.profiler import profile_module
+        from .model.estimator import AcceleratorModel
+
+        profile = profile_module(module, entry=args.entry)
+        wpst = WPST(module, entry_function=args.entry)
+        model = AcceleratorModel(module, profile)
+    result = run_lint(module, profile=profile, wpst=wpst, model=model)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code(strict=args.strict)
+
+
 def _cmd_bench_list(args) -> int:
     from .workloads import all_workloads
 
@@ -212,6 +237,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit merged reusable accelerators (Fig. 5 form)")
     rtl.add_argument("-o", "--output")
     rtl.set_defaults(func=_cmd_emit_rtl)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run static diagnostics over a mini-C program",
+        description=(
+            "Compile a mini-C program (or a registered workload) and run "
+            "the Cayman Lint rules over its IR, analyses, and the "
+            "accelerator configurations the model would generate.  Exits "
+            "1 when error-severity findings are present (with --strict, "
+            "warnings also fail)."
+        ),
+    )
+    lint.add_argument("source", nargs="?")
+    lint.add_argument("--workload", help="lint a registered benchmark instead")
+    lint.add_argument("--entry", default="main")
+    lint.add_argument("--no-opt", action="store_true",
+                      help="lint the unoptimized IR")
+    lint.add_argument("--no-profile", action="store_true",
+                      help="skip profiling (disables profile/wPST/config rules)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on warnings as well as errors")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.set_defaults(func=_cmd_lint)
 
     bench = sub.add_parser("bench-list", help="list benchmark workloads")
     bench.set_defaults(func=_cmd_bench_list)

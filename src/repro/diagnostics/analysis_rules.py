@@ -1,0 +1,137 @@
+"""Analysis-layer diagnostic rules (codes ``AN0xx``).
+
+Consistency checks over the wPST, the profile, and the memory-access
+analyses.  These rules guard the *inputs* of candidate selection: a region
+offered with zero profile weight wastes DP work; an access classified as a
+stream without an analyzable address recurrence would synthesize a broken
+AGU; a loop whose footprints are unanalyzable but that reports no carried
+dependence would be pipelined/unrolled unsoundly (paper §III-B/III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .core import Diagnostic, Location, Severity
+from .registry import rule
+
+
+@rule(
+    "AN001",
+    "cold-region-candidate",
+    layer="analysis",
+    severity=Severity.WARNING,
+    description=(
+        "wPST region vertex was never executed in the profiling run; it "
+        "remains a selection candidate with zero profit."
+    ),
+    paper_ref="§III-D (heuristic pruning, Algorithm 1 line 2)",
+    requires=("profile", "wpst"),
+)
+def check_cold_regions(ctx) -> Iterator[Diagnostic]:
+    for node in ctx.wpst.region_vertices():
+        region = node.region
+        if region is None:
+            continue
+        if ctx.profile.region_count(region) == 0:
+            yield Diagnostic(
+                code="AN001",
+                severity=Severity.WARNING,
+                location=Location(
+                    function=region.function.name,
+                    block=region.entry.name,
+                    detail=f"region {region.name}",
+                ),
+                message=(
+                    f"region {region.name} was never entered during "
+                    "profiling; selection cannot profit from it"
+                ),
+                suggestion=(
+                    "extend the profiling input to cover the region, or "
+                    "rely on the prune heuristic to skip it"
+                ),
+            )
+
+
+@rule(
+    "AN002",
+    "stream-misclassification",
+    layer="analysis",
+    severity=Severity.ERROR,
+    description=(
+        "Access classified as a stream although its address is not an "
+        "affine recurrence nest — a decoupled AGU cannot generate it."
+    ),
+    paper_ref="§III-C (decoupled interfaces are legal only for streams)",
+)
+def check_stream_classification(ctx) -> Iterator[Diagnostic]:
+    for func in ctx.module.defined_functions():
+        for access in ctx.access(func).accesses():
+            if access.is_stream and access.addrec_levels() is None:
+                inst = access.inst
+                yield Diagnostic(
+                    code="AN002",
+                    severity=Severity.ERROR,
+                    location=Location(
+                        function=func.name,
+                        block=inst.parent.name if inst.parent else None,
+                        instruction=inst.ref,
+                    ),
+                    message=(
+                        f"{inst.opcode} is classified as a stream but its "
+                        "offset is not an affine address recurrence"
+                    ),
+                    suggestion=(
+                        "the access-pattern analysis is inconsistent; "
+                        "treat the access as coupled"
+                    ),
+                )
+
+
+@rule(
+    "AN003",
+    "memdep-footprint-inconsistency",
+    layer="analysis",
+    severity=Severity.ERROR,
+    description=(
+        "Loop contains a store whose per-iteration stride is unanalyzable "
+        "by SCEV, yet memory-dependence analysis reports no loop-carried "
+        "dependence — the no-dependence verdict cannot be trusted."
+    ),
+    paper_ref="§III-B (unanalyzable footprints must be conservative)",
+)
+def check_memdep_footprints(ctx) -> Iterator[Diagnostic]:
+    for func in ctx.module.defined_functions():
+        access_analysis = ctx.access(func)
+        memdep = ctx.memdep(func)
+        for loop in ctx.loop_info(func).loops:
+            unanalyzable = [
+                access
+                for access in access_analysis.accesses_in(loop.blocks)
+                if access.is_store and access.stride_in(loop) is None
+            ]
+            if not unanalyzable:
+                continue
+            if memdep.has_loop_carried_dependence(loop):
+                continue
+            for access in unanalyzable:
+                inst = access.inst
+                yield Diagnostic(
+                    code="AN003",
+                    severity=Severity.ERROR,
+                    location=Location(
+                        function=func.name,
+                        block=inst.parent.name if inst.parent else None,
+                        instruction=inst.ref,
+                        detail=f"loop {loop.name}",
+                    ),
+                    message=(
+                        f"store with unanalyzable stride in loop "
+                        f"{loop.name}, yet the loop reports no carried "
+                        "dependence"
+                    ),
+                    suggestion=(
+                        "the dependence analysis is inconsistent with the "
+                        "SCEV footprints; treat the loop as dependent"
+                    ),
+                )

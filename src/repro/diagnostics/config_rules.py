@@ -1,0 +1,232 @@
+"""Accelerator-configuration legality rules (codes ``CF0xx``).
+
+These are the checks behind the paper's legality claims: unrolling is only
+valid without loop-carried dependences (§III-C), unroll factors beyond the
+trip count waste area, scratchpad interfaces must fit the buffer capacity,
+pipelined regions must be call-free, and merging two datapaths only pays
+when their operation signatures can share functional units (§III-E).
+
+The checkers double as the candidate-selection *pre-filter*: the
+accelerator model runs them on every generated configuration and rejects
+error-severity ones before paying for scheduling/estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from ..hls.transform import unroll_legal
+from ..ir import Call
+from .core import Diagnostic, Location, Severity
+from .registry import rule
+
+
+@dataclass
+class ConfigRuleEnv:
+    """Analysis context the config rules evaluate against.
+
+    ``memdep`` / ``loop_info`` come from the kernel's function context;
+    ``profile`` is optional (static trip-count estimates are used without
+    it); ``max_spad_bytes`` is the scratchpad capacity of the model.
+    """
+
+    memdep: object
+    loop_info: object = None
+    profile: object = None
+    max_spad_bytes: int = 1 << 16
+
+
+def _loop_loc(config, loop, detail: str) -> Location:
+    return Location(
+        function=config.region.function.name,
+        block=loop.header.name,
+        detail=detail,
+    )
+
+
+def _trip_count(loop, env: ConfigRuleEnv) -> Optional[float]:
+    if env.profile is not None:
+        trip = env.profile.trip_count(loop)
+        if trip > 0:
+            return trip
+    return loop.trip_count_estimate()
+
+
+@rule(
+    "CF001",
+    "unroll-with-carried-dependence",
+    layer="config",
+    severity=Severity.ERROR,
+    description=(
+        "Configuration unrolls a loop that has a loop-carried dependence; "
+        "replicated iterations would race on the dependence."
+    ),
+    paper_ref="§III-C (unroll only loops without carried dependencies)",
+)
+def check_unroll_legality(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    for plan in config.loop_plans.values():
+        if plan.unroll <= 1:
+            continue
+        if not unroll_legal(plan.loop, env.memdep):
+            yield Diagnostic(
+                code="CF001",
+                severity=Severity.ERROR,
+                location=_loop_loc(config, plan.loop,
+                                   f"unroll x{plan.unroll}"),
+                message=(
+                    f"loop {plan.loop.name} is unrolled x{plan.unroll} but "
+                    "carries a dependence between iterations"
+                ),
+                suggestion="unroll an enclosing dependence-free loop instead",
+            )
+
+
+@rule(
+    "CF002",
+    "unroll-exceeds-trip-count",
+    layer="config",
+    severity=Severity.WARNING,
+    description=(
+        "Unroll factor exceeds the loop's (profiled or static) trip count; "
+        "the extra lanes never run but still cost area."
+    ),
+    paper_ref="§III-C (configuration generation bounds factors by trips)",
+)
+def check_unroll_trip_count(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    for plan in config.loop_plans.values():
+        if plan.unroll <= 1:
+            continue
+        trip = _trip_count(plan.loop, env)
+        if trip is not None and trip > 0 and plan.unroll > trip:
+            yield Diagnostic(
+                code="CF002",
+                severity=Severity.WARNING,
+                location=_loop_loc(config, plan.loop,
+                                   f"unroll x{plan.unroll}"),
+                message=(
+                    f"unroll factor {plan.unroll} exceeds the trip count "
+                    f"{trip:.0f} of loop {plan.loop.name}"
+                ),
+                suggestion=f"cap the factor at {int(trip)}",
+            )
+
+
+@rule(
+    "CF003",
+    "scratchpad-capacity-exceeded",
+    layer="config",
+    severity=Severity.ERROR,
+    description=(
+        "A scratchpad interface footprint exceeds the buffer capacity; the "
+        "DMA preload cannot stage the working set."
+    ),
+    paper_ref="§III-C (scratchpad legality requires a bounded footprint)",
+)
+def check_scratchpad_capacity(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    for assignment in config.plan.assignments.values():
+        if assignment.kind.value != "scratchpad":
+            continue
+        if assignment.spad_bytes > env.max_spad_bytes:
+            inst = assignment.inst
+            yield Diagnostic(
+                code="CF003",
+                severity=Severity.ERROR,
+                location=Location(
+                    function=config.region.function.name,
+                    block=inst.parent.name if inst.parent else None,
+                    instruction=inst.ref,
+                    detail=f"{assignment.spad_bytes} bytes",
+                ),
+                message=(
+                    f"scratchpad footprint {assignment.spad_bytes} bytes "
+                    f"exceeds the {env.max_spad_bytes}-byte capacity"
+                ),
+                suggestion="fall back to a coupled or decoupled interface",
+            )
+
+
+@rule(
+    "CF005",
+    "pipelined-region-with-call",
+    layer="config",
+    severity=Severity.ERROR,
+    description=(
+        "A pipelined loop contains a call; calls cannot be scheduled into "
+        "a pipelined datapath."
+    ),
+    paper_ref="§III-C (only loop regions P and blocks B are synthesized)",
+)
+def check_pipelined_calls(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    for plan in config.loop_plans.values():
+        if not plan.pipelined:
+            continue
+        for block in plan.loop.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Call):
+                    yield Diagnostic(
+                        code="CF005",
+                        severity=Severity.ERROR,
+                        location=_loop_loc(
+                            config, plan.loop,
+                            f"call @{inst.callee.name}",
+                        ),
+                        message=(
+                            f"pipelined loop {plan.loop.name} contains a "
+                            f"call to @{inst.callee.name}"
+                        ),
+                        suggestion="inline the callee or do not pipeline",
+                    )
+
+
+@rule(
+    "CF004",
+    "merge-without-shared-signatures",
+    layer="merge",
+    severity=Severity.WARNING,
+    description=(
+        "Two datapath units considered for merging share no operation "
+        "signature (resource class x width); merging them can only add "
+        "mux/config overhead."
+    ),
+    paper_ref="§III-E (merging shares functional units of matching class)",
+)
+def check_merge_signatures(name_a, dfg_a, name_b, dfg_b) -> Iterator[Diagnostic]:
+    from ..merging.opmatch import _op_key
+
+    keys_a = {_op_key(node) for node in dfg_a.nodes}
+    keys_b = {_op_key(node) for node in dfg_b.nodes}
+    if keys_a and keys_b and not (keys_a & keys_b):
+        yield Diagnostic(
+            code="CF004",
+            severity=Severity.WARNING,
+            location=Location(detail=f"{name_a} + {name_b}"),
+            message=(
+                f"units {name_a} and {name_b} share no operation "
+                "signatures; a merge cannot save functional-unit area"
+            ),
+            suggestion="skip this pair during merging",
+        )
+
+
+def config_diagnostics(config, env: ConfigRuleEnv) -> List[Diagnostic]:
+    """Run every config-layer rule on one configuration."""
+    from .registry import rules_for_layer
+
+    found: List[Diagnostic] = []
+    for entry in rules_for_layer("config"):
+        found.extend(entry.checker(config, env))
+    return found
+
+
+def config_errors(config, env: ConfigRuleEnv) -> List[Diagnostic]:
+    """Error-severity findings only — the pre-filter rejection predicate."""
+    return [
+        d for d in config_diagnostics(config, env)
+        if d.severity is Severity.ERROR
+    ]
+
+
+def merge_pair_diagnostics(name_a, dfg_a, name_b, dfg_b) -> List[Diagnostic]:
+    """Run the merge-layer rules on one candidate unit pair."""
+    return list(check_merge_signatures(name_a, dfg_a, name_b, dfg_b))

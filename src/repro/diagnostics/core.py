@@ -1,0 +1,150 @@
+"""Core data structures of the diagnostics engine.
+
+A :class:`Diagnostic` is one structured finding produced by a lint rule:
+a stable rule code, a severity, a source location inside the IR/analysis
+object graph, a human-readable message, and (optionally) a suggestion for
+how to fix or silence the finding.  :class:`LintResult` aggregates the
+findings of one engine run and maps them to conventional exit codes.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering matters (``ERROR`` is the most severe)."""
+
+    NOTE = 0
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a finding anchors inside the compiled application.
+
+    All fields are optional: an IR rule typically fills ``function`` and
+    ``block``; a config rule fills ``function`` and ``detail`` (the loop or
+    interface assignment it concerns).
+    """
+
+    function: Optional[str] = None
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+    detail: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [p for p in (self.function, self.block, self.instruction) if p]
+        text = "/".join(parts) if parts else "<module>"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding."""
+
+    code: str
+    severity: Severity
+    location: Location
+    message: str
+    suggestion: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        data = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "location": self.location.to_dict(),
+            "message": self.message,
+        }
+        if self.suggestion:
+            data["suggestion"] = self.suggestion
+        return data
+
+    def render(self) -> str:
+        line = f"{self.severity}: [{self.code}] {self.location}: {self.message}"
+        if self.suggestion:
+            line += f"\n  suggestion: {self.suggestion}"
+        return line
+
+
+@dataclass
+class LintResult:
+    """All findings of one engine run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Rule codes that were evaluated (even when they produced no findings);
+    #: rules skipped for missing inputs (e.g. no profile) are absent.
+    checked_rules: List[str] = field(default_factory=list)
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Conventional exit code: 1 when errors (or, with ``strict``,
+        warnings) are present, 0 otherwise."""
+        threshold = Severity.WARNING if strict else Severity.ERROR
+        if any(d.severity >= threshold for d in self.diagnostics):
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[str(diag.severity)] = counts.get(str(diag.severity), 0) + 1
+        if not counts:
+            return f"clean ({len(self.checked_rules)} rules checked)"
+        parts = [
+            f"{counts[name]} {name}{'s' if counts[name] != 1 else ''}"
+            for name in ("error", "warning", "info", "note")
+            if name in counts
+        ]
+        return ", ".join(parts)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(
+            {
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+                "checked_rules": list(self.checked_rules),
+                "summary": self.summary(),
+                "exit_code": self.exit_code(),
+            },
+            indent=indent,
+        )

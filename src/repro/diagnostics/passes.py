@@ -1,0 +1,66 @@
+"""Per-pass IR verification: attribute a broken module to the pass
+that broke it.
+
+The plain pass pipeline (:func:`repro.opt.optimize_module`) historically
+verified the module once, at the end — a miscompiling pass early in the
+pipeline surfaced as a verifier failure with no hint of which pass was at
+fault.  :class:`LintPassManager` verifies after every pass that reported
+changes and wraps failures in :class:`PassVerificationError`, naming the
+offending pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..ir import Module, VerificationError, verify_module
+
+
+class PassVerificationError(VerificationError):
+    """Verification failed right after a named pass ran."""
+
+    def __init__(self, pass_name: str, original: VerificationError):
+        super().__init__(
+            f"IR verification failed after pass {pass_name!r}: {original}"
+        )
+        self.pass_name = pass_name
+        self.original = original
+
+
+class LintPassManager:
+    """Runs an optimization pipeline with per-pass verification.
+
+    ``passes`` is a sequence of ``(name, fn)`` pairs where ``fn(module)``
+    returns the number of changes it made.  After each pass that changed
+    the module, ``verify_module`` runs; a failure raises
+    :class:`PassVerificationError` naming the pass.  Passes reporting zero
+    changes skip re-verification (they cannot have broken a module that
+    verified before them), which bounds the overhead.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[Tuple[str, Callable[[Module], int]]],
+        verify_each: bool = True,
+    ):
+        self.passes = list(passes)
+        self.verify_each = verify_each
+        #: ``(pass_name, change_count)`` per executed pass, in order.
+        self.pass_log: List[Tuple[str, int]] = []
+
+    def run(self, module: Module) -> int:
+        """Run all passes in order; return the total change count."""
+        self.pass_log = []
+        total = 0
+        for name, fn in self.passes:
+            changes = fn(module)
+            total += changes
+            self.pass_log.append((name, changes))
+            if self.verify_each and changes:
+                try:
+                    verify_module(module)
+                except PassVerificationError:
+                    raise
+                except VerificationError as exc:
+                    raise PassVerificationError(name, exc) from exc
+        return total

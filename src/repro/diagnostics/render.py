@@ -1,0 +1,17 @@
+"""Rendering of lint results as terminal text or machine-readable JSON."""
+
+from __future__ import annotations
+
+from .core import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one block per finding plus a summary line."""
+    lines = [diag.render() for diag in result.diagnostics]
+    lines.append(result.summary())
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, indent: int = 2) -> str:
+    """Machine-readable report (stable keys, see ``LintResult.to_json``)."""
+    return result.to_json(indent=indent)

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
 from .analysis.wpst import WPST
+from .diagnostics import LintResult, run_lint
 from .frontend.lowering import compile_source
 from .hls.techlib import CVA6_TILE_AREA_UM2, DEFAULT_TECHLIB, TechLibrary
 from .interp.profiler import RegionProfile, profile_module
@@ -33,6 +34,9 @@ class CaymanResult:
     front: List[Solution]
     merged: List[MergedSolution]
     runtime_seconds: float = 0.0
+    #: Lint findings over the compiled module (populated when the driver
+    #: runs with ``lint=True``); ``None`` when linting was skipped.
+    diagnostics: Optional["LintResult"] = None
 
     @property
     def total_seconds(self) -> float:
@@ -95,6 +99,8 @@ class Cayman:
         coupled_only: bool = False,
         merging: bool = True,
         area_cap_ratio: float = 2.0,
+        legality_prefilter: bool = True,
+        lint: bool = False,
     ):
         self.techlib = techlib
         self.alpha = alpha
@@ -104,6 +110,8 @@ class Cayman:
         self.coupled_only = coupled_only
         self.merging = merging
         self.area_cap_ratio = area_cap_ratio
+        self.legality_prefilter = legality_prefilter
+        self.lint = lint
 
     def run(
         self,
@@ -129,6 +137,7 @@ class Cayman:
             beta=self.beta,
             unroll_factors=self.unroll_factors,
             coupled_only=self.coupled_only,
+            legality_prefilter=self.legality_prefilter,
         )
         selector = CandidateSelector(
             wpst,
@@ -155,6 +164,11 @@ class Cayman:
                         merge_steps=0,
                     )
                 )
+        diagnostics: Optional[LintResult] = None
+        if self.lint:
+            diagnostics = run_lint(
+                module, profile=profile, wpst=wpst, model=model
+            )
         return CaymanResult(
             module=module,
             wpst=wpst,
@@ -163,6 +177,7 @@ class Cayman:
             front=front,
             merged=merged,
             runtime_seconds=time.perf_counter() - started,
+            diagnostics=diagnostics,
         )
 
 def _prune_dominated(points):

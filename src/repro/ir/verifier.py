@@ -83,11 +83,24 @@ def _verify_block_structure(
                 )
         else:
             seen_non_phi = True
-        if isinstance(inst, Call) and inst.callee.parent is not None:
-            if func.parent is not None and inst.callee.parent is not func.parent:
+        if isinstance(inst, Call):
+            if inst.callee.parent is not None:
+                if func.parent is not None and inst.callee.parent is not func.parent:
+                    raise VerificationError(
+                        f"{func.name}: call to {inst.callee.name} from another module"
+                    )
+            expected = inst.callee.type.param_types
+            if len(inst.operands) != len(expected):
                 raise VerificationError(
-                    f"{func.name}: call to {inst.callee.name} from another module"
+                    f"{func.name}/{block.name}: call to {inst.callee.name} "
+                    f"passes {len(inst.operands)} args, expected {len(expected)}"
                 )
+            for i, (arg, ty) in enumerate(zip(inst.operands, expected)):
+                if arg.type != ty:
+                    raise VerificationError(
+                        f"{func.name}/{block.name}: call to {inst.callee.name} "
+                        f"arg {i} has type {arg.type}, expected {ty}"
+                    )
 
 
 def _verify_ssa_dominance(func: Function) -> None:
@@ -137,7 +150,15 @@ def _verify_ssa_dominance(func: Function) -> None:
 
 
 def _check_available(func, value, block, pos, dom, defined_in) -> None:
-    if isinstance(value, (Constant, Argument, GlobalVariable, UndefValue, Function)):
+    if isinstance(value, GlobalVariable):
+        module = func.parent
+        if module is not None and module.globals.get(value.name) is not value:
+            raise VerificationError(
+                f"{func.name}: operand @{value.name} does not resolve to the "
+                "module's symbol table"
+            )
+        return
+    if isinstance(value, (Constant, Argument, UndefValue, Function)):
         return
     if not isinstance(value, Instruction):
         raise VerificationError(f"{func.name}: unknown operand kind {value!r}")

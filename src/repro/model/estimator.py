@@ -88,6 +88,7 @@ class AcceleratorModel:
         max_spad_bytes: int = 1 << 16,
         coupled_only: bool = False,
         pipeline_innermost: bool = True,
+        legality_prefilter: bool = True,
     ):
         self.module = module
         self.profile = profile
@@ -97,6 +98,10 @@ class AcceleratorModel:
         self.max_spad_bytes = max_spad_bytes
         self.coupled_only = coupled_only
         self.pipeline_innermost = pipeline_innermost
+        self.legality_prefilter = legality_prefilter
+        #: Configurations rejected by the legality pre-filter, as
+        #: ``(config, diagnostics)`` pairs — inspectable after a run.
+        self.rejected_configs: List[Tuple[AcceleratorConfig, list]] = []
         self._contexts: Dict[Function, FunctionContext] = {}
         self._estimate_cache: Dict[Tuple, List[AcceleratorEstimate]] = {}
 
@@ -128,23 +133,47 @@ class AcceleratorModel:
         if invocations <= 0:
             return []
         ctx = self.context(region.function)
-        modes = ("coupled_only",) if self.coupled_only else self.INTERFACE_MODES
         estimates: List[AcceleratorEstimate] = []
         seen: set = set()
+        env = self._rule_env(ctx) if self.legality_prefilter else None
 
-        def consider(config: AcceleratorConfig) -> None:
+        for config in self._configs_for_region(region, ctx):
+            if env is not None:
+                from ..diagnostics.config_rules import config_errors
+
+                errors = config_errors(config, env)
+                if errors:
+                    self.rejected_configs.append((config, errors))
+                    continue
             estimate = self.estimate(config, ctx)
             if estimate is None or not estimate.is_profitable:
-                return
+                continue
             signature = (round(estimate.cycles), round(estimate.area))
             if signature in seen:
-                return
+                continue
             seen.add(signature)
             estimates.append(estimate)
+        return estimates
 
+    # Configuration generation ----------------------------------------------------
+
+    def _rule_env(self, ctx: FunctionContext):
+        """The :class:`ConfigRuleEnv` the legality pre-filter checks against."""
+        from ..diagnostics.config_rules import ConfigRuleEnv
+
+        return ConfigRuleEnv(
+            memdep=ctx.memdep,
+            loop_info=ctx.loop_info,
+            profile=self.profile,
+            max_spad_bytes=self.max_spad_bytes,
+        )
+
+    def _configs_for_region(self, region: Region, ctx: FunctionContext):
+        """Generate every candidate configuration the search explores."""
+        modes = ("coupled_only",) if self.coupled_only else self.INTERFACE_MODES
         for factor in self.unroll_factors:
             for mode in modes:
-                consider(self.build_config(region, ctx, factor, mode))
+                yield self.build_config(region, ctx, factor, mode)
 
         # Per-nest refinement: when the kernel contains several independent
         # loop nests, also try unrolling just one of them — cheaper points
@@ -153,14 +182,18 @@ class AcceleratorModel:
         max_factor = max(self.unroll_factors)
         if len(top_nests) >= 2 and max_factor > 1 and not self.coupled_only:
             for nest in top_nests[:4]:
-                consider(
-                    self.build_config(
-                        region, ctx, max_factor, "full", only_nest=nest
-                    )
+                yield self.build_config(
+                    region, ctx, max_factor, "full", only_nest=nest
                 )
-        return estimates
 
-    # Configuration generation ----------------------------------------------------
+    def generate_configs(self, region: Region):
+        """Public configuration generator (used by the lint config layer)."""
+        yield from self._configs_for_region(region, self.context(region.function))
+
+    def is_candidate_region(self, region: Region) -> bool:
+        """Whether the model would consider ``region`` at all (regions
+        containing calls are never offloaded, paper §III-B)."""
+        return not self._region_has_call(region)
 
     def build_config(
         self,

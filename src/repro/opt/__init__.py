@@ -18,16 +18,28 @@ from .licm import hoist_invariants, hoist_invariants_module
 from .promote import promote_accumulators, promote_accumulators_module
 from .simplifycfg import simplify_cfg, simplify_cfg_module
 
+#: The standard pipeline, as ``(name, pass)`` pairs.  The names are what
+#: :class:`~repro.diagnostics.passes.PassVerificationError` attributes a
+#: verification failure to.
+DEFAULT_PASSES = (
+    ("constfold", fold_constants_module),
+    ("licm", hoist_invariants_module),
+    ("promote-accumulators", promote_accumulators_module),
+    ("dce", eliminate_dead_code_module),
+    ("simplifycfg", simplify_cfg_module),
+)
+
 
 def optimize_module(module: Module, verify: bool = True) -> Module:
-    """Run the standard pass pipeline in place and return the module."""
-    fold_constants_module(module)
-    hoist_invariants_module(module)
-    promote_accumulators_module(module)
-    eliminate_dead_code_module(module)
-    simplify_cfg_module(module)
-    if verify:
-        verify_module(module)
+    """Run the standard pass pipeline in place and return the module.
+
+    With ``verify`` (the default) the module is re-verified after every
+    pass that changed it, and a failure is attributed to the offending
+    pass via :class:`~repro.diagnostics.passes.PassVerificationError`.
+    """
+    from ..diagnostics.passes import LintPassManager
+
+    LintPassManager(DEFAULT_PASSES, verify_each=verify).run(module)
     return module
 
 
@@ -37,5 +49,5 @@ __all__ = [
     "hoist_invariants", "hoist_invariants_module",
     "promote_accumulators", "promote_accumulators_module",
     "simplify_cfg", "simplify_cfg_module",
-    "optimize_module",
+    "optimize_module", "DEFAULT_PASSES",
 ]

@@ -1,0 +1,140 @@
+"""One firing and one clean case for every analysis-layer rule (AN001–AN003).
+
+AN002/AN003 flag *inconsistencies between analyses*, which the real
+pipeline cannot produce by construction; their firing cases pre-seed the
+lint context with stub analyses exhibiting the inconsistency.
+"""
+
+from repro.analysis.wpst import WPST
+from repro.diagnostics import LintContext, run_lint
+from repro.frontend.lowering import compile_source
+from repro.interp.profiler import profile_module
+from repro.ir import Load, Store
+
+
+HOT_SOURCE = """
+int A[64]; int B[64];
+void kernel(int n) {
+  for (int i = 0; i < n; i = i + 1) B[i] = 2 * A[i];
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  kernel(64);
+  return B[5];
+}
+"""
+
+COLD_SOURCE = """
+int A[64];
+void never_called(int n) {
+  for (int i = 0; i < n; i = i + 1) A[i] = 0;
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  return A[5];
+}
+"""
+
+
+def compiled_with_profile(source, name):
+    module = compile_source(source, name)
+    profile = profile_module(module, entry="main")
+    wpst = WPST(module)
+    return module, profile, wpst
+
+
+def find_inst(module, func_name, kind):
+    func = module.get_function(func_name)
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, kind):
+                return inst
+    raise AssertionError(f"no {kind.__name__} in {func_name}")
+
+
+class StubInfo:
+    """An AccessInfo double with a chosen (mis)classification."""
+
+    def __init__(self, inst, is_stream=False, is_store=False):
+        self.inst = inst
+        self.is_stream = is_stream
+        self.is_store = is_store
+
+    def addrec_levels(self):
+        return None
+
+    def stride_in(self, loop):
+        return None
+
+
+class StubAccess:
+    def __init__(self, infos):
+        self._infos = infos
+
+    def accesses(self):
+        return list(self._infos)
+
+    def accesses_in(self, blocks):
+        block_set = set(blocks)
+        return [i for i in self._infos if i.inst.parent in block_set]
+
+
+class StubMemdep:
+    def has_loop_carried_dependence(self, loop):
+        return False
+
+
+class TestColdRegion:
+    def test_fires_on_never_executed_function(self):
+        module, profile, wpst = compiled_with_profile(COLD_SOURCE, "cold")
+        result = run_lint(module, profile=profile, wpst=wpst,
+                          rules={"AN001"})
+        assert result.diagnostics
+        assert all(d.code == "AN001" for d in result.diagnostics)
+        assert any(
+            d.location.function == "never_called" for d in result.diagnostics
+        )
+
+    def test_clean_when_all_regions_hot(self):
+        module, profile, wpst = compiled_with_profile(HOT_SOURCE, "hot")
+        result = run_lint(module, profile=profile, wpst=wpst,
+                          rules={"AN001"})
+        assert result.diagnostics == []
+
+    def test_skipped_without_profile(self):
+        module = compile_source(HOT_SOURCE, "noprof")
+        result = run_lint(module, rules={"AN001"})
+        assert "AN001" not in result.checked_rules
+
+
+class TestStreamMisclassification:
+    def test_fires_on_inconsistent_classification(self):
+        module = compile_source(HOT_SOURCE, "mis")
+        load = find_inst(module, "kernel", Load)
+        ctx = LintContext(module)
+        func = module.get_function("kernel")
+        ctx._access[func] = StubAccess([StubInfo(load, is_stream=True)])
+        result = run_lint(module, rules={"AN002"}, context=ctx)
+        assert [d.code for d in result.diagnostics] == ["AN002"]
+
+    def test_clean_on_real_analysis(self):
+        module = compile_source(HOT_SOURCE, "ok")
+        result = run_lint(module, rules={"AN002"})
+        assert result.diagnostics == []
+
+
+class TestMemdepFootprints:
+    def test_fires_on_unanalyzable_store_without_dependence(self):
+        module = compile_source(HOT_SOURCE, "footprint")
+        store = find_inst(module, "kernel", Store)
+        func = module.get_function("kernel")
+        ctx = LintContext(module)
+        ctx._access[func] = StubAccess([StubInfo(store, is_store=True)])
+        ctx._memdep[func] = StubMemdep()
+        result = run_lint(module, rules={"AN003"}, context=ctx)
+        assert [d.code for d in result.diagnostics] == ["AN003"]
+
+    def test_clean_on_real_analysis(self):
+        module = compile_source(HOT_SOURCE, "ok2")
+        result = run_lint(module, rules={"AN003"})
+        assert result.diagnostics == []

@@ -1,0 +1,197 @@
+"""One firing and one clean case for every config/merge rule (CF001–CF005)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.diagnostics import Severity
+from repro.diagnostics.config_rules import (
+    ConfigRuleEnv,
+    check_merge_signatures,
+    check_pipelined_calls,
+    check_scratchpad_capacity,
+    check_unroll_legality,
+    check_unroll_trip_count,
+    config_diagnostics,
+    config_errors,
+    merge_pair_diagnostics,
+)
+from repro.frontend.lowering import compile_source
+from repro.interp.profiler import profile_module
+from repro.ir import Call, Load
+from repro.model.config import AcceleratorConfig, LoopPlan
+from repro.model.estimator import AcceleratorModel
+from repro.model.interfaces import (
+    InterfaceAssignment,
+    InterfaceKind,
+    InterfacePlan,
+)
+
+
+SOURCE = """
+int A[64]; int B[64];
+void prefix(int n) {
+  for (int i = 1; i < n; i = i + 1) A[i] = A[i-1] + A[i];
+}
+void saxpy(int n, int k) {
+  for (int i = 0; i < n; i = i + 1) B[i] = k * A[i];
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  for (int r = 0; r < 4; r = r + 1) { prefix(64); saxpy(64, 3); }
+  return B[10];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    module = compile_source(SOURCE, "cfg")
+    profile = profile_module(module, entry="main")
+    model = AcceleratorModel(module, profile)
+    return SimpleNamespace(module=module, profile=profile, model=model)
+
+
+def region_of(setup, func_name):
+    from repro.analysis.wpst import WPST
+
+    wpst = WPST(setup.module)
+    for node in wpst.region_vertices():
+        if node.region is not None and node.region.function.name == func_name:
+            return node.region
+    raise AssertionError(f"no region in {func_name}")
+
+
+def loop_of(setup, func_name):
+    ctx = setup.model.context(setup.module.get_function(func_name))
+    return ctx.loop_info.loops[0]
+
+
+def env_for(setup, func_name, **kwargs):
+    ctx = setup.model.context(setup.module.get_function(func_name))
+    kwargs.setdefault("profile", setup.profile)
+    return ConfigRuleEnv(memdep=ctx.memdep, loop_info=ctx.loop_info, **kwargs)
+
+
+def config_with_plan(setup, func_name, unroll=1, pipelined=False):
+    loop = loop_of(setup, func_name)
+    return AcceleratorConfig(
+        region=region_of(setup, func_name),
+        loop_plans={loop: LoopPlan(loop=loop, unroll=unroll,
+                                   pipelined=pipelined)},
+    )
+
+
+class TestUnrollLegality:
+    def test_fires_on_dependent_loop(self, setup):
+        config = config_with_plan(setup, "prefix", unroll=4)
+        found = list(check_unroll_legality(config, env_for(setup, "prefix")))
+        assert [d.code for d in found] == ["CF001"]
+        assert found[0].severity is Severity.ERROR
+
+    def test_clean_on_independent_loop(self, setup):
+        config = config_with_plan(setup, "saxpy", unroll=4)
+        assert list(check_unroll_legality(config, env_for(setup, "saxpy"))) == []
+
+
+class TestUnrollTripCount:
+    def test_fires_when_factor_exceeds_trips(self, setup):
+        config = config_with_plan(setup, "saxpy", unroll=128)
+        found = list(check_unroll_trip_count(config, env_for(setup, "saxpy")))
+        assert [d.code for d in found] == ["CF002"]
+
+    def test_clean_within_trips(self, setup):
+        config = config_with_plan(setup, "saxpy", unroll=4)
+        assert list(
+            check_unroll_trip_count(config, env_for(setup, "saxpy"))
+        ) == []
+
+
+class TestScratchpadCapacity:
+    def _config(self, setup, spad_bytes):
+        func = setup.module.get_function("saxpy")
+        load = next(
+            inst for block in func.blocks for inst in block.instructions
+            if isinstance(inst, Load)
+        )
+        plan = InterfacePlan()
+        plan.assign(InterfaceAssignment(
+            inst=load, kind=InterfaceKind.SCRATCHPAD,
+            spad_group=object(), spad_bytes=spad_bytes,
+        ))
+        return AcceleratorConfig(region=region_of(setup, "saxpy"), plan=plan)
+
+    def test_fires_when_footprint_exceeds_capacity(self, setup):
+        config = self._config(setup, spad_bytes=1 << 20)
+        found = list(check_scratchpad_capacity(
+            config, env_for(setup, "saxpy", max_spad_bytes=1 << 16)
+        ))
+        assert [d.code for d in found] == ["CF003"]
+
+    def test_clean_within_capacity(self, setup):
+        config = self._config(setup, spad_bytes=256)
+        assert list(check_scratchpad_capacity(
+            config, env_for(setup, "saxpy", max_spad_bytes=1 << 16)
+        )) == []
+
+
+class TestPipelinedCalls:
+    def _call_loop_config(self, setup, pipelined):
+        func = setup.module.get_function("main")
+        ctx = setup.model.context(func)
+        loop = next(
+            l for l in ctx.loop_info.loops
+            if any(isinstance(i, Call)
+                   for b in l.blocks for i in b.instructions)
+        )
+        return AcceleratorConfig(
+            region=region_of(setup, "main"),
+            loop_plans={loop: LoopPlan(loop=loop, pipelined=pipelined)},
+        )
+
+    def test_fires_on_pipelined_loop_with_call(self, setup):
+        config = self._call_loop_config(setup, pipelined=True)
+        found = list(check_pipelined_calls(config, env_for(setup, "main")))
+        assert found and all(d.code == "CF005" for d in found)
+
+    def test_clean_when_not_pipelined(self, setup):
+        config = self._call_loop_config(setup, pipelined=False)
+        assert list(check_pipelined_calls(config, env_for(setup, "main"))) == []
+
+
+def fake_dfg(*ops):
+    return SimpleNamespace(nodes=[
+        SimpleNamespace(resource=resource, bits=bits) for resource, bits in ops
+    ])
+
+
+class TestMergeSignatures:
+    def test_fires_on_disjoint_signatures(self):
+        dfg_a = fake_dfg(("int_add", 32), ("int_mul", 32))
+        dfg_b = fake_dfg(("fp_add", 32), ("fp_mul", 32))
+        found = merge_pair_diagnostics("acc0", dfg_a, "acc1", dfg_b)
+        assert [d.code for d in found] == ["CF004"]
+
+    def test_clean_on_shared_signatures(self):
+        dfg_a = fake_dfg(("int_add", 32), ("int_mul", 32))
+        dfg_b = fake_dfg(("int_add", 32), ("fp_mul", 32))
+        assert merge_pair_diagnostics("acc0", dfg_a, "acc1", dfg_b) == []
+
+    def test_direct_checker_matches_helper(self):
+        dfg_a = fake_dfg(("int_add", 32))
+        dfg_b = fake_dfg(("fp_add", 32))
+        assert len(list(check_merge_signatures("a", dfg_a, "b", dfg_b))) == 1
+
+
+class TestHelpers:
+    def test_config_diagnostics_runs_all_config_rules(self, setup):
+        config = config_with_plan(setup, "prefix", unroll=4)
+        found = config_diagnostics(config, env_for(setup, "prefix"))
+        assert any(d.code == "CF001" for d in found)
+
+    def test_config_errors_filters_severity(self, setup):
+        # unroll > trip count is only a warning; not a rejection reason.
+        config = config_with_plan(setup, "saxpy", unroll=128)
+        found = config_diagnostics(config, env_for(setup, "saxpy"))
+        assert any(d.code == "CF002" for d in found)
+        assert config_errors(config, env_for(setup, "saxpy")) == []

@@ -1,0 +1,100 @@
+"""Tests for the diagnostics data model (Severity, Location, LintResult)."""
+
+import json
+
+from repro.diagnostics import Diagnostic, LintResult, Location, Severity
+
+
+def diag(code="IR001", severity=Severity.WARNING, **kwargs):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        location=kwargs.pop("location", Location(function="f", block="entry")),
+        message=kwargs.pop("message", "something looks off"),
+        **kwargs,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_lowercase(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestLocation:
+    def test_str_joins_parts(self):
+        loc = Location(function="f", block="entry", instruction="%x")
+        assert str(loc) == "f/entry/%x"
+
+    def test_str_with_detail(self):
+        loc = Location(function="f", detail="loop L0")
+        assert str(loc) == "f (loop L0)"
+
+    def test_empty_location(self):
+        assert str(Location()) == "<module>"
+
+    def test_to_dict(self):
+        loc = Location(function="f", block="b")
+        assert loc.to_dict()["function"] == "f"
+        assert loc.to_dict()["instruction"] is None
+
+
+class TestDiagnostic:
+    def test_render_contains_code_and_severity(self):
+        text = diag(suggestion="fix it").render()
+        assert "[IR001]" in text
+        assert text.startswith("warning:")
+        assert "suggestion: fix it" in text
+
+    def test_to_dict_omits_empty_suggestion(self):
+        assert "suggestion" not in diag().to_dict()
+        assert diag(suggestion="s").to_dict()["suggestion"] == "s"
+
+
+class TestLintResult:
+    def test_empty_result_is_clean(self):
+        result = LintResult(checked_rules=["IR001", "IR002"])
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 0
+        assert result.max_severity is None
+        assert "clean" in result.summary()
+
+    def test_error_sets_exit_code(self):
+        result = LintResult(diagnostics=[diag(severity=Severity.ERROR)])
+        assert result.exit_code() == 1
+        assert result.max_severity is Severity.ERROR
+
+    def test_warning_only_fails_in_strict_mode(self):
+        result = LintResult(diagnostics=[diag(severity=Severity.WARNING)])
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_by_code_and_severity(self):
+        result = LintResult(diagnostics=[
+            diag(code="IR001"),
+            diag(code="IR004", severity=Severity.ERROR),
+        ])
+        assert len(result.by_code("IR001")) == 1
+        assert len(result.errors) == 1
+        assert len(result.warnings) == 1
+
+    def test_summary_counts(self):
+        result = LintResult(diagnostics=[
+            diag(severity=Severity.ERROR),
+            diag(severity=Severity.WARNING),
+            diag(severity=Severity.WARNING),
+        ])
+        assert result.summary() == "1 error, 2 warnings"
+
+    def test_json_roundtrip(self):
+        result = LintResult(
+            diagnostics=[diag(severity=Severity.ERROR)],
+            checked_rules=["IR001"],
+        )
+        data = json.loads(result.to_json())
+        assert data["exit_code"] == 1
+        assert data["checked_rules"] == ["IR001"]
+        assert data["diagnostics"][0]["code"] == "IR001"

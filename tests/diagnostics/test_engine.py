@@ -1,0 +1,127 @@
+"""Tests for the lint engine: rule selection, gating, rendering, registry."""
+
+import json
+
+import pytest
+
+from repro.analysis.wpst import WPST
+from repro.diagnostics import (
+    Severity,
+    all_rules,
+    get_rule,
+    render_json,
+    render_text,
+    run_lint,
+    rules_for_layer,
+)
+from repro.frontend.lowering import compile_source
+from repro.interp.profiler import profile_module
+from repro.model.estimator import AcceleratorModel
+
+
+SOURCE = """
+int A[64]; int B[64];
+void kernel(int n) {
+  for (int i = 0; i < n; i = i + 1) B[i] = 2 * A[i];
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  kernel(64);
+  return B[5];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "engine")
+
+
+class TestRegistry:
+    def test_at_least_ten_rules(self):
+        assert len(all_rules()) >= 10
+
+    def test_rule_codes_unique_and_sorted(self):
+        codes = [r.code for r in all_rules()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+
+    def test_every_rule_has_metadata(self):
+        for entry in all_rules():
+            assert entry.description
+            assert entry.checker is not None
+            assert entry.layer in ("ir", "analysis", "config", "merge")
+
+    def test_layers_populated(self):
+        assert rules_for_layer("ir")
+        assert rules_for_layer("analysis")
+        assert rules_for_layer("config")
+        assert rules_for_layer("merge")
+
+    def test_get_rule(self):
+        assert get_rule("IR001").name == "unreachable-block"
+        with pytest.raises(KeyError):
+            get_rule("XX999")
+
+
+class TestRunLint:
+    def test_rule_subset(self, compiled):
+        result = run_lint(compiled, rules={"IR001"})
+        assert result.checked_rules == ["IR001"]
+
+    def test_profile_rules_gated(self, compiled):
+        result = run_lint(compiled)
+        assert "AN001" not in result.checked_rules
+        assert "IR001" in result.checked_rules
+
+    def test_config_rules_need_model(self, compiled):
+        result = run_lint(compiled)
+        assert "CF001" not in result.checked_rules
+
+    def test_full_run_checks_config_layer(self, compiled):
+        profile = profile_module(compiled, entry="main")
+        wpst = WPST(compiled)
+        model = AcceleratorModel(compiled, profile)
+        result = run_lint(compiled, profile=profile, wpst=wpst, model=model)
+        assert "AN001" in result.checked_rules
+        assert "CF001" in result.checked_rules
+        # merge rules run pairwise during merging, not from run_lint
+        assert "CF004" not in result.checked_rules
+        assert result.diagnostics == []
+
+    def test_clean_program_is_clean(self, compiled):
+        assert run_lint(compiled).exit_code() == 0
+
+
+class TestRendering:
+    def test_text_summary(self, compiled):
+        text = render_text(run_lint(compiled))
+        assert "clean" in text
+
+    def test_text_lists_findings(self):
+        module = compile_source(
+            "int A[4]; int main() { return A[9]; }", "oob"
+        )
+        text = render_text(run_lint(module, rules={"IR004"}))
+        assert "error: [IR004]" in text
+
+    def test_json_parses(self, compiled):
+        data = json.loads(render_json(run_lint(compiled)))
+        assert data["exit_code"] == 0
+        assert isinstance(data["diagnostics"], list)
+
+
+class TestFrameworkIntegration:
+    def test_cayman_attaches_diagnostics(self):
+        from repro.framework import Cayman
+
+        result = Cayman(lint=True).run(SOURCE, name="lintrun")
+        assert result.diagnostics is not None
+        assert result.diagnostics.exit_code() == 0
+        assert "CF001" in result.diagnostics.checked_rules
+
+    def test_lint_off_by_default(self):
+        from repro.framework import Cayman
+
+        result = Cayman().run(SOURCE, name="nolint")
+        assert result.diagnostics is None

@@ -1,0 +1,115 @@
+"""One firing and one clean case for every IR-layer rule (IR001–IR006)."""
+
+from repro.diagnostics import run_lint
+from repro.frontend.lowering import compile_source
+from repro.ir import I32, IRBuilder, Module, UndefValue
+
+
+def codes(module, rule):
+    return [d.code for d in run_lint(module, rules={rule}).diagnostics]
+
+
+CLEAN_SOURCE = """
+int A[64]; int B[64];
+int kernel(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { B[i] = 2 * A[i]; s = s + B[i]; }
+  return s;
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  return kernel(64);
+}
+"""
+
+
+def clean_module():
+    return compile_source(CLEAN_SOURCE, "clean")
+
+
+class TestUnreachableBlock:
+    def test_fires_on_orphan_block(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [])
+        entry = func.add_block("entry")
+        orphan = func.add_block("orphan")
+        b = IRBuilder(entry)
+        b.ret(b.const_i32(0))
+        b.position_at_end(orphan)
+        b.ret(b.const_i32(1))
+        assert codes(module, "IR001") == ["IR001"]
+
+    def test_clean(self):
+        assert codes(clean_module(), "IR001") == []
+
+
+class TestDeadStore:
+    def test_fires_on_unread_local_array(self):
+        module = compile_source(
+            "int main() { int t[4]; t[0] = 5; return 0; }",
+            "dead", optimize=False,
+        )
+        assert codes(module, "IR002") == ["IR002"]
+
+    def test_clean_when_read_back(self):
+        module = compile_source(
+            "int main() { int t[4]; t[0] = 5; return t[0]; }",
+            "live", optimize=False,
+        )
+        assert codes(module, "IR002") == []
+
+
+class TestUndefRead:
+    def test_fires_on_undef_operand(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [])
+        b = IRBuilder(func.add_block("entry"))
+        x = b.add(UndefValue(I32), b.const_i32(1))
+        b.ret(x)
+        assert codes(module, "IR003") == ["IR003"]
+
+    def test_clean(self):
+        assert codes(clean_module(), "IR003") == []
+
+
+class TestConstIndexBounds:
+    def test_fires_on_out_of_bounds_constant(self):
+        module = compile_source(
+            "int A[4]; int main() { return A[9]; }", "oob"
+        )
+        assert codes(module, "IR004") == ["IR004"]
+
+    def test_clean_in_bounds(self):
+        module = compile_source(
+            "int A[4]; int main() { return A[3]; }", "inb"
+        )
+        assert codes(module, "IR004") == []
+
+
+class TestInfiniteLoop:
+    def test_fires_on_effect_free_self_loop(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [])
+        entry = func.add_block("entry")
+        header = func.add_block("header")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        b.br(header)
+        assert codes(module, "IR005") == ["IR005"]
+
+    def test_clean_when_loop_exits(self):
+        assert codes(clean_module(), "IR005") == []
+
+
+class TestRecursion:
+    def test_fires_on_self_call(self):
+        module = Module("m")
+        func = module.add_function("f", I32, [I32])
+        b = IRBuilder(func.add_block("entry"))
+        result = b.call(func, [func.arguments[0]])
+        b.ret(result)
+        assert codes(module, "IR006") == ["IR006"]
+
+    def test_clean_on_acyclic_calls(self):
+        assert codes(clean_module(), "IR006") == []

@@ -1,0 +1,103 @@
+"""Tests for per-pass verification and failing-pass attribution."""
+
+import pytest
+
+from repro.diagnostics import LintPassManager, PassVerificationError
+from repro.frontend.lowering import compile_source
+from repro.ir import VerificationError
+
+
+SOURCE = """
+int A[16];
+int total(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) s = s + A[i];
+  return s;
+}
+int main() { return total(16); }
+"""
+
+
+def fresh_module():
+    return compile_source(SOURCE, "passes", optimize=False)
+
+
+def breaker(module):
+    """A deliberately-miscompiling pass: drops a terminator."""
+    func = module.get_function("total")
+    func.entry.instructions.pop()
+    return 1
+
+
+def silent_nop(module):
+    return 0
+
+
+class TestLintPassManager:
+    def test_runs_pipeline_and_logs(self):
+        from repro.opt import DEFAULT_PASSES
+
+        manager = LintPassManager(DEFAULT_PASSES)
+        manager.run(fresh_module())
+        assert [name for name, _ in manager.pass_log] == [
+            name for name, _ in DEFAULT_PASSES
+        ]
+
+    def test_broken_pass_attributed_by_name(self):
+        from repro.opt import DEFAULT_PASSES
+
+        manager = LintPassManager((("breaker", breaker), *DEFAULT_PASSES))
+        with pytest.raises(PassVerificationError) as exc:
+            manager.run(fresh_module())
+        assert exc.value.pass_name == "breaker"
+        assert "breaker" in str(exc.value)
+        assert isinstance(exc.value.original, VerificationError)
+
+    def test_zero_change_passes_skip_verification(self):
+        # A pass that breaks the module but reports zero changes is not
+        # re-verified — documents the cost-bounding optimization.
+        def lying_breaker(module):
+            breaker(module)
+            return 0
+
+        LintPassManager([("liar", lying_breaker)]).run(fresh_module())
+
+    def test_verify_each_false_skips_verification(self):
+        manager = LintPassManager([("breaker", breaker)], verify_each=False)
+        manager.run(fresh_module())  # no exception
+
+    def test_pass_error_not_swallowed(self):
+        def crasher(module):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            LintPassManager([("crasher", crasher)]).run(fresh_module())
+
+
+class TestOptimizeModule:
+    def test_default_pipeline_verifies_per_pass(self, monkeypatch):
+        import repro.opt as opt
+
+        monkeypatch.setattr(
+            opt, "DEFAULT_PASSES",
+            (("breaker", breaker), *opt.DEFAULT_PASSES),
+        )
+        with pytest.raises(PassVerificationError) as exc:
+            opt.optimize_module(fresh_module())
+        assert exc.value.pass_name == "breaker"
+
+    def test_verify_false_disables_checks(self, monkeypatch):
+        import repro.opt as opt
+
+        monkeypatch.setattr(
+            opt, "DEFAULT_PASSES",
+            (*opt.DEFAULT_PASSES, ("breaker", breaker)),
+        )
+        opt.optimize_module(fresh_module(), verify=False)
+
+    def test_clean_pipeline_unchanged(self):
+        from repro.opt import optimize_module
+        from repro.ir import verify_module
+
+        module = optimize_module(fresh_module())
+        verify_module(module)

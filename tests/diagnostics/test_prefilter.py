@@ -1,0 +1,113 @@
+"""Tests for the legality pre-filter in the accelerator model.
+
+The filter runs the config-layer error rules on every generated
+configuration *before* estimation.  Normally-generated configurations are
+legal by construction, so results are unchanged; these tests inject an
+illegal configuration (unrolling a loop with a carried dependence) into
+the generator and show it is estimated without the filter and rejected
+with it.
+"""
+
+import pytest
+
+from repro.analysis.wpst import WPST
+from repro.frontend.lowering import compile_source
+from repro.interp.profiler import profile_module
+from repro.model.config import AcceleratorConfig, LoopPlan
+from repro.model.estimator import AcceleratorModel
+
+
+SOURCE = """
+int A[64];
+void prefix(int n) {
+  for (int i = 1; i < n; i = i + 1) A[i] = A[i-1] + A[i];
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  for (int r = 0; r < 8; r = r + 1) prefix(64);
+  return A[10];
+}
+"""
+
+
+class InjectingModel(AcceleratorModel):
+    """Appends one deliberately-illegal config to the generated set."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.estimated_labels = []
+
+    def _configs_for_region(self, region, ctx):
+        yield from super()._configs_for_region(region, ctx)
+        if region.function.name == "prefix":
+            loop = ctx.loop_info.loops[0]
+            yield AcceleratorConfig(
+                region=region,
+                loop_plans={
+                    loop: LoopPlan(loop=loop, unroll=4, pipelined=True)
+                },
+                label="illegal-unroll",
+            )
+
+    def estimate(self, config, ctx):
+        self.estimated_labels.append(config.label)
+        return super().estimate(config, ctx)
+
+
+@pytest.fixture(scope="module")
+def program():
+    module = compile_source(SOURCE, "prefilter")
+    profile = profile_module(module, entry="main")
+    wpst = WPST(module)
+    return module, profile, wpst
+
+
+def prefix_node(wpst):
+    for node in wpst.region_vertices():
+        if node.region is not None and node.region.function.name == "prefix":
+            return node
+    raise AssertionError("no prefix region")
+
+
+class TestLegalityPrefilter:
+    def test_illegal_config_estimated_without_filter(self, program):
+        module, profile, wpst = program
+        model = InjectingModel(module, profile, legality_prefilter=False)
+        model.candidates(prefix_node(wpst))
+        assert "illegal-unroll" in model.estimated_labels
+        assert model.rejected_configs == []
+
+    def test_illegal_config_rejected_with_filter(self, program):
+        module, profile, wpst = program
+        model = InjectingModel(module, profile, legality_prefilter=True)
+        model.candidates(prefix_node(wpst))
+        assert "illegal-unroll" not in model.estimated_labels
+        assert len(model.rejected_configs) == 1
+        config, errors = model.rejected_configs[0]
+        assert config.label == "illegal-unroll"
+        assert any(d.code == "CF001" for d in errors)
+
+    def test_filter_does_not_change_legal_candidates(self, program):
+        module, profile, wpst = program
+
+        def points(prefilter):
+            model = AcceleratorModel(
+                module, profile, legality_prefilter=prefilter
+            )
+            return [
+                (round(e.cycles), round(e.area))
+                for e in model.candidates(prefix_node(wpst))
+            ]
+
+        assert points(True) == points(False)
+
+    def test_selector_surfaces_rejection_stats(self, program):
+        from repro.selection.knapsack import CandidateSelector
+
+        module, profile, wpst = program
+        model = InjectingModel(module, profile, legality_prefilter=True)
+        selector = CandidateSelector(wpst, model)
+        selector.run()
+        stats = selector.stats()
+        assert stats["rejected_configs"] >= 1
+        assert stats["evaluated_vertices"] > 0

@@ -1,0 +1,41 @@
+"""Self-check: the lint engine is clean on every registered workload.
+
+The IR/analysis layers run on every workload (compile-only, fast); the
+full profile+config-layer run is exercised on one representative workload
+to keep the suite quick.
+"""
+
+import pytest
+
+from repro.diagnostics import run_lint
+from repro.frontend.lowering import compile_source
+from repro.workloads import all_workloads
+
+
+def workload_names():
+    return sorted(w.name for w in all_workloads())
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_lints_clean(name):
+    workload = next(w for w in all_workloads() if w.name == name)
+    module = compile_source(workload.source, workload.name)
+    result = run_lint(module)
+    assert result.diagnostics == [], (
+        f"{name}: " + "; ".join(d.render() for d in result.diagnostics)
+    )
+
+
+def test_full_lint_clean_on_representative_workload():
+    from repro.analysis.wpst import WPST
+    from repro.interp.profiler import profile_module
+    from repro.model.estimator import AcceleratorModel
+
+    workload = next(w for w in all_workloads() if w.suite == "polybench")
+    module = compile_source(workload.source, workload.name)
+    profile = profile_module(module, entry=workload.entry)
+    wpst = WPST(module, entry_function=workload.entry)
+    model = AcceleratorModel(module, profile)
+    result = run_lint(module, profile=profile, wpst=wpst, model=model)
+    errors = [d for d in result.diagnostics if d.severity.name == "ERROR"]
+    assert errors == [], "; ".join(d.render() for d in errors)

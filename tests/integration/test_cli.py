@@ -72,3 +72,61 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "== trisolv ==" in out
         assert "cayman:" in out
+
+
+@pytest.fixture()
+def broken_file(tmp_path):
+    path = tmp_path / "oob.c"
+    path.write_text("int A[4]; int main() { return A[9]; }\n")
+    return str(path)
+
+
+@pytest.fixture()
+def warning_file(tmp_path):
+    path = tmp_path / "dead.c"
+    path.write_text("int main() { int t[4]; t[0] = 5; return 0; }\n")
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_program_exits_zero(self, kernel_file, capsys):
+        assert main(["lint", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_error_finding_exits_one(self, broken_file, capsys):
+        assert main(["lint", broken_file, "--no-profile"]) == 1
+        out = capsys.readouterr().out
+        assert "error: [IR004]" in out
+
+    def test_json_format(self, broken_file, capsys):
+        import json
+
+        assert main(["lint", broken_file, "--no-profile",
+                     "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["exit_code"] == 1
+        assert any(d["code"] == "IR004" for d in data["diagnostics"])
+
+    def test_strict_promotes_warnings(self, warning_file, capsys):
+        args = ["lint", warning_file, "--no-profile", "--no-opt"]
+        assert main(args) == 0
+        assert "warning: [IR002]" in capsys.readouterr().out
+        assert main(args + ["--strict"]) == 1
+
+    def test_lint_workload(self, capsys):
+        assert main(["lint", "--workload", "trisolv"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_examples_are_clean(self, capsys):
+        import pathlib
+
+        examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
+        for source in sorted(examples.glob("*.c")):
+            assert main(["lint", str(source)]) == 0, source.name
+
+    def test_help_documents_lint(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "--strict" in out and "--format" in out

@@ -185,3 +185,70 @@ class TestVerifier:
         b.position_at_end(exit_)
         b.ret(i_phi)
         verify_function(func)
+
+
+class TestVerifierCallAndGlobals:
+    """Verifier extensions: call argument types and global resolution."""
+
+    def _caller_and_callee(self):
+        module = Module("m")
+        callee = module.add_function("callee", I32, [I32], ["x"])
+        cb = IRBuilder(callee.add_block("entry"))
+        cb.ret(callee.arguments[0])
+        caller = module.add_function("caller", I32, [])
+        b = IRBuilder(caller.add_block("entry"))
+        result = b.call(callee, [b.const_i32(7)])
+        b.ret(result)
+        return module, caller
+
+    def test_valid_call_verifies(self):
+        module, _ = self._caller_and_callee()
+        verify_module(module)
+
+    def test_call_arg_type_mismatch_rejected(self):
+        module, caller = self._caller_and_callee()
+        call = caller.entry.instructions[0]
+        call.set_operand(0, Constant(F32, 1.0))
+        with pytest.raises(VerificationError, match="arg 0 has type f32"):
+            verify_module(module)
+
+    def test_call_arity_mismatch_rejected(self):
+        module, caller = self._caller_and_callee()
+        call = caller.entry.instructions[0]
+        extra = Constant(I32, 2)
+        call.operands.append(extra)
+        extra.add_user(call)
+        with pytest.raises(VerificationError, match="passes 2 args"):
+            verify_module(module)
+
+    def test_global_must_resolve_to_symbol_table(self):
+        from repro.ir import GlobalVariable
+
+        module = Module("m")
+        func = module.add_function("f", I32, [])
+        b = IRBuilder(func.add_block("entry"))
+        rogue = GlobalVariable(I32, "rogue")  # never added to the module
+        value = b.load(rogue)
+        b.ret(value)
+        with pytest.raises(VerificationError, match="symbol table"):
+            verify_module(module)
+
+    def test_registered_global_verifies(self):
+        module = Module("m")
+        g = module.add_global("g", I32)
+        func = module.add_function("f", I32, [])
+        b = IRBuilder(func.add_block("entry"))
+        b.ret(b.load(g))
+        verify_module(module)
+
+    def test_shadowed_global_name_rejected(self):
+        from repro.ir import GlobalVariable
+
+        module = Module("m")
+        module.add_global("g", I32)
+        impostor = GlobalVariable(I32, "g")  # same name, different object
+        func = module.add_function("f", I32, [])
+        b = IRBuilder(func.add_block("entry"))
+        b.ret(b.load(impostor))
+        with pytest.raises(VerificationError, match="symbol table"):
+            verify_module(module)
