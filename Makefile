@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench table2 fig6 quickstart clean
+.PHONY: install test bench bench-matrix table2 fig6 quickstart clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-matrix:
+	$(PYTHON) -m repro bench -j 4
 
 table2:
 	$(PYTHON) examples/reproduce_table2.py

@@ -61,6 +61,13 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _make_runner(args):
+    """ComparisonRunner honoring the shared --cache-dir/--jobs options."""
+    from .reporting import ComparisonRunner
+
+    return ComparisonRunner(cache_dir=getattr(args, "cache_dir", None))
+
+
 def _cmd_table2(args) -> int:
     from .reporting import (
         generate_table2, render_table2, table2_to_csv, table2_to_json,
@@ -69,10 +76,12 @@ def _cmd_table2(args) -> int:
     names = args.benchmarks or None
     rows = generate_table2(
         names,
+        runner=_make_runner(args),
         progress=(
             (lambda name: print(f"  {name}...", file=sys.stderr, flush=True))
             if not args.quiet else None
         ),
+        jobs=args.jobs,
     )
     if args.format == "csv":
         print(table2_to_csv(rows), end="")
@@ -93,7 +102,7 @@ def _cmd_fig6(args) -> int:
     )
 
     names = args.benchmarks or DEFAULT_FIG6_BENCHMARKS
-    series = generate_figure6(names)
+    series = generate_figure6(names, runner=_make_runner(args), jobs=args.jobs)
     if args.format == "csv":
         print(figure6_to_csv(series), end="")
     elif args.format == "json":
@@ -179,6 +188,83 @@ def _cmd_lint(args) -> int:
     return result.exit_code(strict=args.strict)
 
 
+def _cmd_bench(args) -> int:
+    import time
+
+    from .reporting.bench import (
+        BenchCache,
+        EvaluationEngine,
+        FlowParams,
+        build_report,
+        compare_reports,
+        default_tag,
+        load_report,
+        write_report,
+    )
+    from .workloads import all_workloads
+
+    if args.benchmarks:
+        names = list(args.benchmarks)
+    else:
+        workloads = all_workloads()
+        if args.suite:
+            workloads = [w for w in workloads if w.suite == args.suite]
+            if not workloads:
+                raise SystemExit(f"error: no workloads in suite {args.suite!r}")
+        names = [w.name for w in workloads]
+
+    params = FlowParams(
+        alpha=args.alpha,
+        beta=args.beta,
+        prune_threshold=args.prune_threshold,
+        budgets=tuple(args.budgets),
+    )
+    cache = None if args.no_cache else BenchCache(args.cache_dir)
+    engine = EvaluationEngine(params, cache=cache)
+
+    def progress(name: str, status: str) -> None:
+        if not args.quiet and status in ("hit", "run"):
+            print(f"  {name}: {'cache hit' if status == 'hit' else 'running'}",
+                  file=sys.stderr, flush=True)
+
+    started = time.perf_counter()
+    records = engine.evaluate(names, jobs=args.jobs, progress=progress)
+    wall = time.perf_counter() - started
+
+    tag = args.tag or default_tag(params)
+    payload = build_report(records, engine, tag=tag, wall_seconds=wall)
+    path = write_report(payload, directory=args.output_dir)
+
+    top_budget = max(params.budgets)
+    for record in records:
+        marker = "cached" if record.name in engine.hit_names else "ran"
+        speedup = record.speedup("cayman", top_budget)
+        print(f"{record.suite:14} {record.name:28} {marker:6} "
+              f"cayman@{top_budget:.0%} {speedup:8.2f}x")
+    stats = engine.cache_stats()
+    print(f"\n{len(records)} workloads in {wall:.2f}s "
+          f"(jobs={args.jobs}, cache hits {stats['hits']}, "
+          f"misses {stats['misses']}, hit rate {stats['hit_rate']:.0%})")
+    print(f"wrote {path}")
+
+    status = 0
+    if args.compare_to:
+        problems = compare_reports(load_report(args.compare_to), payload)
+        if problems:
+            print(f"\ndeterminism check FAILED against {args.compare_to}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"determinism check passed against {args.compare_to}")
+    if args.min_hit_rate is not None and stats["hit_rate"] < args.min_hit_rate:
+        print(f"\ncache hit rate {stats['hit_rate']:.0%} below required "
+              f"{args.min_hit_rate:.0%}", file=sys.stderr)
+        status = 1
+    return status
+
+
 def _cmd_bench_list(args) -> int:
     from .workloads import all_workloads
 
@@ -209,12 +295,20 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--quiet", action="store_true")
     table2.add_argument("--format", choices=["text", "csv", "json"],
                         default="text")
+    table2.add_argument("-j", "--jobs", type=int, default=1,
+                        help="evaluate workloads across N processes")
+    table2.add_argument("--cache-dir",
+                        help="reuse/populate a persistent bench cache")
     table2.set_defaults(func=_cmd_table2)
 
     fig6 = sub.add_parser("fig6", help="regenerate Fig. 6 series")
     fig6.add_argument("benchmarks", nargs="*")
     fig6.add_argument("--format", choices=["text", "csv", "json"],
                       default="text")
+    fig6.add_argument("-j", "--jobs", type=int, default=1,
+                      help="evaluate workloads across N processes")
+    fig6.add_argument("--cache-dir",
+                      help="reuse/populate a persistent bench cache")
     fig6.set_defaults(func=_cmd_fig6)
 
     table1 = sub.add_parser("table1", help="print the Table I matrix")
@@ -261,8 +355,43 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=["text", "json"], default="text")
     lint.set_defaults(func=_cmd_lint)
 
-    bench = sub.add_parser("bench-list", help="list benchmark workloads")
-    bench.set_defaults(func=_cmd_bench_list)
+    bench = sub.add_parser(
+        "bench",
+        help="parallel, cached evaluation of the workload x flow matrix",
+        description=(
+            "Evaluate workloads across all four flows (full Cayman, "
+            "coupled-only, NOVIA, QsCores), fanning cache misses across a "
+            "process pool and persisting content-keyed records so re-runs "
+            "only pay for what changed.  Writes BENCH_<tag>.json."
+        ),
+    )
+    bench.add_argument("benchmarks", nargs="*",
+                       help="workload names (default: all)")
+    bench.add_argument("--suite", help="restrict to one benchmark suite")
+    bench.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for cache misses")
+    bench.add_argument("--cache-dir", default=".repro-cache",
+                       help="persistent record cache directory")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent cache")
+    bench.add_argument("--tag", help="report tag (default: params digest)")
+    bench.add_argument("--output-dir", default=".",
+                       help="directory for BENCH_<tag>.json")
+    bench.add_argument("--alpha", type=float, default=1.1)
+    bench.add_argument("--beta", type=float, default=4.0)
+    bench.add_argument("--prune-threshold", type=float, default=0.001)
+    bench.add_argument("--budgets", type=float, nargs="+",
+                       default=[0.25, 0.65])
+    bench.add_argument("--compare-to", metavar="BENCH_JSON",
+                       help="fail if deterministic sections differ from "
+                            "a previous report")
+    bench.add_argument("--min-hit-rate", type=float,
+                       help="fail if the cache hit rate is below this")
+    bench.add_argument("--quiet", action="store_true")
+    bench.set_defaults(func=_cmd_bench)
+
+    bench_list = sub.add_parser("bench-list", help="list benchmark workloads")
+    bench_list.set_defaults(func=_cmd_bench_list)
     return parser
 
 

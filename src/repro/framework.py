@@ -7,8 +7,8 @@ program analysis → accelerator-model-driven candidate selection (Algorithm
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from .analysis.wpst import WPST
 from .diagnostics import LintResult, run_lint
@@ -37,6 +37,9 @@ class CaymanResult:
     #: Lint findings over the compiled module (populated when the driver
     #: runs with ``lint=True``); ``None`` when linting was skipped.
     diagnostics: Optional["LintResult"] = None
+    #: Wall time per pipeline stage (compile, profile, analysis, selection,
+    #: merging), feeding the bench harness's stage instrumentation.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -124,11 +127,20 @@ class Cayman:
         """Run the full flow on a mini-C source string or an IR module."""
         import time
 
+        stage_seconds: Dict[str, float] = {}
+
+        def _mark(stage: str, since: float) -> float:
+            now = time.perf_counter()
+            stage_seconds[stage] = now - since
+            return now
+
         started = time.perf_counter()
         module = (
             compile_source(program, name) if isinstance(program, str) else program
         )
+        checkpoint = _mark("compile", started)
         profile = profile_module(module, entry=entry, args=args, setup=setup)
+        checkpoint = _mark("profile", checkpoint)
         wpst = WPST(module, entry_function=entry)
         model = AcceleratorModel(
             module,
@@ -139,6 +151,7 @@ class Cayman:
             coupled_only=self.coupled_only,
             legality_prefilter=self.legality_prefilter,
         )
+        checkpoint = _mark("analysis", checkpoint)
         selector = CandidateSelector(
             wpst,
             model,
@@ -147,6 +160,7 @@ class Cayman:
             area_cap=self.area_cap_ratio * CVA6_TILE_AREA_UM2,
         )
         front = selector.run()
+        checkpoint = _mark("selection", checkpoint)
 
         merger = AcceleratorMerger(self.techlib)
         merged: List[MergedSolution] = []
@@ -164,6 +178,7 @@ class Cayman:
                         merge_steps=0,
                     )
                 )
+        checkpoint = _mark("merging", checkpoint)
         diagnostics: Optional[LintResult] = None
         if self.lint:
             diagnostics = run_lint(
@@ -178,6 +193,7 @@ class Cayman:
             merged=merged,
             runtime_seconds=time.perf_counter() - started,
             diagnostics=diagnostics,
+            stage_seconds=stage_seconds,
         )
 
 def _prune_dominated(points):

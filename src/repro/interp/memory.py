@@ -84,15 +84,18 @@ class FlatMemory:
     # Bulk helpers used by workload input generators ---------------------------
 
     def write_array_f(self, address: int, values, bits: int = 32) -> None:
+        self._check(address, (bits // 8) * len(values))
         fmt = "<%d%s" % (len(values), "f" if bits == 32 else "d")
         struct.pack_into(fmt, self.data, address, *values)
 
     def read_array_f(self, address: int, count: int, bits: int = 32):
+        self._check(address, (bits // 8) * count)
         fmt = "<%d%s" % (count, "f" if bits == 32 else "d")
         return list(struct.unpack_from(fmt, self.data, address))
 
     def write_array_i(self, address: int, values, bits: int = 32) -> None:
         nbytes = bits // 8
+        self._check(address, nbytes * len(values))
         for i, value in enumerate(values):
             mask = (1 << bits) - 1
             self.data[address + i * nbytes:address + (i + 1) * nbytes] = (
@@ -101,6 +104,7 @@ class FlatMemory:
 
     def read_array_i(self, address: int, count: int, bits: int = 32):
         nbytes = bits // 8
+        self._check(address, nbytes * count)
         result = []
         sign_bit = 1 << (bits - 1)
         for i in range(count):

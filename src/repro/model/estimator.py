@@ -49,6 +49,14 @@ from .config import AcceleratorConfig, AcceleratorEstimate, LoopPlan
 from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 
 
+#: Version tag of the performance/area estimation logic.  Bump whenever the
+#: estimates produced for an unchanged module can change (new interface
+#: heuristics, cost-table updates, scheduling changes, ...): it is part of the
+#: bench harness's persistent cache key, so bumping it invalidates every
+#: cached evaluation record.
+ESTIMATOR_VERSION = "1"
+
+
 class FunctionContext:
     """Cached per-function analyses shared by all candidate evaluations."""
 

@@ -68,7 +68,10 @@ def hoist_invariants(func: Function) -> int:
             if preheader is None:
                 continue
             hoisted: Set[Instruction] = set()
-            for block in list(loop.blocks):
+            # Iterate in function layout order, not set order: the order in
+            # which invariants land in the preheader must be deterministic
+            # across processes (the bench cache keys on the printed IR).
+            for block in [b for b in func.blocks if b in loop.blocks]:
                 for inst in list(block.instructions):
                     if not _hoistable(inst):
                         continue

@@ -1,5 +1,15 @@
 """Regeneration of the paper's evaluation artifacts (Tables I/II, Fig. 6)."""
 
+from .bench import (
+    BenchCache,
+    EvaluationEngine,
+    FlowParams,
+    WorkloadRecord,
+    build_report,
+    compare_reports,
+    load_report,
+    write_report,
+)
 from .formats import render_series, render_table
 from .runner import BenchmarkComparison, ComparisonRunner
 from .table1 import capability_matrix, render_table1
@@ -11,6 +21,7 @@ from .table2 import (
     build_row,
     generate_table2,
     render_table2,
+    row_from_record,
 )
 from .export import (
     figure6_to_csv,
@@ -25,15 +36,19 @@ from .figure6 import (
     dominance_check,
     generate_figure6,
     render_figure6,
+    series_from_record,
 )
 
 __all__ = [
     "render_series", "render_table",
     "BenchmarkComparison", "ComparisonRunner",
+    "BenchCache", "EvaluationEngine", "FlowParams", "WorkloadRecord",
+    "build_report", "compare_reports", "load_report", "write_report",
     "capability_matrix", "render_table1",
     "LARGE_BUDGET", "SMALL_BUDGET", "Table2Row", "averages", "build_row",
-    "generate_table2", "render_table2",
+    "generate_table2", "render_table2", "row_from_record",
     "DEFAULT_FIG6_BENCHMARKS", "Figure6Series", "build_series",
     "dominance_check", "generate_figure6", "render_figure6",
+    "series_from_record",
     "figure6_to_csv", "figure6_to_json", "table2_to_csv", "table2_to_json",
 ]

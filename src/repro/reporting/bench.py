@@ -1,0 +1,581 @@
+"""Parallel, persistently-cached evaluation engine behind ``repro bench``.
+
+The engine runs the workload × flow matrix (full Cayman, coupled-only
+Cayman, NOVIA, QsCores) and reduces each workload to a serializable
+:class:`WorkloadRecord`: per-budget speedups for every flow, the merged
+Pareto series, Table II metrics, ``CandidateSelector.stats()`` counters, and
+per-stage wall times.
+
+Records are memoized at two levels:
+
+* in-process, as full :class:`BenchmarkComparison` objects (what ``table2``
+  and ``fig6`` consume through :class:`~.runner.ComparisonRunner`);
+* on disk, content-keyed — the cache key hashes the workload name, the
+  optimized IR of its module, the flow parameters (α, β, prune threshold,
+  budgets), and :data:`~repro.model.estimator.ESTIMATOR_VERSION` — so re-runs
+  and CI only pay for what actually changed.
+
+Cache misses can be fanned out across a ``concurrent.futures`` process pool
+(``repro bench --jobs N``); results are deterministic, so parallel runs are
+bit-for-bit identical to serial ones (modulo wall times, which are reported
+but never part of the cached identity or determinism comparisons).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.common import BaselineResult
+from ..baselines.novia import Novia
+from ..baselines.qscores import QsCores
+from ..framework import Cayman, CaymanResult
+from ..model.estimator import ESTIMATOR_VERSION
+from ..workloads import get_workload
+
+#: Bumped whenever the on-disk record layout changes (old entries are
+#: silently treated as misses).
+CACHE_SCHEMA_VERSION = 1
+#: Schema of the ``BENCH_<tag>.json`` report files.
+BENCH_SCHEMA_VERSION = 1
+
+#: The four flows of the paper's evaluation, in reporting order.
+FLOW_NAMES = ("cayman", "coupled_only", "novia", "qscores")
+
+#: The paper's small (25%) and large (65%) area budgets.
+DEFAULT_BUDGETS = (0.25, 0.65)
+
+#: Default persistent cache location (overridable per-engine and via CLI).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _budget_key(budget: float) -> str:
+    """Stable string key for a budget ratio (JSON object keys)."""
+    return format(budget, ".6g")
+
+
+@dataclass(frozen=True)
+class FlowParams:
+    """Everything that parameterizes one evaluation of the flow matrix."""
+
+    alpha: float = 1.1
+    beta: float = 4.0
+    prune_threshold: float = 0.001
+    budgets: Tuple[float, ...] = DEFAULT_BUDGETS
+
+    def as_dict(self) -> Dict:
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "prune_threshold": self.prune_threshold,
+            "budgets": list(self.budgets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FlowParams":
+        return cls(
+            alpha=payload["alpha"],
+            beta=payload["beta"],
+            prune_threshold=payload["prune_threshold"],
+            budgets=tuple(payload["budgets"]),
+        )
+
+
+@dataclass
+class BenchmarkComparison:
+    """All four flows' results for one workload."""
+
+    name: str
+    suite: str
+    cayman: CaymanResult
+    coupled_only: CaymanResult
+    novia: BaselineResult
+    qscores: BaselineResult
+    #: Flow-level wall times measured around each flow run.
+    flow_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def speedups(self, budget_ratio: float) -> Dict[str, float]:
+        return {
+            "cayman": self.cayman.speedup_under_budget(budget_ratio),
+            "coupled_only": self.coupled_only.speedup_under_budget(budget_ratio),
+            "novia": self.novia.speedup_under_budget(budget_ratio),
+            "qscores": self.qscores.speedup_under_budget(budget_ratio),
+        }
+
+    def result_for(self, flow: str):
+        return getattr(self, flow)
+
+
+def run_comparison(name: str, params: FlowParams) -> BenchmarkComparison:
+    """Run all four flows on one workload (the single execution path)."""
+    workload = get_workload(name)
+    flow_seconds: Dict[str, float] = {}
+
+    def timed(flow: str, runner):
+        started = time.perf_counter()
+        result = runner.run(workload.source, entry=workload.entry, name=name)
+        flow_seconds[flow] = time.perf_counter() - started
+        return result
+
+    cayman = timed("cayman", Cayman(
+        alpha=params.alpha, beta=params.beta,
+        prune_threshold=params.prune_threshold,
+    ))
+    coupled = timed("coupled_only", Cayman(
+        alpha=params.alpha, beta=params.beta,
+        prune_threshold=params.prune_threshold, coupled_only=True,
+    ))
+    novia = timed("novia", Novia(
+        alpha=params.alpha, prune_threshold=params.prune_threshold,
+    ))
+    qscores = timed("qscores", QsCores(
+        alpha=params.alpha, prune_threshold=params.prune_threshold,
+    ))
+    return BenchmarkComparison(
+        name=name,
+        suite=workload.suite,
+        cayman=cayman,
+        coupled_only=coupled,
+        novia=novia,
+        qscores=qscores,
+        flow_seconds=flow_seconds,
+    )
+
+
+# Cache keying ------------------------------------------------------------------
+
+
+#: Auto-generated SSA value names (``%v<N>``, possibly ``.M``-deduplicated by
+#: the printer).  Their numbers come from a process-global counter, so they
+#: must be canonicalized before the IR text can serve as a content key.
+_AUTO_VALUE_NAME = re.compile(r"%v\d+(?:\.\d+)?\b")
+
+
+def _canonicalize_ir(text: str) -> str:
+    """Renumber auto-generated value names by order of first appearance."""
+    mapping: Dict[str, str] = {}
+
+    def substitute(match: "re.Match") -> str:
+        token = match.group(0)
+        if token not in mapping:
+            mapping[token] = f"%t{len(mapping)}"
+        return mapping[token]
+
+    return _AUTO_VALUE_NAME.sub(substitute, text)
+
+
+def module_ir_hash(name: str) -> str:
+    """SHA-256 of the workload's optimized, name-canonicalized IR text."""
+    from ..frontend.lowering import compile_source
+    from ..ir.printer import print_module
+
+    workload = get_workload(name)
+    module = compile_source(workload.source, name)
+    text = _canonicalize_ir(print_module(module))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def cache_key(name: str, params: FlowParams, ir_hash: Optional[str] = None) -> str:
+    """Content key of one workload evaluation.
+
+    Any change to the workload's optimized IR, the flow parameters, the
+    estimator version, or the record schema produces a different key.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "workload": name,
+        "ir": ir_hash if ir_hash is not None else module_ir_hash(name),
+        "params": params.as_dict(),
+        "estimator_version": ESTIMATOR_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# Records ------------------------------------------------------------------------
+
+
+def budget_metrics(comparison: BenchmarkComparison, budget: float) -> Dict:
+    """Table II metrics of one workload under one area budget."""
+    best = comparison.cayman.best_under_budget(budget)
+    solution = best.solution
+    totals = solution.interface_totals()
+    cayman_speedup = best.speedup(comparison.cayman.total_seconds)
+    novia_speedup = comparison.novia.speedup_under_budget(budget)
+    qscores_speedup = comparison.qscores.speedup_under_budget(budget)
+    return {
+        "over_novia": cayman_speedup / max(novia_speedup, 1e-12),
+        "over_qscores": cayman_speedup / max(qscores_speedup, 1e-12),
+        "seq_blocks": solution.seq_block_total(),
+        "pipelined_regions": solution.pipelined_region_total(),
+        "coupled": totals.get("coupled", 0),
+        "decoupled": totals.get("decoupled", 0),
+        "scratchpad": totals.get("scratchpad", 0),
+        "saving_pct": best.saving_pct,
+        "cayman_speedup": cayman_speedup,
+    }
+
+
+@dataclass
+class WorkloadRecord:
+    """Serializable reduction of one workload's four-flow evaluation.
+
+    Everything except ``stage_seconds``/``runtime_seconds`` (wall times) is a
+    deterministic function of the cache key's inputs; determinism comparisons
+    look only at the deterministic part (see :func:`compare_reports`).
+    """
+
+    name: str
+    suite: str
+    key: str
+    estimator_version: str
+    #: flow name → {"speedups": {budget: x}, "pareto": [[area, speedup], ...]}
+    flows: Dict[str, Dict]
+    #: budget key → Table II metrics (see :func:`budget_metrics`).
+    table2: Dict[str, Dict]
+    #: selector counters for the two Cayman flows.
+    selector_stats: Dict[str, Dict[str, int]]
+    #: per-stage wall times (compile/profile/analysis/selection/merging of
+    #: the full Cayman flow, plus per-flow totals).
+    stage_seconds: Dict[str, float]
+    runtime_seconds: float
+
+    def speedup(self, flow: str, budget: float) -> float:
+        return self.flows[flow]["speedups"][_budget_key(budget)]
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "name": self.name,
+            "suite": self.suite,
+            "key": self.key,
+            "estimator_version": self.estimator_version,
+            "flows": self.flows,
+            "table2": self.table2,
+            "selector_stats": self.selector_stats,
+            "stage_seconds": self.stage_seconds,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "WorkloadRecord":
+        return cls(
+            name=payload["name"],
+            suite=payload["suite"],
+            key=payload["key"],
+            estimator_version=payload["estimator_version"],
+            flows=payload["flows"],
+            table2=payload["table2"],
+            selector_stats=payload["selector_stats"],
+            stage_seconds=payload["stage_seconds"],
+            runtime_seconds=payload["runtime_seconds"],
+        )
+
+
+def record_from_comparison(
+    comparison: BenchmarkComparison, params: FlowParams, key: str
+) -> WorkloadRecord:
+    flows: Dict[str, Dict] = {}
+    for flow in FLOW_NAMES:
+        result = comparison.result_for(flow)
+        flows[flow] = {
+            "speedups": {
+                _budget_key(b): result.speedup_under_budget(b)
+                for b in params.budgets
+            },
+            "pareto": [list(point) for point in result.pareto_points()],
+        }
+    table2 = {
+        _budget_key(b): budget_metrics(comparison, b) for b in params.budgets
+    }
+    stage_seconds = dict(comparison.cayman.stage_seconds)
+    for flow, seconds in comparison.flow_seconds.items():
+        stage_seconds[f"flow_{flow}"] = seconds
+    return WorkloadRecord(
+        name=comparison.name,
+        suite=comparison.suite,
+        key=key,
+        estimator_version=ESTIMATOR_VERSION,
+        flows=flows,
+        table2=table2,
+        selector_stats={
+            "cayman": comparison.cayman.selector.stats(),
+            "coupled_only": comparison.coupled_only.selector.stats(),
+        },
+        stage_seconds=stage_seconds,
+        runtime_seconds=comparison.cayman.runtime_seconds,
+    )
+
+
+# Persistent cache ---------------------------------------------------------------
+
+
+class BenchCache:
+    """Content-keyed on-disk store of :class:`WorkloadRecord` JSON blobs."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR):
+        self.directory = directory
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[WorkloadRecord]:
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("estimator_version") != ESTIMATOR_VERSION:
+            return None
+        return WorkloadRecord.from_dict(payload)
+
+    def put(self, record: WorkloadRecord) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        # Atomic publish so a crashed/parallel writer never leaves a torn
+        # JSON file behind.
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{record.key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record.to_dict(), handle, sort_keys=True)
+            os.replace(tmp, self._path(record.key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# Process-pool worker (module-level so it pickles) -------------------------------
+
+
+def _evaluate_worker(name: str, params_payload: Dict) -> Dict:
+    params = FlowParams.from_dict(params_payload)
+    key = cache_key(name, params)
+    comparison = run_comparison(name, params)
+    return record_from_comparison(comparison, params, key).to_dict()
+
+
+# The engine ---------------------------------------------------------------------
+
+
+class EvaluationEngine:
+    """Runs, caches, and parallelizes workload evaluations.
+
+    ``table2``/``fig6`` (through :class:`~.runner.ComparisonRunner`) and
+    ``repro bench`` all execute through this engine, so they share one cached
+    execution path.
+    """
+
+    def __init__(
+        self,
+        params: Optional[FlowParams] = None,
+        cache: Optional[BenchCache] = None,
+    ):
+        self.params = params or FlowParams()
+        self.cache = cache
+        self._comparisons: Dict[str, BenchmarkComparison] = {}
+        self._records: Dict[str, WorkloadRecord] = {}
+        self._keys: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+        self.hit_names: set = set()
+
+    # Keys ----------------------------------------------------------------------
+
+    def key_for(self, name: str) -> str:
+        if name not in self._keys:
+            self._keys[name] = cache_key(name, self.params)
+        return self._keys[name]
+
+    # Full-object path (table2/fig6) --------------------------------------------
+
+    def comparison(self, name: str) -> BenchmarkComparison:
+        """Full (non-serializable) four-flow results, memoized per process.
+
+        Also derives and persists the workload's record so a later ``bench``
+        run over the same cache directory starts warm.
+        """
+        if name not in self._comparisons:
+            comparison = run_comparison(name, self.params)
+            self._comparisons[name] = comparison
+            record = record_from_comparison(
+                comparison, self.params, self.key_for(name)
+            )
+            self._remember(record)
+        return self._comparisons[name]
+
+    # Record path (bench) --------------------------------------------------------
+
+    def cached_record(self, name: str) -> Optional[WorkloadRecord]:
+        """The workload's record if it is already known, else ``None``."""
+        if name in self._records:
+            return self._records[name]
+        if self.cache is not None:
+            record = self.cache.get(self.key_for(name))
+            if record is not None:
+                self._records[name] = record
+                return record
+        return None
+
+    def record(self, name: str) -> WorkloadRecord:
+        """One workload's record: cache hit or a fresh serial evaluation."""
+        cached = self.cached_record(name)
+        if cached is not None:
+            self.hits += 1
+            self.hit_names.add(name)
+            return cached
+        self.misses += 1
+        comparison = run_comparison(name, self.params)
+        record = record_from_comparison(
+            comparison, self.params, self.key_for(name)
+        )
+        self._remember(record)
+        return record
+
+    def evaluate(
+        self,
+        names: Sequence[str],
+        jobs: int = 1,
+        progress: Optional[Callable[[str, str], None]] = None,
+    ) -> List[WorkloadRecord]:
+        """Evaluate many workloads, fanning cache misses across a pool.
+
+        ``progress`` (if given) is called with ``(name, status)`` where
+        status is ``"hit"``, ``"run"``, or ``"done"``.  Results come back in
+        input order and are identical whether ``jobs`` is 1 or N.
+        """
+        records: Dict[str, WorkloadRecord] = {}
+        missing: List[str] = []
+        for name in names:
+            cached = self.cached_record(name)
+            if cached is not None:
+                self.hits += 1
+                self.hit_names.add(name)
+                records[name] = cached
+                if progress:
+                    progress(name, "hit")
+            else:
+                missing.append(name)
+                if progress:
+                    progress(name, "run")
+        if missing:
+            self.misses += len(missing)
+            if jobs > 1 and len(missing) > 1:
+                payload = self.params.as_dict()
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = {
+                        name: pool.submit(_evaluate_worker, name, payload)
+                        for name in missing
+                    }
+                    for name in missing:
+                        record = WorkloadRecord.from_dict(futures[name].result())
+                        self._remember(record)
+                        records[name] = record
+                        if progress:
+                            progress(name, "done")
+            else:
+                for name in missing:
+                    comparison = run_comparison(name, self.params)
+                    record = record_from_comparison(
+                        comparison, self.params, self.key_for(name)
+                    )
+                    self._remember(record)
+                    records[name] = record
+                    if progress:
+                        progress(name, "done")
+        return [records[name] for name in names]
+
+    def _remember(self, record: WorkloadRecord) -> None:
+        self._records[record.name] = record
+        if self.cache is not None:
+            self.cache.put(record)
+
+    def cache_stats(self) -> Dict:
+        total = self.hits + self.misses
+        return {
+            "directory": self.cache.directory if self.cache else None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+# BENCH_<tag>.json reports -------------------------------------------------------
+
+
+def build_report(
+    records: Sequence[WorkloadRecord],
+    engine: EvaluationEngine,
+    tag: str,
+    wall_seconds: float,
+) -> Dict:
+    """The machine-readable bench payload (see docs/benchmarking.md)."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tag": tag,
+        "generated_unix": time.time(),
+        "params": engine.params.as_dict(),
+        "estimator_version": ESTIMATOR_VERSION,
+        "cache": engine.cache_stats(),
+        "wall_seconds": wall_seconds,
+        "workloads": {
+            record.name: dict(
+                record.to_dict(), cached=(record.name in engine.hit_names)
+            )
+            for record in records
+        },
+    }
+
+
+def write_report(payload: Dict, directory: str = ".") -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{payload['tag']}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_reports(left: Dict, right: Dict) -> List[str]:
+    """Determinism check: the *deterministic* sections must match bit-for-bit.
+
+    Compares per-workload flow speedups/Pareto series, Table II metrics, and
+    selector counters; wall times and cache statistics are expected to
+    differ between runs and are ignored.  Returns human-readable mismatch
+    descriptions (empty = identical).
+    """
+    problems: List[str] = []
+    left_workloads = left.get("workloads", {})
+    right_workloads = right.get("workloads", {})
+    for name in sorted(set(left_workloads) | set(right_workloads)):
+        if name not in left_workloads or name not in right_workloads:
+            problems.append(f"{name}: present in only one report")
+            continue
+        a, b = left_workloads[name], right_workloads[name]
+        for section in ("key", "flows", "table2", "selector_stats"):
+            if a.get(section) != b.get(section):
+                problems.append(f"{name}: section {section!r} differs")
+    return problems
+
+
+def default_tag(params: FlowParams) -> str:
+    """A short params-derived tag so differing configs never clobber."""
+    blob = json.dumps(params.as_dict(), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:8]

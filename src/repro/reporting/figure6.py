@@ -6,6 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .bench import WorkloadRecord
 from .formats import render_series
 from .runner import BenchmarkComparison, ComparisonRunner
 
@@ -44,11 +45,30 @@ def build_series(comparison: BenchmarkComparison) -> Figure6Series:
     )
 
 
+def series_from_record(record: WorkloadRecord) -> Figure6Series:
+    """Fig. 6 series from a (possibly cache-loaded) bench record."""
+
+    def points(flow: str) -> List[Point]:
+        return [tuple(point) for point in record.flows[flow]["pareto"]]
+
+    return Figure6Series(
+        benchmark=record.name,
+        novia=points("novia"),
+        qscores=points("qscores"),
+        coupled_only=points("coupled_only"),
+        cayman=points("cayman"),
+    )
+
+
 def generate_figure6(
     benchmarks: Sequence[str] = DEFAULT_FIG6_BENCHMARKS,
     runner: Optional[ComparisonRunner] = None,
+    jobs: int = 1,
 ) -> List[Figure6Series]:
     runner = runner or ComparisonRunner()
+    if jobs > 1:
+        records = runner.engine.evaluate(benchmarks, jobs=jobs)
+        return [series_from_record(record) for record in records]
     return [build_series(runner.run(name)) for name in benchmarks]
 
 

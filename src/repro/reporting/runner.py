@@ -1,82 +1,55 @@
 """Shared benchmark comparison runner used by Table II and Fig. 6.
 
-Runs the four flows (full Cayman, coupled-only Cayman, NOVIA, QsCores) on a
-workload once and caches the results so both reports can reuse them.
+A thin façade over :class:`~.bench.EvaluationEngine`: both the tabular
+reports and ``repro bench`` execute workloads through the same engine, so
+results are computed once per process (and, when the engine has a persistent
+cache, reduced records survive across processes and CI runs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from typing import Optional
 
-from ..baselines.common import BaselineResult
-from ..baselines.novia import Novia
-from ..baselines.qscores import QsCores
-from ..framework import Cayman, CaymanResult
-from ..workloads import get_workload
+from .bench import (
+    BenchCache,
+    BenchmarkComparison,
+    EvaluationEngine,
+    FlowParams,
+)
 
-
-@dataclass
-class BenchmarkComparison:
-    """All four flows' results for one workload."""
-
-    name: str
-    suite: str
-    cayman: CaymanResult
-    coupled_only: CaymanResult
-    novia: BaselineResult
-    qscores: BaselineResult
-
-    def speedups(self, budget_ratio: float) -> Dict[str, float]:
-        return {
-            "cayman": self.cayman.speedup_under_budget(budget_ratio),
-            "coupled_only": self.coupled_only.speedup_under_budget(budget_ratio),
-            "novia": self.novia.speedup_under_budget(budget_ratio),
-            "qscores": self.qscores.speedup_under_budget(budget_ratio),
-        }
+__all__ = ["BenchmarkComparison", "ComparisonRunner"]
 
 
 class ComparisonRunner:
-    """Runs and memoizes benchmark comparisons."""
+    """Runs and memoizes benchmark comparisons (full in-memory results)."""
 
     def __init__(
         self,
         alpha: float = 1.1,
         beta: float = 4.0,
         prune_threshold: float = 0.001,
+        engine: Optional[EvaluationEngine] = None,
+        cache_dir: Optional[str] = None,
     ):
-        self.alpha = alpha
-        self.beta = beta
-        self.prune_threshold = prune_threshold
-        self._cache: Dict[str, BenchmarkComparison] = {}
+        if engine is None:
+            params = FlowParams(
+                alpha=alpha, beta=beta, prune_threshold=prune_threshold
+            )
+            cache = BenchCache(cache_dir) if cache_dir else None
+            engine = EvaluationEngine(params, cache=cache)
+        self.engine = engine
+
+    @property
+    def alpha(self) -> float:
+        return self.engine.params.alpha
+
+    @property
+    def beta(self) -> float:
+        return self.engine.params.beta
+
+    @property
+    def prune_threshold(self) -> float:
+        return self.engine.params.prune_threshold
 
     def run(self, name: str) -> BenchmarkComparison:
-        if name in self._cache:
-            return self._cache[name]
-        workload = get_workload(name)
-        # Compile once per flow run (each flow re-profiles the same module
-        # structure; modules are cheap to rebuild and flows keep references).
-        cayman = Cayman(
-            alpha=self.alpha, beta=self.beta,
-            prune_threshold=self.prune_threshold,
-        ).run(workload.source, entry=workload.entry, name=name)
-        coupled = Cayman(
-            alpha=self.alpha, beta=self.beta,
-            prune_threshold=self.prune_threshold, coupled_only=True,
-        ).run(workload.source, entry=workload.entry, name=name)
-        novia = Novia(
-            alpha=self.alpha, prune_threshold=self.prune_threshold
-        ).run(workload.source, entry=workload.entry, name=name)
-        qscores = QsCores(
-            alpha=self.alpha, prune_threshold=self.prune_threshold
-        ).run(workload.source, entry=workload.entry, name=name)
-        comparison = BenchmarkComparison(
-            name=name,
-            suite=workload.suite,
-            cayman=cayman,
-            coupled_only=coupled,
-            novia=novia,
-            qscores=qscores,
-        )
-        self._cache[name] = comparison
-        return comparison
+        return self.engine.comparison(name)

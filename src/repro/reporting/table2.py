@@ -9,6 +9,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..workloads import all_workloads
+from .bench import WorkloadRecord, _budget_key, budget_metrics
 from .formats import render_table
 from .runner import BenchmarkComparison, ComparisonRunner
 
@@ -40,24 +41,22 @@ class Table2Row:
     runtime_seconds: float
 
 
-def _budget_row(comparison: BenchmarkComparison, budget: float) -> BudgetRow:
-    best = comparison.cayman.best_under_budget(budget)
-    solution = best.solution
-    totals = solution.interface_totals()
-    cayman_speedup = best.speedup(comparison.cayman.total_seconds)
-    novia_speedup = comparison.novia.speedup_under_budget(budget)
-    qscores_speedup = comparison.qscores.speedup_under_budget(budget)
+def _metrics_to_budget_row(metrics: dict) -> BudgetRow:
     return BudgetRow(
-        speedup_over_novia=cayman_speedup / max(novia_speedup, 1e-12),
-        speedup_over_qscores=cayman_speedup / max(qscores_speedup, 1e-12),
-        seq_blocks=solution.seq_block_total(),
-        pipelined_regions=solution.pipelined_region_total(),
-        coupled=totals.get("coupled", 0),
-        decoupled=totals.get("decoupled", 0),
-        scratchpad=totals.get("scratchpad", 0),
-        area_saving_pct=best.saving_pct,
-        cayman_speedup=cayman_speedup,
+        speedup_over_novia=metrics["over_novia"],
+        speedup_over_qscores=metrics["over_qscores"],
+        seq_blocks=metrics["seq_blocks"],
+        pipelined_regions=metrics["pipelined_regions"],
+        coupled=metrics["coupled"],
+        decoupled=metrics["decoupled"],
+        scratchpad=metrics["scratchpad"],
+        area_saving_pct=metrics["saving_pct"],
+        cayman_speedup=metrics["cayman_speedup"],
     )
+
+
+def _budget_row(comparison: BenchmarkComparison, budget: float) -> BudgetRow:
+    return _metrics_to_budget_row(budget_metrics(comparison, budget))
 
 
 def build_row(comparison: BenchmarkComparison) -> Table2Row:
@@ -70,14 +69,43 @@ def build_row(comparison: BenchmarkComparison) -> Table2Row:
     )
 
 
+def row_from_record(record: WorkloadRecord) -> Table2Row:
+    """Table II row from a (possibly cache-loaded) bench record.
+
+    The record must have been evaluated with the paper's budgets among its
+    ``FlowParams.budgets``; ``runtime_seconds`` then reflects the original
+    (cached) run, not the current process.
+    """
+    return Table2Row(
+        suite=record.suite,
+        benchmark=record.name,
+        small=_metrics_to_budget_row(record.table2[_budget_key(SMALL_BUDGET)]),
+        large=_metrics_to_budget_row(record.table2[_budget_key(LARGE_BUDGET)]),
+        runtime_seconds=record.runtime_seconds,
+    )
+
+
 def generate_table2(
     benchmarks: Optional[Sequence[str]] = None,
     runner: Optional[ComparisonRunner] = None,
     progress=None,
+    jobs: int = 1,
 ) -> List[Table2Row]:
-    """Run the full comparison and return all Table II rows."""
+    """Run the full comparison and return all Table II rows.
+
+    With ``jobs > 1`` the rows are built from the engine's (possibly
+    cache-resident) records evaluated across a process pool; results are
+    identical to the serial full-object path.
+    """
     runner = runner or ComparisonRunner()
     names = list(benchmarks) if benchmarks else [w.name for w in all_workloads()]
+    if jobs > 1:
+        records = runner.engine.evaluate(
+            names,
+            jobs=jobs,
+            progress=(lambda name, status: progress(name)) if progress else None,
+        )
+        return [row_from_record(record) for record in records]
     rows = []
     for name in names:
         if progress is not None:

@@ -9,7 +9,7 @@ thinned by the geometric ``filter(α)`` that bounds front length by
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..model.config import AcceleratorEstimate
 
@@ -85,37 +85,53 @@ def pareto(solutions: Iterable[Solution]) -> List[Solution]:
 def filter_front(front: Sequence[Solution], alpha: float) -> List[Solution]:
     """The paper's ``filter``: drop solutions too close in area.
 
-    Keeps a subsequence where every neighboring pair satisfies
-    ``a_{i+1} > α · a_i``; from each dropped run the *last* (highest-gain)
-    solution before the geometric jump is retained implicitly by keeping the
-    first solution whose area exceeds the bound.  Zero-area solutions (the
-    empty solution) are always kept.
+    Partitions the front into geometric buckets: each bucket is anchored at
+    the first not-yet-covered solution ``s`` and spans areas in
+    ``[s.area, α · s.area]``.  From every bucket the *last* (highest-gain,
+    since Pareto fronts have strictly increasing gain) solution is kept.
+    Zero-area solutions (the empty solution) are always kept.
+
+    Endpoint guarantee: for every solution ``s`` of the input front the
+    result contains a solution ``t`` with ``t.saved_seconds ≥
+    s.saved_seconds`` and ``t.area ≤ α · s.area``.  In particular the
+    maximum-gain endpoint of the front always survives, so
+    ``best_under_budget`` after filtering is never worse than the unfiltered
+    optimum at a budget relaxed by α.  Bucket anchors grow geometrically, so
+    the result still has at most ``log_α(A_max / A_min) + 1`` positive-area
+    entries.
     """
     if alpha <= 1.0:
         return list(front)
     result: List[Solution] = []
-    last_kept_area = None
+    positives: List[Solution] = []
     for solution in front:
         if solution.area <= 0:
             result.append(solution)
-            continue
-        if last_kept_area is None or solution.area > alpha * last_kept_area:
-            result.append(solution)
-            last_kept_area = solution.area
+        else:
+            positives.append(solution)
+    index = 0
+    count = len(positives)
+    while index < count:
+        anchor = positives[index].area
+        last = index
+        while last + 1 < count and positives[last + 1].area <= alpha * anchor:
+            last += 1
+        result.append(positives[last])
+        index = last + 1
     return result
 
 
 def combine(
     left: Sequence[Solution],
     right: Sequence[Solution],
-    area_cap: float = None,
+    area_cap: Optional[float] = None,
 ) -> List[Solution]:
     """The ⊗ operation: Pareto front of all pairwise unions."""
     unions: List[Solution] = []
     for a in left:
         for b in right:
             union = a.union(b)
-            if area_cap is not None and union.area > area_cap and not union.is_empty:
+            if area_cap is not None and union.area > area_cap:
                 continue
             unions.append(union)
     return pareto(unions)

@@ -1,0 +1,86 @@
+"""Bounds checking for FlatMemory, including the bulk array helpers.
+
+Regression tests: the bulk helpers used to bypass ``_check``, so an
+out-of-range ``write_array_i`` silently *extended* the backing bytearray via
+slice assignment and writes into the null guard region went undetected.
+"""
+
+import pytest
+
+from repro.interp.memory import FlatMemory, MemoryError_
+from repro.ir import F32, I32
+
+
+class TestScalarBounds:
+    def test_null_guard_load_traps(self):
+        mem = FlatMemory()
+        with pytest.raises(MemoryError_):
+            mem.load(0, I32)
+        with pytest.raises(MemoryError_):
+            mem.store(8, I32, 1)
+
+    def test_past_end_traps(self):
+        mem = FlatMemory(size=1024)
+        with pytest.raises(MemoryError_):
+            mem.load(1024, I32)
+        with pytest.raises(MemoryError_):
+            mem.store(1022, I32, 1)
+
+
+class TestBulkHelperBounds:
+    def test_guard_region_write_array_traps(self):
+        mem = FlatMemory()
+        with pytest.raises(MemoryError_):
+            mem.write_array_i(0, [1, 2, 3])
+        with pytest.raises(MemoryError_):
+            mem.write_array_f(32, [1.0, 2.0])
+
+    def test_guard_region_read_array_traps(self):
+        mem = FlatMemory()
+        with pytest.raises(MemoryError_):
+            mem.read_array_i(0, 4)
+        with pytest.raises(MemoryError_):
+            mem.read_array_f(60, 2)
+
+    def test_straddling_guard_boundary_traps(self):
+        mem = FlatMemory()
+        # Starts inside the guard region, ends outside: still illegal.
+        with pytest.raises(MemoryError_):
+            mem.write_array_i(56, [1, 2, 3, 4])
+
+    def test_past_end_write_array_i_traps_and_does_not_extend(self):
+        mem = FlatMemory(size=1024)
+        before = len(mem.data)
+        with pytest.raises(MemoryError_):
+            mem.write_array_i(1020, [1, 2, 3, 4])
+        # The old slice-assignment path silently grew the bytearray.
+        assert len(mem.data) == before
+
+    def test_past_end_write_array_f_traps(self):
+        mem = FlatMemory(size=1024)
+        with pytest.raises(MemoryError_):
+            mem.write_array_f(1016, [1.0, 2.0, 3.0])
+
+    def test_past_end_read_array_traps(self):
+        mem = FlatMemory(size=1024)
+        with pytest.raises(MemoryError_):
+            mem.read_array_i(1020, 2)
+        with pytest.raises(MemoryError_):
+            mem.read_array_f(1023, 1)
+
+    def test_in_bounds_roundtrip_still_works(self):
+        mem = FlatMemory(size=1024)
+        addr = mem.allocate(I32, align=8)
+        mem.write_array_i(addr, [-3, 0, 7], bits=32)
+        assert mem.read_array_i(addr, 3, bits=32) == [-3, 0, 7]
+        faddr = mem.allocate(F32, align=8)
+        mem.write_array_f(faddr, [0.5], bits=32)
+        assert mem.read_array_f(faddr, 1, bits=32) == [0.5]
+
+    def test_64bit_element_width_checked(self):
+        mem = FlatMemory(size=256)
+        # 4 doubles starting 8 bytes before the end: 32 bytes needed.
+        with pytest.raises(MemoryError_):
+            mem.write_array_f(248, [1.0, 2.0, 3.0, 4.0], bits=64)
+        with pytest.raises(MemoryError_):
+            mem.read_array_i(240, 4, bits=64)

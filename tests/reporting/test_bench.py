@@ -1,0 +1,198 @@
+"""Tests for the parallel, persistently-cached evaluation engine."""
+
+import json
+import os
+
+import pytest
+
+from repro.reporting import build_row, build_series
+from repro.reporting.bench import (
+    BenchCache,
+    EvaluationEngine,
+    FlowParams,
+    WorkloadRecord,
+    build_report,
+    cache_key,
+    compare_reports,
+    default_tag,
+    load_report,
+    module_ir_hash,
+    write_report,
+)
+from repro.reporting.figure6 import series_from_record
+from repro.reporting.table2 import row_from_record
+
+NAMES = ["trisolv", "bicg"]
+
+
+@pytest.fixture(scope="module")
+def params():
+    return FlowParams()
+
+
+@pytest.fixture(scope="module")
+def serial_records(params):
+    engine = EvaluationEngine(params)
+    return engine.evaluate(NAMES, jobs=1)
+
+
+class TestCacheKey:
+    def test_ir_hash_stable_within_process(self):
+        # Regression: raw prints embed a process-global value-name counter,
+        # so an un-canonicalized hash changed on every recompute.
+        assert module_ir_hash("trisolv") == module_ir_hash("trisolv")
+
+    def test_key_depends_on_params(self, params):
+        ir = module_ir_hash("trisolv")
+        base = cache_key("trisolv", params, ir_hash=ir)
+        assert base == cache_key("trisolv", params, ir_hash=ir)
+        assert base != cache_key(
+            "trisolv", FlowParams(alpha=1.2), ir_hash=ir
+        )
+        assert base != cache_key(
+            "trisolv", FlowParams(budgets=(0.25,)), ir_hash=ir
+        )
+        assert base != cache_key("trisolv", params, ir_hash="0" * 64)
+        assert base != cache_key("bicg", params, ir_hash=ir)
+
+
+class TestRecords:
+    def test_roundtrip(self, serial_records):
+        for record in serial_records:
+            clone = WorkloadRecord.from_dict(
+                json.loads(json.dumps(record.to_dict()))
+            )
+            assert clone.to_dict() == record.to_dict()
+
+    def test_speedups_present_for_all_flows_and_budgets(
+        self, serial_records, params
+    ):
+        for record in serial_records:
+            for flow in ("cayman", "coupled_only", "novia", "qscores"):
+                for budget in params.budgets:
+                    assert record.speedup(flow, budget) >= 1.0
+
+    def test_stage_and_selector_instrumentation(self, serial_records):
+        for record in serial_records:
+            for stage in ("compile", "profile", "analysis", "selection",
+                          "merging", "flow_cayman", "flow_novia"):
+                assert record.stage_seconds[stage] >= 0.0
+            assert record.selector_stats["cayman"]["evaluated_vertices"] > 0
+
+    def test_table2_row_matches_full_object_path(self, serial_records):
+        engine = EvaluationEngine(FlowParams())
+        for record in serial_records:
+            comparison = engine.comparison(record.name)
+            expected = build_row(comparison)
+            actual = row_from_record(record)
+            assert actual.small == expected.small
+            assert actual.large == expected.large
+            assert actual.suite == expected.suite
+
+    def test_fig6_series_matches_full_object_path(self, serial_records):
+        engine = EvaluationEngine(FlowParams())
+        for record in serial_records:
+            expected = build_series(engine.comparison(record.name))
+            actual = series_from_record(record)
+            assert actual.as_dict() == expected.as_dict()
+
+
+class TestPersistentCache:
+    def test_cold_then_warm(self, tmp_path, params, serial_records):
+        cache_dir = str(tmp_path / "cache")
+        cold = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        cold_records = cold.evaluate(NAMES)
+        assert cold.misses == len(NAMES) and cold.hits == 0
+
+        warm = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        warm_records = warm.evaluate(NAMES)
+        assert warm.hits == len(NAMES) and warm.misses == 0
+        # The warm engine never ran a flow.
+        assert warm._comparisons == {}
+        for a, b in zip(cold_records, warm_records):
+            assert a.to_dict() == b.to_dict()
+        # Warm results equal the plain serial (uncached) evaluation too.
+        for a, b in zip(serial_records, warm_records):
+            assert a.flows == b.flows and a.table2 == b.table2
+
+    def test_comparison_path_populates_cache(self, tmp_path, params):
+        cache_dir = str(tmp_path / "cache")
+        engine = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        engine.comparison("trisolv")
+        warm = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        assert warm.cached_record("trisolv") is not None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, params):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        engine = EvaluationEngine(params, cache=BenchCache(str(cache_dir)))
+        key = engine.key_for("trisolv")
+        (cache_dir / f"{key}.json").write_text("{ not json")
+        assert engine.cached_record("trisolv") is None
+
+    def test_estimator_version_mismatch_is_a_miss(self, tmp_path, params):
+        cache_dir = str(tmp_path / "cache")
+        engine = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        record = engine.record("trisolv")
+        stale = dict(record.to_dict(), estimator_version="0-stale")
+        path = os.path.join(cache_dir, f"{record.key}.json")
+        with open(path, "w") as handle:
+            json.dump(stale, handle)
+        fresh = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        assert fresh.cached_record("trisolv") is None
+
+
+class TestParallelDeterminism:
+    def test_parallel_results_identical_to_serial(
+        self, params, serial_records
+    ):
+        parallel_engine = EvaluationEngine(params)
+        parallel_records = parallel_engine.evaluate(NAMES, jobs=2)
+        serial_payload = build_report(
+            serial_records, EvaluationEngine(params), "serial", 0.0
+        )
+        parallel_payload = build_report(
+            parallel_records, parallel_engine, "parallel", 0.0
+        )
+        assert compare_reports(serial_payload, parallel_payload) == []
+        # Bit-for-bit on the deterministic sections, including after a JSON
+        # roundtrip (what the CI smoke job compares).
+        roundtrip = json.loads(json.dumps(parallel_payload))
+        assert compare_reports(serial_payload, roundtrip) == []
+        for a, b in zip(serial_records, parallel_records):
+            assert a.key == b.key
+            assert a.flows == b.flows
+            assert a.table2 == b.table2
+            assert a.selector_stats == b.selector_stats
+
+
+class TestReports:
+    def test_write_load_compare(self, tmp_path, params, serial_records):
+        engine = EvaluationEngine(params)
+        payload = build_report(serial_records, engine, "t", 1.0)
+        path = write_report(payload, directory=str(tmp_path))
+        assert os.path.basename(path) == "BENCH_t.json"
+        loaded = load_report(path)
+        assert loaded["schema_version"] == payload["schema_version"]
+        assert compare_reports(payload, loaded) == []
+
+    def test_compare_detects_tampering(self, params, serial_records):
+        engine = EvaluationEngine(params)
+        payload = build_report(serial_records, engine, "t", 1.0)
+        tampered = json.loads(json.dumps(payload))
+        name = NAMES[0]
+        flows = tampered["workloads"][name]["flows"]
+        flows["cayman"]["speedups"]["0.65"] += 0.001
+        problems = compare_reports(payload, tampered)
+        assert problems and name in problems[0]
+
+    def test_compare_detects_missing_workload(self, params, serial_records):
+        engine = EvaluationEngine(params)
+        payload = build_report(serial_records, engine, "t", 1.0)
+        shrunk = json.loads(json.dumps(payload))
+        del shrunk["workloads"][NAMES[0]]
+        assert compare_reports(payload, shrunk)
+
+    def test_default_tag_stable(self, params):
+        assert default_tag(params) == default_tag(FlowParams())
+        assert default_tag(params) != default_tag(FlowParams(alpha=1.3))

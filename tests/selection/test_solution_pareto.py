@@ -101,10 +101,13 @@ class TestFilter:
     @given(solutions_strategy, st.floats(min_value=1.01, max_value=3.0))
     @settings(max_examples=80, deadline=None)
     def test_geometric_spacing_invariant(self, solutions, alpha):
+        # Bucket anchors grow geometrically, so every *other* kept solution
+        # is more than α apart in area (consecutive kept solutions are the
+        # high-gain ends of adjacent buckets and may sit closer).
         front = pareto(solutions)
         filtered = filter_front(front, alpha)
         positives = [s for s in filtered if s.area > 0]
-        for a, b in zip(positives, positives[1:]):
+        for a, b in zip(positives, positives[2:]):
             assert b.area > alpha * a.area
 
     @given(solutions_strategy, st.floats(min_value=1.01, max_value=3.0))
@@ -130,6 +133,54 @@ class TestFilter:
         filtered = filter_front(dense, alpha)
         bound = math.log(1000, alpha) + 2
         assert len(filtered) <= bound
+
+
+class TestFilterEndpointGuarantee:
+    def test_max_gain_endpoint_retained(self):
+        """Regression: the final maximum-gain solution must survive filtering.
+
+        With the pre-fix filter (keep the first solution past the α bound)
+        the front [(0,0), (10,5), (10.5,50)] at α=1.1 kept (10,5) and
+        permanently dropped the max-gain (10.5,50) endpoint, which
+        ``best_under_budget`` could then never recover.
+        """
+        front = pareto([EMPTY_SOLUTION, sol(10, 5), sol(10.5, 50)])
+        filtered = filter_front(front, 1.1)
+        assert max(s.saved_seconds for s in filtered) == 50
+
+    def test_best_of_each_dropped_run_retained(self):
+        areas_gains = [(1, 1), (1.05, 2), (1.09, 3), (2, 4), (2.1, 5), (5, 6)]
+        front = pareto([sol(a, g) for a, g in areas_gains])
+        filtered = filter_front(front, 1.1)
+        kept = sorted((s.area, s.saved_seconds) for s in filtered)
+        # One solution per geometric bucket, each the bucket's best gain.
+        assert kept == [(1.09, 3), (2.1, 5), (5, 6)]
+
+    @given(solutions_strategy, st.floats(min_value=1.01, max_value=3.0))
+    @settings(max_examples=120, deadline=None)
+    def test_alpha_guarantee_for_every_budget(self, solutions, alpha):
+        """For every budget B the filtered optimum at α·B is at least the
+        unfiltered optimum at B (the paper's filter guarantee)."""
+        front = pareto(solutions)
+        filtered = filter_front(front, alpha)
+
+        def best_under(solutions_, budget):
+            fits = [s.saved_seconds for s in solutions_ if s.area <= budget]
+            return max(fits, default=0.0)
+
+        for budget in [s.area for s in front] + [0.0]:
+            assert best_under(filtered, alpha * budget) >= best_under(
+                front, budget
+            )
+
+    @given(solutions_strategy, st.floats(min_value=1.01, max_value=3.0))
+    @settings(max_examples=80, deadline=None)
+    def test_max_gain_always_survives(self, solutions, alpha):
+        front = pareto(solutions)
+        filtered = filter_front(front, alpha)
+        assert max(s.saved_seconds for s in filtered) == max(
+            s.saved_seconds for s in front
+        )
 
 
 class TestCombine:
