@@ -1,32 +1,49 @@
 """Memory dependence analysis (paper §III-B).
 
-Identifies loop-carried dependencies for every loop: pairs of accesses to the
-same base object where a value stored in one iteration is observed (or
-overwritten) in a later iteration.  These dependencies constrain loop
+Identifies loop-carried dependencies for every loop: pairs of accesses to
+memory that may overlap where a value stored in one iteration is observed
+(or overwritten) in a later iteration.  These dependencies constrain loop
 unrolling (only loops *without* carried dependencies are unrolled) and bound
 the achievable pipeline initiation interval (RecMII).
 
-Aliasing model: distinct base objects (different globals, allocas, or pointer
-arguments) never alias — pointer arguments are treated as ``restrict``, which
-matches the PolyBench/MachSuite-style kernels the paper evaluates.  Accesses
-whose offset SCEV is unanalyzable are conservatively assumed to conflict.
+Aliasing model: two accesses can conflict when their base objects may
+overlap.  The same base object (identical global, alloca, or pointer
+argument) always overlaps with itself; *distinct* globals and allocas are
+distinct allocations and never overlap.  For everything else — pointer
+arguments against each other or against globals — the analysis consults an
+optional Andersen-style points-to analysis
+(:class:`repro.dataflow.pointsto.PointsToAnalysis`): when the may-point-to
+sets are disjoint the pair is proven independent, otherwise a conservative
+carried dependence with unknown distance is recorded (``via_alias=True``).
+Without points-to facts such pairs are conservatively assumed to conflict.
+
+``assume_restrict=True`` restores the historical model that treated every
+pointer argument as ``restrict`` (distinct arguments never alias).  That is
+*unsound* for callers that bind two arguments to the same buffer — see
+``docs/diagnostics.md`` — and is kept only as an escape hatch / baseline;
+:meth:`MemoryDependenceAnalysis.restrict_model_misses` reports exactly the
+dependences the restrict model would silently drop.  Accesses whose offset
+SCEV is unanalyzable are conservatively assumed to conflict in all modes.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from ..ir import Load, Store
+from ..ir import Alloca, GlobalVariable, Load, Store
 from .access_patterns import AccessInfo, AccessPatternAnalysis
 from .loops import Loop
-from .scalar_evolution import SCEVConstant, scev_sub
+from .scalar_evolution import SCEVAddRec, SCEVConstant, scev_sub
 
 
 class Dependence:
-    """A loop-carried dependence between two memory accesses.
+    """A loop-carried dependence between two possibly-overlapping accesses.
 
     ``distance`` is the iteration distance when known (None = unknown, treat
-    as 1 for RecMII purposes, i.e. the tightest recurrence).
+    as 1 for RecMII purposes, i.e. the tightest recurrence).  ``via_alias``
+    marks dependences between *distinct* base pointers that a points-to
+    analysis could not prove disjoint — the pairs the old blanket-restrict
+    model ignored entirely.
     """
 
     def __init__(
@@ -36,21 +53,33 @@ class Dependence:
         loop: Loop,
         kind: str,
         distance: Optional[int],
+        via_alias: bool = False,
     ):
         self.source = source          # earlier-iteration access (a store)
         self.sink = sink              # later-iteration access
         self.loop = loop
         self.kind = kind              # "flow" | "anti" | "output"
         self.distance = distance
+        self.via_alias = via_alias
 
     @property
     def effective_distance(self) -> int:
         return self.distance if self.distance is not None and self.distance > 0 else 1
 
+    def _base_label(self, info: AccessInfo) -> str:
+        base = info.base
+        if base is None:
+            return "?"
+        return getattr(base, "name", "?")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = self._base_label(self.source)
+        dst = self._base_label(self.sink)
+        tag = " via-alias" if self.via_alias else ""
+        dist = "?" if self.distance is None else str(self.distance)
         return (
-            f"<Dep {self.kind} {self.source!r} -> {self.sink!r} "
-            f"dist={self.distance}>"
+            f"<Dep {self.kind} {self.source.inst.opcode}[{src}] -> "
+            f"{self.sink.inst.opcode}[{dst}] dist={dist}{tag}>"
         )
 
 
@@ -62,52 +91,210 @@ def _classify(first: AccessInfo, second: AccessInfo) -> str:
     return "output"
 
 
-def _carried_distance(a: AccessInfo, b: AccessInfo, loop: Loop) -> Optional[tuple]:
-    """Decide whether accesses ``a`` and ``b`` conflict across iterations.
-
-    Returns None for "no loop-carried dependence", or ``(distance,)`` where
-    distance may itself be None for "carried with unknown distance".
-    """
-    if a.base is None or b.base is None:
-        return (None,)  # unknown base: conservative
-    if a.base is not b.base:
-        return None
-    stride_a = a.stride_in(loop)
-    stride_b = b.stride_in(loop)
-    if stride_a is None or stride_b is None:
-        return (None,)  # address varies unanalyzably within the loop
-    delta = scev_sub(a.offset, b.offset)
-    if not isinstance(delta, SCEVConstant):
-        # Same base, offsets differ by a non-constant (e.g. different rows
-        # selected by an outer loop).  If the per-iteration strides match,
-        # the difference is invariant in this loop; distinct symbolic rows
-        # are assumed disjoint, matching the restrict model.
-        if stride_a == stride_b:
-            return None
-        return (None,)
-    diff = delta.value
-    if stride_a != stride_b:
-        # Different strides with constant offset difference can collide at
-        # some iteration pair; be conservative.
-        return (None,)
-    stride = stride_a
-    if stride == 0:
-        # Same fixed address every iteration (e.g. z[i] in the j-loop).
-        return (1,) if diff == 0 else None
-    if diff == 0:
-        return None  # same address only within the same iteration
-    if diff % stride == 0:
-        distance = abs(diff // stride)
-        return (distance,)
-    return None
+def _distinct_allocations(a, b) -> bool:
+    """Distinct globals/allocas are separate storage — provably disjoint
+    without any pointer analysis."""
+    return (
+        isinstance(a, (GlobalVariable, Alloca))
+        and isinstance(b, (GlobalVariable, Alloca))
+        and a is not b
+    )
 
 
 class MemoryDependenceAnalysis:
-    """Loop-carried dependence computation on top of the access analysis."""
+    """Loop-carried dependence computation on top of the access analysis.
 
-    def __init__(self, access_analysis: AccessPatternAnalysis):
+    ``points_to`` supplies module-level may-alias facts for base pointers
+    that are not trivially the same or trivially disjoint (pointer
+    arguments).  ``intervals`` (a per-function
+    :class:`repro.dataflow.interval.IntervalAnalysis`) supplies proven trip
+    bounds for loops nested inside the analyzed one, enabling the
+    window-overlap disjointness test for accesses that sweep an inner-loop
+    span each iteration; without it such pairs are conservatively carried.
+    ``assume_restrict`` reinstates the unsound historical model in which
+    distinct pointer arguments never alias.
+    """
+
+    def __init__(
+        self,
+        access_analysis: AccessPatternAnalysis,
+        points_to=None,
+        assume_restrict: bool = False,
+        intervals=None,
+    ):
         self.access = access_analysis
         self.loop_info = access_analysis.loop_info
+        self.points_to = points_to
+        self.assume_restrict = assume_restrict
+        self.intervals = intervals
+
+    # Base-object disambiguation ---------------------------------------------
+
+    def _bases_may_overlap(self, a: AccessInfo, b: AccessInfo) -> Optional[bool]:
+        """None = unknown bases (conservative), True/False otherwise."""
+        if a.base is None or b.base is None:
+            return None
+        if a.base is b.base:
+            return True
+        if _distinct_allocations(a.base, b.base):
+            return False
+        if self.assume_restrict:
+            # Historical model: distinct pointer arguments are restrict.
+            return False
+        if self.points_to is not None:
+            return self.points_to.may_alias(a.base, b.base)
+        return True  # distinct pointers, no facts: assume overlap
+
+    # Inner-window disjointness ----------------------------------------------
+
+    @staticmethod
+    def _varies_inside(info: AccessInfo, loop: Loop) -> bool:
+        """Whether the address recurs through a loop nested inside ``loop``."""
+        scev = info.offset
+        while isinstance(scev, SCEVAddRec):
+            if scev.loop is not loop and loop.contains_loop(scev.loop):
+                return True
+            scev = scev.base
+        return False
+
+    def _peel_window(self, info: AccessInfo, loop: Loop):
+        """Decompose the offset w.r.t. ``loop``: ``(base, step, lo, hi)``.
+
+        At iteration ``t`` the access touches byte offsets within
+        ``base + step*t + [lo, hi + access_size)`` — ``[lo, hi]`` is the
+        reach of all inner-loop recurrence levels, bounded by their proven
+        trip counts.  None when a step or an inner trip bound is unknown.
+        """
+        step_at_loop = 0
+        lo = hi = 0
+        scev = info.offset
+        while isinstance(scev, SCEVAddRec):
+            step = scev.constant_step
+            if scev.loop is loop:
+                if step is None:
+                    return None
+                step_at_loop += step
+            elif loop.contains_loop(scev.loop):
+                if step is None or self.intervals is None:
+                    return None
+                trip = self.intervals.static_trip_bound(scev.loop)
+                if trip is None:
+                    return None
+                reach = step * max(0, trip - 1)
+                lo += min(0, reach)
+                hi += max(0, reach)
+            else:
+                break  # enclosing/disjoint loop: frozen while ``loop`` runs
+            scev = scev.base
+        return scev, step_at_loop, lo, hi
+
+    def _windowed_distance(self, a: AccessInfo, b: AccessInfo, loop: Loop):
+        """Carried-dependence verdict when inner loops sweep a window.
+
+        A conflict between iterations ``t`` and ``t' = t - k`` (``k != 0``)
+        requires ``step*k`` to fall inside the open interval spanned by the
+        two per-iteration windows; if no such multiple exists the accesses
+        are disjoint across iterations, else the smallest ``|k|`` is a
+        sound (minimal) dependence distance.
+        """
+        peeled_a = self._peel_window(a, loop)
+        peeled_b = self._peel_window(b, loop)
+        if peeled_a is None or peeled_b is None:
+            return (None, False)
+        base_a, step_a, lo_a, hi_a = peeled_a
+        base_b, step_b, lo_b, hi_b = peeled_b
+        if step_a != step_b:
+            return (None, False)  # drifting windows may collide eventually
+        delta = scev_sub(base_a, base_b)
+        if not isinstance(delta, SCEVConstant):
+            return (None, False)
+        d0 = delta.value
+        # Windows overlap at iteration distance k iff
+        #   d0 + step*k + [lo_a, hi_a + size_a)  ∩  [lo_b, hi_b + size_b) ≠ ∅
+        # i.e. step*k lies in the open interval (low, high):
+        low = lo_b - hi_a - a.element_size - d0
+        high = hi_b + b.element_size - lo_a - d0
+        step = abs(step_a)
+        if step == 0:
+            # Same window every iteration: carried iff the windows overlap.
+            return (1, False) if low < 0 < high else None
+        # Integer multiples of ``step`` strictly inside (low, high).
+        smallest = low // step + 1             # smallest k with step*k > low
+        largest = -((-high) // step) - 1       # largest k with step*k < high
+        if smallest > largest:
+            return None
+        has_positive = largest >= max(1, smallest)
+        has_negative = smallest <= min(-1, largest)
+        if not has_positive and not has_negative:
+            return None  # only k == 0 fits: same-iteration overlap only
+        candidates = []
+        if has_positive:
+            candidates.append(max(1, smallest))
+        if has_negative:
+            candidates.append(-min(-1, largest))
+        return (min(candidates), False)
+
+    def _carried_distance(
+        self, a: AccessInfo, b: AccessInfo, loop: Loop
+    ) -> Optional[tuple]:
+        """Decide whether accesses ``a`` and ``b`` conflict across iterations.
+
+        Returns None for "no loop-carried dependence", or ``(distance,
+        via_alias)`` where distance may itself be None for "carried with
+        unknown distance".
+        """
+        overlap = self._bases_may_overlap(a, b)
+        if overlap is None:
+            return (None, False)  # unknown base: conservative
+        if not overlap:
+            return None
+        if a.base is not b.base:
+            # May-overlap through aliasing: offsets are relative to
+            # different SSA pointers, so no distance arithmetic applies.
+            return (None, True)
+        if self._varies_inside(a, loop) or self._varies_inside(b, loop):
+            # At least one access sweeps an inner-loop window on every
+            # iteration of ``loop``; per-iteration distance arithmetic
+            # (which implicitly compares instances at *matching* inner
+            # indices) is invalid there — iteration k of a Gaussian
+            # elimination stores rows i>k that iteration i later reads.
+            # Decide by overlapping the per-iteration byte windows instead.
+            return self._windowed_distance(a, b, loop)
+        stride_a = a.stride_in(loop)
+        stride_b = b.stride_in(loop)
+        if stride_a is None or stride_b is None:
+            return (None, False)  # address varies unanalyzably within the loop
+        delta = scev_sub(a.offset, b.offset)
+        if not isinstance(delta, SCEVConstant):
+            # Same base, offsets differ by a non-constant.  When the
+            # difference is *invariant in this loop* (rows chosen by
+            # enclosing loops, e.g. A[i][j] vs A[k][j] inside the j-loop)
+            # and the strides match, the two address sequences track in
+            # lockstep and distinct symbolic rows stay disjoint.  A
+            # difference that varies inside the loop — an inner induction
+            # variable under an outer loop, as in Gaussian elimination
+            # where iteration k stores row i>k and iteration i later reads
+            # it — can collide across iterations; assume carried.
+            if stride_a == stride_b and delta.is_invariant_in(loop):
+                return None
+            return (None, False)
+        diff = delta.value
+        if stride_a != stride_b:
+            # Different strides with constant offset difference can collide
+            # at some iteration pair; be conservative.
+            return (None, False)
+        stride = stride_a
+        if stride == 0:
+            # Same fixed address every iteration (e.g. z[i] in the j-loop).
+            return (1, False) if diff == 0 else None
+        if diff == 0:
+            return None  # same address only within the same iteration
+        if diff % stride == 0:
+            distance = abs(diff // stride)
+            return (distance, False)
+        return None
+
+    # Dependence enumeration --------------------------------------------------
 
     def loop_carried(self, loop: Loop) -> List[Dependence]:
         """All loop-carried dependencies of ``loop`` (at any nesting depth
@@ -123,13 +310,16 @@ class MemoryDependenceAnalysis:
             for second in accesses[i:]:
                 if not (first.is_store or second.is_store):
                     continue
-                result = _carried_distance(first, second, loop)
+                result = self._carried_distance(first, second, loop)
                 if result is None:
                     continue
-                (distance,) = result
+                distance, via_alias = result
                 source, sink = (first, second) if first.is_store else (second, first)
                 deps.append(
-                    Dependence(source, sink, loop, _classify(source, sink), distance)
+                    Dependence(
+                        source, sink, loop, _classify(source, sink),
+                        distance, via_alias,
+                    )
                 )
         return deps
 
@@ -140,3 +330,11 @@ class MemoryDependenceAnalysis:
         """Flow (store→load) dependencies only — the ones that create true
         recurrences bounding the pipeline initiation interval."""
         return [d for d in self.loop_carried(loop) if d.kind == "flow"]
+
+    def restrict_model_misses(self, loop: Loop) -> List[Dependence]:
+        """Dependences of ``loop`` that the historical blanket-``restrict``
+        model would have dropped — i.e. real may-alias conflicts between
+        distinct pointers.  Empty when the two models agree."""
+        if self.assume_restrict:
+            return []
+        return [d for d in self.loop_carried(loop) if d.via_alias]

@@ -164,9 +164,74 @@ def _cmd_emit_rtl(args) -> int:
     return 0
 
 
+def _cmd_exec(args) -> int:
+    import time
+
+    from .frontend import compile_source
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    module = compile_source(source, name, optimize=not args.no_opt)
+    entry_args = [int(a) for a in args.args]
+    started = time.perf_counter()
+    if args.sanitize:
+        from .interp.sanitizer import SanitizerError, SanitizingInterpreter
+
+        interp = SanitizingInterpreter(
+            module, assume_restrict=args.assume_restrict, fail_fast=False
+        )
+        try:
+            result = interp.run(args.entry, entry_args)
+        except SanitizerError:  # pragma: no cover - fail_fast disabled
+            result = None
+        wall = time.perf_counter() - started
+        print(f"result: {result}")
+        print(f"{interp.instructions} instructions in {wall:.3f}s "
+              f"({interp.instructions / wall:,.0f} inst/s)")
+        print(interp.report())
+        return 1 if interp.violations else 0
+    from .interp.interpreter import Interpreter
+
+    bounds = None
+    if not args.no_elide:
+        from .dataflow import BoundsAnalysis
+
+        bounds = BoundsAnalysis(module)
+    interp = Interpreter(module, bounds=bounds)
+    result = interp.run(args.entry, entry_args)
+    wall = time.perf_counter() - started
+    print(f"result: {result}")
+    print(f"{interp.instructions} instructions in {wall:.3f}s "
+          f"({interp.instructions / wall:,.0f} inst/s)")
+    if bounds is not None:
+        proven, total = bounds.module_coverage()
+        print(f"bounds: {proven}/{total} accesses statically proven; "
+              f"{interp.elided_accesses} elided, "
+              f"{interp.checked_accesses} checked at runtime")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .diagnostics import render_json, render_text, run_lint
     from .frontend import compile_source
+
+    if args.explain:
+        from .diagnostics.registry import get_rule
+
+        try:
+            found = get_rule(args.explain)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{found.code} [{found.severity.name.lower()}] {found.name}")
+        print(f"layer: {found.layer}")
+        if found.requires:
+            print(f"requires: {', '.join(sorted(found.requires))}")
+        if found.paper_ref:
+            print(f"paper: {found.paper_ref}")
+        print()
+        print(found.description)
+        return 0
 
     source = _read_program(args)
     name = args.source or args.workload
@@ -198,6 +263,7 @@ def _cmd_bench(args) -> int:
         build_report,
         compare_reports,
         default_tag,
+        interp_elision_stats,
         load_report,
         write_report,
     )
@@ -231,8 +297,16 @@ def _cmd_bench(args) -> int:
     records = engine.evaluate(names, jobs=args.jobs, progress=progress)
     wall = time.perf_counter() - started
 
+    elision = None
+    if not args.no_interp_bench:
+        # Before/after interpreter throughput with bounds-check elision,
+        # probed on a bounded prefix to keep full-suite runs fast.
+        elision = interp_elision_stats(names[: args.interp_bench_count])
+
     tag = args.tag or default_tag(params)
-    payload = build_report(records, engine, tag=tag, wall_seconds=wall)
+    payload = build_report(
+        records, engine, tag=tag, wall_seconds=wall, interp_elision=elision
+    )
     path = write_report(payload, directory=args.output_dir)
 
     top_budget = max(params.budgets)
@@ -241,6 +315,17 @@ def _cmd_bench(args) -> int:
         speedup = record.speedup("cayman", top_budget)
         print(f"{record.suite:14} {record.name:28} {marker:6} "
               f"cayman@{top_budget:.0%} {speedup:8.2f}x")
+    if elision:
+        for name, stat in elision.items():
+            before = stat["baseline_inst_per_s"]
+            after = stat["elided_inst_per_s"]
+            gain = (after / before - 1.0) * 100.0 if before else 0.0
+            print(f"interp {name}: {before / 1e3:.0f}k -> {after / 1e3:.0f}k "
+                  f"inst/s ({gain:+.0f}%), "
+                  f"{stat['elided']}/{stat['elided'] + stat['checked']} "
+                  f"accesses elided "
+                  f"({stat['proven_accesses']}/{stat['total_accesses']} "
+                  f"proven)")
     stats = engine.cache_stats()
     print(f"\n{len(records)} workloads in {wall:.2f}s "
           f"(jobs={args.jobs}, cache hits {stats['hits']}, "
@@ -353,7 +438,38 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="exit 1 on warnings as well as errors")
     lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--explain", metavar="CODE",
+                      help="print the rule-catalog entry for a diagnostic "
+                           "code and exit (2 if the code is unknown)")
     lint.set_defaults(func=_cmd_lint)
+
+    exec_ = sub.add_parser(
+        "exec",
+        help="interpret a program, with bounds-check elision or --sanitize",
+        description=(
+            "Run the reference interpreter.  By default, accesses the "
+            "interval analysis proves in-bounds skip their runtime checks "
+            "(--no-elide disables).  --sanitize keeps every check and "
+            "cross-validates all static claims (value ranges, alias facts, "
+            "dependence distances) against observed behavior, exiting 1 on "
+            "any soundness violation; --assume-restrict validates the "
+            "historical restrict aliasing model instead."
+        ),
+    )
+    exec_.add_argument("source", nargs="?")
+    exec_.add_argument("--workload", help="run a registered benchmark instead")
+    exec_.add_argument("--entry", default="main")
+    exec_.add_argument("--args", nargs="*", default=[],
+                       help="integer arguments for the entry function")
+    exec_.add_argument("--no-opt", action="store_true",
+                       help="interpret the unoptimized IR")
+    exec_.add_argument("--no-elide", action="store_true",
+                       help="keep every runtime bounds check")
+    exec_.add_argument("--sanitize", action="store_true",
+                       help="validate static analysis claims at runtime")
+    exec_.add_argument("--assume-restrict", action="store_true",
+                       help="with --sanitize: validate the restrict model")
+    exec_.set_defaults(func=_cmd_exec)
 
     bench = sub.add_parser(
         "bench",
@@ -388,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-hit-rate", type=float,
                        help="fail if the cache hit rate is below this")
     bench.add_argument("--quiet", action="store_true")
+    bench.add_argument("--no-interp-bench", action="store_true",
+                       help="skip the interpreter elision throughput probe")
+    bench.add_argument("--interp-bench-count", type=int, default=2,
+                       metavar="N",
+                       help="probe elision throughput on the first N "
+                            "workloads (default 2)")
     bench.set_defaults(func=_cmd_bench)
 
     bench_list = sub.add_parser("bench-list", help="list benchmark workloads")

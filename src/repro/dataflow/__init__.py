@@ -1,0 +1,28 @@
+"""Dataflow analyses over the repro IR (paper §III-B soundness layer).
+
+* :mod:`~repro.dataflow.framework` — generic forward worklist solver with
+  loop-header widening and bounded narrowing;
+* :mod:`~repro.dataflow.interval` — per-SSA-value integer ranges with
+  branch refinement and interprocedural argument seeding;
+* :mod:`~repro.dataflow.pointsto` — Andersen-style may-point-to sets and
+  the ``may_alias`` query backing memory-dependence analysis;
+* :mod:`~repro.dataflow.bounds` — in-bounds proofs for loads/stores,
+  consumed by the interpreter's check-elision fast path and the sanitizer.
+"""
+
+from .framework import ForwardDataflow
+from .interval import Interval, IntervalAnalysis, ModuleIntervalAnalysis
+from .pointsto import AllocSite, PointsToAnalysis
+from .bounds import AccessWindow, BoundsAnalysis, ProvenAccess
+
+__all__ = [
+    "ForwardDataflow",
+    "Interval",
+    "IntervalAnalysis",
+    "ModuleIntervalAnalysis",
+    "AllocSite",
+    "PointsToAnalysis",
+    "AccessWindow",
+    "BoundsAnalysis",
+    "ProvenAccess",
+]

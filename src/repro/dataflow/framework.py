@@ -1,0 +1,167 @@
+"""Generic forward-dataflow engine over IR functions.
+
+A :class:`ForwardDataflow` client describes a lattice (initial state, join,
+equality via ``==``) and transfer functions; the engine runs a worklist
+solver over the CFG in reverse post-order until a fixpoint.  Loop headers —
+the only blocks where states can keep growing — are *widened* after a
+configurable number of visits so analyses over unbounded lattices (e.g.
+integer intervals) terminate.  After convergence an optional bounded
+*narrowing* phase re-propagates without widening to claw back precision the
+widening threw away.
+
+Determinism: the solver iterates blocks strictly by reverse-post-order
+index, never by set or id order, so results are identical across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..ir import BasicBlock, Function
+from ..analysis.cfg import predecessor_map, reverse_postorder
+from ..analysis.loops import LoopInfo
+
+
+class ForwardDataflow:
+    """Worklist solver skeleton; subclasses supply the lattice.
+
+    Subclass hooks:
+
+    * :meth:`initial_state` — state at the function entry;
+    * :meth:`boundary_state` — state for blocks with no analyzed
+      predecessors (defaults to :meth:`initial_state`);
+    * :meth:`transfer` — out-state of a block given its in-state;
+    * :meth:`edge_transfer` — refine a predecessor's out-state along one
+      CFG edge (branch-condition refinement, phi binding);
+    * :meth:`join` — least upper bound of two states;
+    * :meth:`widen` — extrapolate ``old ∇ new`` at loop headers;
+    * :meth:`copy_state` — defensive copy (default: identity, safe for
+      immutable states).
+
+    States are compared with ``==`` to detect the fixpoint.
+    """
+
+    #: Joins at a widen point before widening kicks in.
+    widen_after: int = 3
+    #: Bounded narrowing sweeps after convergence (0 disables).
+    narrow_passes: int = 2
+
+    def __init__(self, func: Function, loop_info: Optional[LoopInfo] = None):
+        self.func = func
+        self.loop_info = loop_info or LoopInfo(func)
+        self.rpo: List[BasicBlock] = reverse_postorder(func)
+        self.rpo_index: Dict[BasicBlock, int] = {
+            b: i for i, b in enumerate(self.rpo)
+        }
+        self.preds = predecessor_map(func)
+        self.in_states: Dict[BasicBlock, Any] = {}
+        self.out_states: Dict[BasicBlock, Any] = {}
+        self._widen_points = {
+            loop.header for loop in self.loop_info.loops
+        }
+
+    # Lattice hooks ----------------------------------------------------------
+
+    def initial_state(self):
+        raise NotImplementedError
+
+    def boundary_state(self):
+        return self.initial_state()
+
+    def transfer(self, block: BasicBlock, state):
+        raise NotImplementedError
+
+    def edge_transfer(self, pred: BasicBlock, succ: BasicBlock, state):
+        return state
+
+    def join(self, a, b):
+        raise NotImplementedError
+
+    def widen(self, old, new, block: Optional[BasicBlock] = None):
+        """Extrapolate ``old ∇ new`` at loop-header ``block``; clients may
+        use ``block`` to widen only values the loop itself modifies."""
+        return new
+
+    def copy_state(self, state):
+        return state
+
+    # Solver -----------------------------------------------------------------
+
+    def _in_state_of(self, block: BasicBlock):
+        """Join of all analyzed incoming edges (None when none analyzed)."""
+        state = None
+        for pred in sorted(
+            self.preds[block], key=lambda b: self.rpo_index.get(b, 1 << 30)
+        ):
+            if pred not in self.out_states:
+                continue
+            edge = self.edge_transfer(
+                pred, block, self.copy_state(self.out_states[pred])
+            )
+            state = edge if state is None else self.join(state, edge)
+        return state
+
+    def solve(self) -> "ForwardDataflow":
+        entry = self.func.entry
+        visits: Dict[BasicBlock, int] = {}
+        # Worklist of RPO indices; a set mirror keeps membership O(1).
+        pending = list(range(len(self.rpo)))
+        pending_set = set(pending)
+        guard = 0
+        max_steps = 200 * (len(self.rpo) + 1)
+        while pending:
+            guard += 1
+            if guard > max_steps:  # pragma: no cover - widening guarantees exit
+                raise RuntimeError(
+                    f"dataflow solver did not converge on @{self.func.name}"
+                )
+            index = pending.pop(0)
+            pending_set.discard(index)
+            block = self.rpo[index]
+            if block is entry:
+                state = self.initial_state()
+            else:
+                state = self._in_state_of(block)
+                if state is None:
+                    state = self.boundary_state()
+            visits[block] = visits.get(block, 0) + 1
+            old_in = self.in_states.get(block)
+            if block in self._widen_points and old_in is not None:
+                joined = self.join(old_in, state)
+                if visits[block] > self.widen_after:
+                    state = self.widen(old_in, joined, block)
+                else:
+                    state = joined
+            self.in_states[block] = state
+            out = self.transfer(block, self.copy_state(state))
+            if block in self.out_states and out == self.out_states[block]:
+                continue
+            self.out_states[block] = out
+            for succ in block.successors:
+                succ_index = self.rpo_index.get(succ)
+                if succ_index is not None and succ_index not in pending_set:
+                    pending_set.add(succ_index)
+                    pending.append(succ_index)
+        for _ in range(self.narrow_passes):
+            if not self._narrow_once():
+                break
+        return self
+
+    def _narrow_once(self) -> bool:
+        """One descending sweep without widening; True when anything moved."""
+        changed = False
+        for block in self.rpo:
+            if block is self.func.entry:
+                state = self.initial_state()
+            else:
+                state = self._in_state_of(block)
+                if state is None:
+                    state = self.boundary_state()
+            if state != self.in_states.get(block):
+                self.in_states[block] = state
+                changed = True
+            out = self.transfer(block, self.copy_state(state))
+            if out != self.out_states.get(block):
+                self.out_states[block] = out
+                changed = True
+        return changed

@@ -135,3 +135,62 @@ def check_memdep_footprints(ctx) -> Iterator[Diagnostic]:
                         "SCEV footprints; treat the loop as dependent"
                     ),
                 )
+
+
+@rule(
+    "AN004",
+    "footprint-bound-looser-than-proven",
+    layer="analysis",
+    severity=Severity.INFO,
+    description=(
+        "SCEV footprint estimate for a loop access is more than twice the "
+        "interval-proven byte window of the access: scratchpad sizing "
+        "would over-allocate at least 2x.  Typical cause: a guard inside "
+        "the loop (which branch refinement sees but SCEV ignores) "
+        "restricts the accessed range.  (Intervals only give upper "
+        "bounds, so only the looser direction is detectable; small slack "
+        "from conservative trip bounds is not reported.)"
+    ),
+    paper_ref="§III-C (scratchpad capacity planning uses footprints)",
+)
+def check_footprint_bounds(ctx) -> Iterator[Diagnostic]:
+    for func in ctx.module.defined_functions():
+        analysis = ctx.intervals.for_function(func)
+        access_analysis = ctx.access(func)
+        for loop in ctx.loop_info(func).loops:
+            trip = analysis.static_trip_bound(loop)
+            if trip is None:
+                continue
+            for access in access_analysis.accesses_in(loop.blocks):
+                footprint = access.footprint_in(loop, trip)
+                if footprint is None:
+                    continue
+                window = ctx.bounds.windows.get(access.inst)
+                if window is None:
+                    continue
+                off = window.offset
+                if off.lo is None or off.hi is None:
+                    continue
+                window_bytes = off.hi + window.access_size - off.lo
+                footprint_bytes = footprint * access.element_size
+                if footprint_bytes > 2 * window_bytes:
+                    inst = access.inst
+                    yield Diagnostic(
+                        code="AN004",
+                        severity=Severity.INFO,
+                        location=Location(
+                            function=func.name,
+                            block=inst.parent.name if inst.parent else None,
+                            instruction=inst.ref,
+                            detail=f"loop {loop.name}",
+                        ),
+                        message=(
+                            f"SCEV footprint of {footprint_bytes} B in loop "
+                            f"{loop.name} exceeds the interval-proven "
+                            f"window of {window_bytes} B"
+                        ),
+                        suggestion=(
+                            "size the scratchpad from the interval-proven "
+                            "window instead of the SCEV footprint"
+                        ),
+                    )

@@ -25,6 +25,7 @@ from ..analysis.access_patterns import AccessPatternAnalysis
 from ..analysis.callgraph import CallGraph
 from ..analysis.loops import LoopInfo
 from ..analysis.memdep import MemoryDependenceAnalysis
+from ..dataflow import BoundsAnalysis, ModuleIntervalAnalysis, PointsToAnalysis
 from ..ir import Function, Module
 from .config_rules import ConfigRuleEnv
 from .core import LintResult
@@ -47,6 +48,9 @@ class LintContext:
         self._memdep: Dict[Function, MemoryDependenceAnalysis] = {}
         self._loops: Dict[Function, LoopInfo] = {}
         self._callgraph: Optional[CallGraph] = None
+        self._intervals: Optional[ModuleIntervalAnalysis] = None
+        self._pointsto: Optional[PointsToAnalysis] = None
+        self._bounds: Optional[BoundsAnalysis] = None
 
     def access(self, func: Function) -> AccessPatternAnalysis:
         if func not in self._access:
@@ -55,7 +59,11 @@ class LintContext:
 
     def memdep(self, func: Function) -> MemoryDependenceAnalysis:
         if func not in self._memdep:
-            self._memdep[func] = MemoryDependenceAnalysis(self.access(func))
+            self._memdep[func] = MemoryDependenceAnalysis(
+                self.access(func),
+                points_to=self.pointsto,
+                intervals=self.intervals.for_function(func),
+            )
         return self._memdep[func]
 
     def loop_info(self, func: Function) -> LoopInfo:
@@ -72,6 +80,24 @@ class LintContext:
         if self._callgraph is None:
             self._callgraph = CallGraph(self.module)
         return self._callgraph
+
+    @property
+    def intervals(self) -> ModuleIntervalAnalysis:
+        if self._intervals is None:
+            self._intervals = ModuleIntervalAnalysis(self.module)
+        return self._intervals
+
+    @property
+    def pointsto(self) -> PointsToAnalysis:
+        if self._pointsto is None:
+            self._pointsto = PointsToAnalysis(self.module)
+        return self._pointsto
+
+    @property
+    def bounds(self) -> BoundsAnalysis:
+        if self._bounds is None:
+            self._bounds = BoundsAnalysis(self.module, self.intervals)
+        return self._bounds
 
     @property
     def available_inputs(self) -> frozenset:

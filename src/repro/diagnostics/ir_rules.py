@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from typing import Iterator, List, Set
 
+from ..dataflow import Interval
 from ..ir import (
     Alloca,
     ArrayType,
+    BinaryOp,
     Call,
     Constant,
     GetElementPtr,
@@ -275,6 +277,98 @@ def check_recursion(ctx) -> Iterator[Diagnostic]:
                 message=f"function @{func.name} is (transitively) recursive",
                 suggestion="rewrite the recursion as iteration",
             )
+
+
+@rule(
+    "IR007",
+    "symbolic-out-of-bounds",
+    layer="ir",
+    severity=Severity.ERROR,
+    description=(
+        "Memory access whose interval-proven offset window lies entirely "
+        "outside its root object: every execution is out of bounds.  "
+        "Unlike IR004 this covers symbolic (non-constant) indices."
+    ),
+    paper_ref="§III-B (footprint analysis assumes in-bounds accesses)",
+)
+def check_symbolic_out_of_bounds(ctx) -> Iterator[Diagnostic]:
+    for window in ctx.bounds.out_of_bounds():
+        inst = window.inst
+        func = inst.parent.parent
+        root = getattr(window.root, "name", "?")
+        yield Diagnostic(
+            code="IR007",
+            severity=Severity.ERROR,
+            location=_loc(func, inst.parent, inst, detail=f"root @{root}"),
+            message=(
+                f"{inst.opcode} at byte offset {window.offset} "
+                f"(access size {window.access_size}) is provably outside "
+                f"@{root} (size {window.root_size})"
+            ),
+            suggestion="fix the index computation; no execution is in bounds",
+        )
+
+
+@rule(
+    "IR008",
+    "provable-overflow",
+    layer="ir",
+    severity=Severity.ERROR,
+    description=(
+        "Integer arithmetic whose mathematically exact result range lies "
+        "entirely outside the result type (guaranteed wraparound), or a "
+        "shift whose amount range is entirely outside 0..bits-1."
+    ),
+    paper_ref="§III-B (value ranges feed trip-count and footprint bounds)",
+)
+def check_provable_overflow(ctx) -> Iterator[Diagnostic]:
+    for func in ctx.module.defined_functions():
+        analysis = ctx.intervals.for_function(func)
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not (isinstance(inst, BinaryOp) and inst.type.is_int):
+                    continue
+                bits = inst.type.bits
+                if inst.opcode in ("shl", "shr"):
+                    amount = analysis.interval_at_use(inst.rhs, inst)
+                    definitely_bad = (
+                        (amount.hi is not None and amount.hi < 0)
+                        or (amount.lo is not None and amount.lo >= bits)
+                    )
+                    if definitely_bad:
+                        yield Diagnostic(
+                            code="IR008",
+                            severity=Severity.ERROR,
+                            location=_loc(func, block, inst),
+                            message=(
+                                f"{inst.opcode} amount range {amount} is "
+                                f"provably outside 0..{bits - 1}"
+                            ),
+                            suggestion="clamp or mask the shift amount",
+                        )
+                    continue
+                if inst.opcode not in ("add", "sub", "mul"):
+                    continue
+                exact = analysis.exact_result(inst)
+                if exact is None or exact.is_bottom:
+                    continue
+                ty = Interval.of_type(bits)
+                wraps = (
+                    (exact.lo is not None and exact.lo > ty.hi)
+                    or (exact.hi is not None and exact.hi < ty.lo)
+                )
+                if wraps:
+                    yield Diagnostic(
+                        code="IR008",
+                        severity=Severity.ERROR,
+                        location=_loc(func, block, inst),
+                        message=(
+                            f"{inst.opcode} result range {exact} is provably "
+                            f"outside the i{bits} range {ty}: every "
+                            "execution wraps"
+                        ),
+                        suggestion="widen the type or restructure the math",
+                    )
 
 
 def _instruction_location(func, inst: Instruction) -> Location:

@@ -90,6 +90,7 @@ class Interpreter:
         memory_size: int = 1 << 22,
         max_instructions: int = 200_000_000,
         profile: bool = False,
+        bounds=None,
     ):
         self.module = module
         self.memory = FlatMemory(memory_size)
@@ -100,6 +101,18 @@ class Interpreter:
         self.instructions = 0
         self.global_addresses: Dict[GlobalVariable, int] = {}
         self._cycle_cache: Dict[type, float] = {}
+        # Bounds-check elision: accesses a repro.dataflow.bounds.BoundsAnalysis
+        # proved in-bounds skip the per-access memory range check.  The proofs
+        # rely on interprocedural argument seeds, so elision is enabled per
+        # top-level run only after the entry arguments match those seeds.
+        self.bounds = bounds
+        self._proven = frozenset(bounds.proven) if bounds is not None else frozenset()
+        self._elide_enabled = False
+        self._depth = 0
+        self.elided_accesses = 0
+        self.checked_accesses = 0
+        # Subclasses set this to receive _on_block_transition callbacks.
+        self._trace_blocks = False
         for var in module.globals.values():
             self.global_addresses[var] = self.memory.allocate(var.allocated_type)
 
@@ -122,6 +135,27 @@ class Interpreter:
             raise InterpreterError(
                 f"{func.name} expects {len(func.arguments)} args, got {len(args)}"
             )
+        self._depth += 1
+        try:
+            if self._depth == 1 and self.bounds is not None:
+                self._elide_enabled = self._entry_args_match_seeds(func, args)
+            return self._run_function(func, args)
+        finally:
+            self._depth -= 1
+
+    def _entry_args_match_seeds(self, func: Function, args: List) -> bool:
+        """The bounds proofs assume each function's integer arguments stay
+        inside the seeded call-site ranges.  A top-level entry invoked with
+        out-of-seed arguments (e.g. a kernel driven directly instead of via
+        ``main``) falls back to fully checked execution."""
+        analysis = self.bounds.intervals.for_function(func)
+        for formal, actual in zip(func.arguments, args):
+            seeded = analysis.arg_intervals.get(formal)
+            if seeded is not None and not seeded.contains(actual):
+                return False
+        return True
+
+    def _run_function(self, func: Function, args: List):
         env: Dict = {}
         for formal, actual in zip(func.arguments, args):
             env[formal] = actual
@@ -132,6 +166,8 @@ class Interpreter:
         block = func.entry
         prev_block = None
         while True:
+            if self._trace_blocks:
+                self._on_block_transition(func, prev_block, block)
             if self.profile:
                 self.counters.block_count[block] = (
                     self.counters.block_count.get(block, 0) + 1
@@ -198,6 +234,11 @@ class Interpreter:
                 raise InterpreterError(f"block {block.name} fell through")
             prev_block, block = block, next_block
 
+    def _on_block_transition(self, func, prev_block, block) -> None:
+        """Hook invoked before each basic block executes when
+        ``_trace_blocks`` is set (used by the sanitizer to track loop
+        iterations).  ``prev_block`` is None at function entry."""
+
     # Single-instruction execution ------------------------------------------------
 
     def _value(self, env: Dict, value):
@@ -217,10 +258,20 @@ class Interpreter:
             return self._binary(inst, env)
         if isinstance(inst, Load):
             address = self._value(env, inst.pointer)
+            if self._elide_enabled and inst in self._proven:
+                self.elided_accesses += 1
+                return self.memory.load_unchecked(address, inst.type)
+            self.checked_accesses += 1
             return self.memory.load(address, inst.type)
         if isinstance(inst, Store):
             address = self._value(env, inst.pointer)
-            self.memory.store(address, inst.value.type, self._value(env, inst.value))
+            value = self._value(env, inst.value)
+            if self._elide_enabled and inst in self._proven:
+                self.elided_accesses += 1
+                self.memory.store_unchecked(address, inst.value.type, value)
+            else:
+                self.checked_accesses += 1
+                self.memory.store(address, inst.value.type, value)
             return None
         if isinstance(inst, GetElementPtr):
             return self._gep(inst, env)

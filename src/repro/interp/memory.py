@@ -39,6 +39,43 @@ class FlatMemory:
             raise MemoryError_(f"access at {address} ({nbytes} bytes) out of range")
 
     # Typed accessors --------------------------------------------------------
+    #
+    # ``load``/``store`` range-check every access.  The ``*_unchecked``
+    # variants skip the check; the interpreter routes an access here only
+    # when the dataflow layer proved it in-bounds relative to a root object
+    # whose allocation was itself range-checked (see repro.dataflow.bounds).
+
+    def load_unchecked(self, address: int, ty: Type):
+        if isinstance(ty, IntType):
+            nbytes = max(1, (ty.bits + 7) // 8)
+            raw = int.from_bytes(self.data[address:address + nbytes], "little")
+            sign_bit = 1 << (ty.bits - 1)
+            return (raw & (sign_bit - 1)) - (raw & sign_bit) if ty.bits > 1 else raw & 1
+        if isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            return struct.unpack_from(fmt, self.data, address)[0]
+        if isinstance(ty, PointerType):
+            return int.from_bytes(self.data[address:address + 8], "little")
+        raise MemoryError_(f"cannot load type {ty}")
+
+    def store_unchecked(self, address: int, ty: Type, value) -> None:
+        if isinstance(ty, IntType):
+            nbytes = max(1, (ty.bits + 7) // 8)
+            mask = (1 << (8 * nbytes)) - 1
+            self.data[address:address + nbytes] = (int(value) & mask).to_bytes(
+                nbytes, "little"
+            )
+            return
+        if isinstance(ty, FloatType):
+            fmt = "<f" if ty.bits == 32 else "<d"
+            struct.pack_into(fmt, self.data, address, float(value))
+            return
+        if isinstance(ty, PointerType):
+            self.data[address:address + 8] = (int(value) & ((1 << 64) - 1)).to_bytes(
+                8, "little"
+            )
+            return
+        raise MemoryError_(f"cannot store type {ty}")
 
     def load(self, address: int, ty: Type):
         if isinstance(ty, IntType):

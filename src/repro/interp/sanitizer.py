@@ -1,0 +1,345 @@
+"""Sanitizing interpreter: cross-validates static analysis claims at runtime.
+
+``--sanitize`` execution keeps every memory bounds check *and* additionally
+verifies, against observed behavior, each claim the dataflow layer makes:
+
+* **value ranges** — every integer SSA value produced at runtime must lie in
+  its statically inferred interval;
+* **bounds proofs** — every access the bounds analysis proved in-bounds must
+  land inside its root object's storage and claimed offset window;
+* **alias facts** — two base pointers the active alias model claims disjoint
+  must never touch a common byte;
+* **dependence distances** — every observed cross-iteration conflict on a
+  loop must be covered by a claimed dependence whose distance is no larger
+  than the observed one (a missing or over-claimed dependence is unsound).
+
+Any discrepancy is a *soundness violation*: the analyses must be
+conservative, so runtime behavior outside their claims means the analysis —
+or an assumption like ``--assume-restrict`` — is wrong.  Violations are
+collected in ``violations`` and raised as :class:`SanitizerError` at the end
+of the run (``fail_fast=False`` collects without raising).
+
+The claims are conditional on the interprocedural argument seeds (ranges
+joined over intra-module call sites).  A top-level entry invoked with
+arguments outside its seeds — possible only by driving a kernel directly
+instead of through ``main`` — voids those claims; the sanitizer then skips
+validation and records a note.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..ir import (
+    Function,
+    GlobalVariable,
+    Instruction,
+    Load,
+    Module,
+    Store,
+    sizeof,
+)
+from ..analysis.access_patterns import AccessPatternAnalysis
+from ..analysis.loops import Loop
+from ..analysis.memdep import MemoryDependenceAnalysis
+from ..dataflow import BoundsAnalysis, ModuleIntervalAnalysis, PointsToAnalysis
+from .interpreter import Interpreter
+
+
+class SanitizerError(Exception):
+    """At least one static claim was contradicted by runtime behavior."""
+
+
+class SanitizingInterpreter(Interpreter):
+    """Interpreter that validates every dataflow claim while executing.
+
+    ``assume_restrict=True`` validates the claims of the historical
+    blanket-``restrict`` alias model instead of the points-to-backed one —
+    useful to demonstrate exactly where that model is unsound.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        memory_size: int = 1 << 22,
+        max_instructions: int = 200_000_000,
+        profile: bool = False,
+        assume_restrict: bool = False,
+        fail_fast: bool = True,
+    ):
+        super().__init__(
+            module, memory_size, max_instructions, profile, bounds=None
+        )
+        self.assume_restrict = assume_restrict
+        self.fail_fast = fail_fast
+        self.violations: List[str] = []
+        self.notes: List[str] = []
+        self._seen: Set[Tuple] = set()
+        self._claims_active = True
+        self._trace_blocks = True
+
+        self.intervals = ModuleIntervalAnalysis(module)
+        self.pointsto = PointsToAnalysis(module)
+        self.bounds = BoundsAnalysis(module, self.intervals)
+        # Never elide in sanitize mode: self.bounds stays analysis-only and
+        # the base class keeps _elide_enabled False (we pass bounds=None up).
+
+        #: expected interval per int-typed SSA value, at its definition
+        self._expected: Dict = {}
+        #: loops containing each block, innermost last
+        self._loops_of_block: Dict = {}
+        #: loop header → Loop
+        self._header_loops: Dict = {}
+        #: per loop: claimed dependence pairs → min claimed distance
+        self._dep_claims: Dict[Loop, Dict[FrozenSet[Instruction], int]] = {}
+        #: per function: [(base_a, base_b)] claimed never-overlapping
+        self._disjoint_claims: List[Tuple] = []
+        #: access instruction → its base pointer value (None if unknown)
+        self._access_base: Dict[Instruction, Optional[object]] = {}
+
+        for func in module.defined_functions():
+            self._prepare_function(func)
+
+        # Runtime trackers.
+        self._loop_iter: Dict[Loop, int] = {}
+        self._last_write: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
+        self._last_read: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
+        self._touched: Dict = {}  # base value → set of byte addresses
+
+        # Stats for reporting.
+        self.values_checked = 0
+        self.accesses_checked = 0
+        self.conflicts_observed = 0
+
+    # Claim construction -----------------------------------------------------
+
+    def _prepare_function(self, func: Function) -> None:
+        analysis = self.intervals.for_function(func)
+        for inst in func.instructions():
+            if inst.type.is_int:
+                self._expected[inst] = analysis.interval_of(inst)
+        for arg, interval in analysis.arg_intervals.items():
+            self._expected[arg] = interval
+
+        apa = AccessPatternAnalysis(func, analysis.loop_info)
+        md = MemoryDependenceAnalysis(
+            apa,
+            points_to=self.pointsto,
+            assume_restrict=self.assume_restrict,
+            intervals=analysis,
+        )
+        for loop in analysis.loop_info.loops:
+            self._header_loops[loop.header] = loop
+            for block in loop.blocks:
+                self._loops_of_block.setdefault(block, []).append(loop)
+            claims: Dict[FrozenSet[Instruction], int] = {}
+            for dep in md.loop_carried(loop):
+                key = frozenset((dep.source.inst, dep.sink.inst))
+                dist = dep.effective_distance
+                if key not in claims or dist < claims[key]:
+                    claims[key] = dist
+            self._dep_claims[loop] = claims
+
+        bases = []
+        infos = {}
+        for inst in func.instructions():
+            if isinstance(inst, (Load, Store)):
+                info = apa.info(inst)
+                self._access_base[inst] = info.base
+                if info.base is not None and info.base not in infos:
+                    infos[info.base] = info
+                    bases.append(info.base)
+        for i, base_a in enumerate(bases):
+            for base_b in bases[i + 1:]:
+                overlap = md._bases_may_overlap(infos[base_a], infos[base_b])
+                if overlap is False:
+                    self._disjoint_claims.append((base_a, base_b))
+
+    # Entry gating ------------------------------------------------------------
+
+    def call_function(self, func: Function, args: List):
+        if self._depth == 0 and not self._entry_args_in_seeds(func, args):
+            self._claims_active = False
+            self.notes.append(
+                f"entry @{func.name} invoked outside its seeded argument "
+                f"ranges; static claims are vacuous and were not validated"
+            )
+        return super().call_function(func, args)
+
+    def _entry_args_in_seeds(self, func: Function, args: List) -> bool:
+        analysis = self.intervals.for_function(func)
+        for formal, actual in zip(func.arguments, args):
+            seeded = analysis.arg_intervals.get(formal)
+            if seeded is not None and not seeded.contains(actual):
+                return False
+        return True
+
+    # Violation plumbing ------------------------------------------------------
+
+    def _violation(self, key: Tuple, message: str) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.violations.append(message)
+
+    # Loop-iteration tracking -------------------------------------------------
+
+    def _on_block_transition(self, func, prev_block, block) -> None:
+        loop = self._header_loops.get(block)
+        if loop is None:
+            return
+        if prev_block is not None and prev_block in loop.blocks:
+            self._loop_iter[loop] = self._loop_iter.get(loop, 0) + 1
+        else:
+            # Fresh entry: prior instances' accesses are not loop-carried
+            # relative to this instance.
+            self._loop_iter[loop] = 0
+            self._last_write[loop] = {}
+            self._last_read[loop] = {}
+
+    # Per-instruction validation ----------------------------------------------
+
+    def _execute(self, inst: Instruction, env: Dict):
+        if isinstance(inst, (Load, Store)) and self._claims_active:
+            self._validate_access(inst, env)
+        result = super()._execute(inst, env)
+        if (
+            self._claims_active
+            and result is not None
+            and inst.type.is_int
+        ):
+            expected = self._expected.get(inst)
+            if expected is not None:
+                self.values_checked += 1
+                if not expected.contains(result):
+                    self._violation(
+                        ("interval", inst),
+                        f"interval violation: %{inst.name} = {result} "
+                        f"outside inferred {expected} in "
+                        f"@{inst.parent.parent.name}",
+                    )
+        return result
+
+    def _validate_access(self, inst, env: Dict) -> None:
+        address = self._value(env, inst.pointer)
+        ty = inst.type if isinstance(inst, Load) else inst.value.type
+        nbytes = sizeof(ty)
+        self.accesses_checked += 1
+
+        proof = self.bounds.proven.get(inst)
+        if proof is not None and isinstance(proof.root, GlobalVariable):
+            root_addr = self.global_addresses[proof.root]
+            offset = address - root_addr
+            if (
+                offset < proof.offset.lo
+                or offset + nbytes > proof.offset.hi + proof.access_size
+                or offset + nbytes > proof.root_size
+            ):
+                self._violation(
+                    ("bounds", inst),
+                    f"bounds-proof violation: {inst.opcode} %{inst.name or '?'} "
+                    f"at @{proof.root.name}+{offset} outside proven window "
+                    f"{proof.offset} (size {proof.root_size})",
+                )
+
+        base = self._access_base.get(inst)
+        if base is not None:
+            self._touched.setdefault(base, set()).update(
+                range(address, address + nbytes)
+            )
+
+        is_store = isinstance(inst, Store)
+        for loop in self._loops_of_block.get(inst.parent, ()):
+            iteration = self._loop_iter.get(loop, 0)
+            writes = self._last_write.setdefault(loop, {})
+            reads = self._last_read.setdefault(loop, {})
+            claims = self._dep_claims.get(loop, {})
+            for byte in range(address, address + nbytes):
+                last_w = writes.get(byte)
+                if last_w is not None and last_w[1] < iteration:
+                    self._check_conflict(
+                        loop, claims, last_w[0], inst, iteration - last_w[1]
+                    )
+                if is_store:
+                    last_r = reads.get(byte)
+                    if last_r is not None and last_r[1] < iteration:
+                        self._check_conflict(
+                            loop, claims, last_r[0], inst, iteration - last_r[1]
+                        )
+                    writes[byte] = (inst, iteration)
+                else:
+                    reads[byte] = (inst, iteration)
+
+    def _check_conflict(
+        self,
+        loop: Loop,
+        claims: Dict[FrozenSet[Instruction], int],
+        earlier: Instruction,
+        later: Instruction,
+        distance: int,
+    ) -> None:
+        if not (isinstance(earlier, Store) or isinstance(later, Store)):
+            return
+        self.conflicts_observed += 1
+        key = frozenset((earlier, later))
+        claimed = claims.get(key)
+        if claimed is None:
+            self._violation(
+                ("missing-dep", loop.header, key),
+                f"missing dependence: observed loop-carried conflict "
+                f"between {earlier.opcode} %{earlier.name or '?'} and "
+                f"{later.opcode} %{later.name or '?'} at distance "
+                f"{distance} in loop {loop.header.name}, but the "
+                f"{'restrict' if self.assume_restrict else 'points-to'} "
+                f"model claims independence",
+            )
+        elif claimed > distance:
+            self._violation(
+                ("dep-distance", loop.header, key),
+                f"dependence-distance violation: claimed distance "
+                f"{claimed} but observed {distance} between "
+                f"{earlier.opcode} %{earlier.name or '?'} and "
+                f"{later.opcode} %{later.name or '?'} in loop "
+                f"{loop.header.name}",
+            )
+
+    # Finalization ------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Optional[List] = None):
+        result = super().run(entry, args)
+        self._finalize()
+        return result
+
+    def _finalize(self) -> None:
+        if self._claims_active:
+            for base_a, base_b in self._disjoint_claims:
+                touched_a = self._touched.get(base_a)
+                touched_b = self._touched.get(base_b)
+                if touched_a and touched_b and touched_a & touched_b:
+                    name_a = getattr(base_a, "name", "?")
+                    name_b = getattr(base_b, "name", "?")
+                    self._violation(
+                        ("alias", base_a, base_b),
+                        f"alias violation: bases %{name_a} and %{name_b} "
+                        f"claimed disjoint by the "
+                        f"{'restrict' if self.assume_restrict else 'points-to'} "
+                        f"model but touched "
+                        f"{len(touched_a & touched_b)} common bytes",
+                    )
+        if self.violations and self.fail_fast:
+            raise SanitizerError(
+                f"{len(self.violations)} soundness violation(s):\n  "
+                + "\n  ".join(self.violations)
+            )
+
+    def report(self) -> str:
+        lines = [
+            f"sanitize: {self.values_checked} value-range checks, "
+            f"{self.accesses_checked} access checks, "
+            f"{self.conflicts_observed} loop-carried conflicts observed, "
+            f"{len(self._disjoint_claims)} disjointness claims",
+            f"sanitize: {len(self.violations)} violation(s)",
+        ]
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)

@@ -139,11 +139,26 @@ class AcceleratorMerger:
         uf = _UnionFind(len(solution.accelerators))
         total_step_saving = 0.0
         steps = 0
-        # Lazily maintained pair-saving cache.
+        # Lazily maintained pair-saving cache.  Keyed by per-run serials,
+        # not bare id(): a unit replaced during merging could be
+        # garbage-collected and its id() reused by the next merged unit,
+        # which made a stale cached saving apply to the wrong pair
+        # (heap-layout dependent, so results varied with process history).
+        # ``ever_created`` keeps every unit alive for the run so the
+        # id-indexed serial map stays collision-free.
+        ever_created: List[MergedUnit] = list(units)
+        serials: Dict[int, int] = {
+            id(unit): serial for serial, unit in enumerate(ever_created)
+        }
         savings: Dict[Tuple[int, int], Tuple[float, object]] = {}
 
+        def register(unit: MergedUnit) -> MergedUnit:
+            serials[id(unit)] = len(ever_created)
+            ever_created.append(unit)
+            return unit
+
         def pair_saving(i: int, j: int):
-            key = (id(units[i]), id(units[j]))
+            key = (serials[id(units[i])], serials[id(units[j])])
             if key not in savings:
                 saving, match = estimate_pair_saving(
                     units[i], units[j], self.techlib
@@ -170,7 +185,9 @@ class AcceleratorMerger:
             if best is None:
                 break
             i, j = best
-            merged = merge_pair(units[i], units[j], self.techlib, best_match)
+            merged = register(
+                merge_pair(units[i], units[j], self.techlib, best_match)
+            )
             owner_a, owner_b = units[i].owner, units[j].owner
             uf.union(uf.find(owner_a), uf.find(owner_b))
             merged.owner = uf.find(owner_a)

@@ -54,17 +54,29 @@ from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 #: heuristics, cost-table updates, scheduling changes, ...): it is part of the
 #: bench harness's persistent cache key, so bumping it invalidates every
 #: cached evaluation record.
-ESTIMATOR_VERSION = "1"
+ESTIMATOR_VERSION = "2"
 
 
 class FunctionContext:
-    """Cached per-function analyses shared by all candidate evaluations."""
+    """Cached per-function analyses shared by all candidate evaluations.
 
-    def __init__(self, func: Function):
+    ``points_to`` and ``intervals`` are the module-level dataflow results
+    (built once by the model): points-to sharpens ``may_alias`` beyond the
+    same-base test, and interval-proven access windows clamp scratchpad
+    footprint estimates.
+    """
+
+    def __init__(self, func: Function, points_to=None, intervals=None):
         self.func = func
         self.access = AccessPatternAnalysis(func)
         self.loop_info: LoopInfo = self.access.loop_info
-        self.memdep = MemoryDependenceAnalysis(self.access)
+        self.points_to = points_to
+        self.intervals = (
+            intervals.for_function(func) if intervals is not None else None
+        )
+        self.memdep = MemoryDependenceAnalysis(
+            self.access, points_to=points_to, intervals=self.intervals
+        )
         from ..analysis.cfg import reverse_postorder
 
         self.rpo_index = {b: i for i, b in enumerate(reverse_postorder(func))}
@@ -74,7 +86,17 @@ class FunctionContext:
         b = self.access.info(second)
         if a.base is None or b.base is None:
             return True
-        return a.base is b.base
+        if a.base is b.base:
+            return True
+        if self.points_to is not None:
+            return self.points_to.may_alias(a.base, b.base)
+        return True
+
+    def static_trip_bound(self, loop: Loop) -> Optional[int]:
+        """Interval-proven upper bound on the loop trip count, if any."""
+        if self.intervals is None:
+            return None
+        return self.intervals.static_trip_bound(loop)
 
     def ordered_blocks(self, blocks) -> List:
         return sorted(blocks, key=lambda b: self.rpo_index.get(b, 1 << 30))
@@ -112,12 +134,21 @@ class AcceleratorModel:
         self.rejected_configs: List[Tuple[AcceleratorConfig, list]] = []
         self._contexts: Dict[Function, FunctionContext] = {}
         self._estimate_cache: Dict[Tuple, List[AcceleratorEstimate]] = {}
+        # Module-level dataflow results shared by every function context:
+        # points-to backs may_alias, interval windows clamp footprints.
+        from ..dataflow import BoundsAnalysis, ModuleIntervalAnalysis, PointsToAnalysis
+
+        self._intervals = ModuleIntervalAnalysis(module)
+        self._points_to = PointsToAnalysis(module)
+        self._bounds = BoundsAnalysis(module, self._intervals)
 
     # Context management ------------------------------------------------------
 
     def context(self, func: Function) -> FunctionContext:
         if func not in self._contexts:
-            self._contexts[func] = FunctionContext(func)
+            self._contexts[func] = FunctionContext(
+                func, points_to=self._points_to, intervals=self._intervals
+            )
         return self._contexts[func]
 
     # Public API ---------------------------------------------------------------
@@ -298,16 +329,38 @@ class AcceleratorModel:
     def _spad_footprint_bytes(
         self, access: AccessInfo, region: Region, ctx: FunctionContext
     ) -> Optional[int]:
-        """Byte span the access touches during one kernel invocation."""
+        """Byte span the access touches during one kernel invocation.
+
+        The SCEV recurrence estimate (profiled trip counts, statically
+        clamped) is tightened by the interval-proven offset window of the
+        access; non-affine accesses fall back to the window alone, which
+        makes them scratchpad candidates the SCEV model alone cannot size.
+        """
+        window_bytes = self._window_bytes(access)
         levels = access.addrec_levels()
         if levels is None:
-            return None
+            return window_bytes
         span = access.element_size
         for loop, step in levels:
             if loop.blocks <= region.blocks:
                 trip = max(1, round(self.profile.trip_count(loop)))
+                proven = ctx.static_trip_bound(loop)
+                if proven is not None:
+                    trip = min(trip, proven)
                 span += abs(step) * (trip - 1)
+        if window_bytes is not None:
+            span = min(span, window_bytes)
         return span
+
+    def _window_bytes(self, access: AccessInfo) -> Optional[int]:
+        """Size of the interval-proven byte window of the access."""
+        window = self._bounds.windows.get(access.inst)
+        if window is None:
+            return None
+        off = window.offset
+        if off.lo is None or off.hi is None:
+            return None
+        return off.hi + window.access_size - off.lo
 
     def _access_count_per_invocation(
         self, access: AccessInfo, region: Region

@@ -512,6 +512,57 @@ class EvaluationEngine:
         }
 
 
+# Interpreter-throughput probe ---------------------------------------------------
+
+
+def interp_elision_stats(names: Sequence[str]) -> Dict[str, Dict]:
+    """Before/after interpreter throughput with bounds-check elision.
+
+    Runs each workload twice — all accesses checked, then with statically
+    proven accesses elided — and reports instructions/second for both along
+    with the proof coverage.  Wall-clock throughput is environment-dependent
+    and never part of determinism comparisons; the instruction and
+    elision counts are exact.
+    """
+    from ..dataflow import BoundsAnalysis
+    from ..frontend.lowering import compile_source
+    from ..interp.interpreter import Interpreter
+
+    stats: Dict[str, Dict] = {}
+    for name in names:
+        workload = get_workload(name)
+        module = compile_source(workload.source, workload.name)
+        bounds = BoundsAnalysis(module)
+
+        def throughput(bounds_arg):
+            interp = Interpreter(module, bounds=bounds_arg)
+            started = time.perf_counter()
+            interp.run(workload.entry)
+            seconds = max(1e-9, time.perf_counter() - started)
+            return interp.instructions / seconds, interp
+
+        # Best of three alternating runs: single-shot timings on a busy
+        # host are noisier than the few-percent effect being measured.
+        baseline_rate = elided_rate = 0.0
+        for _ in range(3):
+            rate, _interp = throughput(None)
+            baseline_rate = max(baseline_rate, rate)
+            rate, elided = throughput(bounds)
+            elided_rate = max(elided_rate, rate)
+
+        proven, total = bounds.module_coverage()
+        stats[name] = {
+            "instructions": elided.instructions,
+            "proven_accesses": proven,
+            "total_accesses": total,
+            "elided": elided.elided_accesses,
+            "checked": elided.checked_accesses,
+            "baseline_inst_per_s": baseline_rate,
+            "elided_inst_per_s": elided_rate,
+        }
+    return stats
+
+
 # BENCH_<tag>.json reports -------------------------------------------------------
 
 
@@ -520,9 +571,10 @@ def build_report(
     engine: EvaluationEngine,
     tag: str,
     wall_seconds: float,
+    interp_elision: Optional[Dict[str, Dict]] = None,
 ) -> Dict:
     """The machine-readable bench payload (see docs/benchmarking.md)."""
-    return {
+    payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "tag": tag,
         "generated_unix": time.time(),
@@ -537,6 +589,9 @@ def build_report(
             for record in records
         },
     }
+    if interp_elision is not None:
+        payload["interp_elision"] = interp_elision
+    return payload
 
 
 def write_report(payload: Dict, directory: str = ".") -> str:
@@ -572,6 +627,23 @@ def compare_reports(left: Dict, right: Dict) -> List[str]:
         for section in ("key", "flows", "table2", "selector_stats"):
             if a.get(section) != b.get(section):
                 problems.append(f"{name}: section {section!r} differs")
+    left_interp = left.get("interp_elision")
+    right_interp = right.get("interp_elision")
+    if left_interp is not None and right_interp is not None:
+        exact = ("instructions", "proven_accesses", "total_accesses",
+                 "elided", "checked")
+        for name in sorted(set(left_interp) | set(right_interp)):
+            a = left_interp.get(name)
+            b = right_interp.get(name)
+            if a is None or b is None:
+                problems.append(f"interp_elision/{name}: in only one report")
+                continue
+            for key in exact:
+                if a.get(key) != b.get(key):
+                    problems.append(
+                        f"interp_elision/{name}: {key} differs "
+                        f"({a.get(key)} vs {b.get(key)})"
+                    )
     return problems
 
 

@@ -69,6 +69,12 @@ def _ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
-    from . import coremark_pro, machsuite, mediabench, polybench  # noqa: F401
+    from . import (  # noqa: F401
+        coremark_pro,
+        machsuite,
+        mediabench,
+        polybench,
+        synthetic,
+    )
 
     _loaded = True

@@ -1,0 +1,103 @@
+"""Engine-level tests of the forward-dataflow worklist solver."""
+
+from repro.analysis.cfg import reverse_postorder
+from repro.dataflow import ForwardDataflow
+from repro.frontend import compile_source
+
+
+class PathLength(ForwardDataflow):
+    """Toy client: longest acyclic path length from entry (join = max).
+
+    On cyclic CFGs the transfer keeps incrementing, so convergence depends
+    entirely on the engine applying :meth:`widen` at loop headers.
+    """
+
+    CAP = 1_000_000
+
+    def __init__(self, func):
+        self.widened_at = []
+        super().__init__(func)
+
+    def initial_state(self):
+        return 0
+
+    def transfer(self, block, state):
+        return state + 1
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def widen(self, old, new, block=None):
+        self.widened_at.append(block)
+        return self.CAP
+
+
+def func_of(source, name):
+    module = compile_source(source, "t", optimize=False)
+    return module.get_function(name)
+
+
+DIAMOND = """
+int f(int c) {
+  int x = 0;
+  if (c > 0) { x = 1; } else { x = 2; }
+  return x;
+}
+"""
+
+LOOPY = """
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}
+"""
+
+
+class TestAcyclic:
+    def test_no_widening_on_acyclic_cfg(self):
+        func = func_of(DIAMOND, "f")
+        analysis = PathLength(func).solve()
+        assert analysis.widened_at == []
+
+    def test_path_lengths_follow_cfg(self):
+        func = func_of(DIAMOND, "f")
+        analysis = PathLength(func).solve()
+        # Entry starts at the initial state; every block adds one.
+        assert analysis.in_states[func.entry] == 0
+        assert analysis.out_states[func.entry] == 1
+        exit_block = [b for b in analysis.rpo if not b.successors][0]
+        # join(max) over both arms of the diamond, +1 for the exit itself.
+        depth = max(analysis.out_states[p] for p in analysis.preds[exit_block])
+        assert analysis.out_states[exit_block] == depth + 1
+
+
+class TestCyclic:
+    def test_widening_forces_convergence(self):
+        func = func_of(LOOPY, "f")
+        analysis = PathLength(func).solve()
+        assert analysis.widened_at, "loop header was never widened"
+        headers = {loop.header for loop in analysis.loop_info.loops}
+        assert set(analysis.widened_at) <= headers
+
+    def test_widen_applied_after_threshold_visits(self):
+        func = func_of(LOOPY, "f")
+        analysis = PathLength(func)
+        analysis.widen_after = 1
+        analysis.widened_at = []
+        analysis.solve()
+        assert analysis.widened_at
+
+
+class TestDeterminism:
+    def test_rpo_matches_cfg_helper(self):
+        func = func_of(LOOPY, "f")
+        analysis = PathLength(func).solve()
+        assert analysis.rpo == reverse_postorder(func)
+
+    def test_repeated_solves_identical(self):
+        func = func_of(LOOPY, "f")
+        first = PathLength(func).solve()
+        second = PathLength(func).solve()
+        assert first.in_states == second.in_states
+        assert first.out_states == second.out_states

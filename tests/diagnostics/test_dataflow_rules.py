@@ -1,0 +1,101 @@
+"""Firing and clean cases for the dataflow-backed rules IR007/IR008/AN004."""
+
+from repro.diagnostics import run_lint
+from repro.frontend.lowering import compile_source
+
+
+def codes(source, rule, name="t"):
+    module = compile_source(source, name)
+    return [d.code for d in run_lint(module, rules={rule}).diagnostics]
+
+
+CLEAN_SOURCE = """
+int A[64];
+int kernel(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + A[i]; }
+  return s;
+}
+int main() { return kernel(64); }
+"""
+
+
+class TestSymbolicOutOfBounds:
+    def test_fires_on_provable_overrun(self):
+        source = """
+int A[4];
+int kernel(int i) { return A[i + 16]; }
+int main() { return kernel(0); }
+"""
+        assert codes(source, "IR007") == ["IR007"]
+
+    def test_fires_on_always_negative_offset(self):
+        source = """
+int A[8];
+int kernel(int i) { return A[i - 32]; }
+int main() { return kernel(0); }
+"""
+        assert codes(source, "IR007") == ["IR007"]
+
+    def test_clean_on_proven_kernel(self):
+        assert codes(CLEAN_SOURCE, "IR007") == []
+
+    def test_silent_when_offset_merely_unproven(self):
+        # An unbounded index is *possibly* out of bounds, not provably:
+        # the rule reports definite violations only.
+        source = "int A[8];\nint kernel(int i) { return A[i]; }"
+        assert codes(source, "IR007") == []
+
+
+class TestProvableOverflow:
+    def test_fires_on_definite_add_overflow(self):
+        source = """
+int kernel(int x) { return x + 2000000000; }
+int main() { return kernel(2000000000); }
+"""
+        assert codes(source, "IR008") == ["IR008"]
+
+    def test_fires_on_shift_beyond_width(self):
+        source = """
+int kernel(int x) { return x >> 70; }
+int main() { return kernel(1); }
+"""
+        assert codes(source, "IR008") == ["IR008"]
+
+    def test_clean_on_in_range_arithmetic(self):
+        assert codes(CLEAN_SOURCE, "IR008") == []
+
+    def test_silent_on_possible_but_unproven_overflow(self):
+        source = """
+int kernel(int x) { return x + 1; }
+int main() { return kernel(5); }
+"""
+        assert codes(source, "IR008") == []
+
+
+class TestFootprintBound:
+    GUARDED = """
+float A[128];
+void kernel(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    if (i < 8) { A[i] = A[i] + 1.0f; }
+  }
+}
+int main() { kernel(100); return 0; }
+"""
+
+    def test_fires_when_guard_shrinks_window(self):
+        # SCEV sizes the footprint from the 100-trip loop; branch
+        # refinement proves the guarded access touches A[0..7] only.
+        fired = codes(self.GUARDED, "AN004")
+        assert fired and set(fired) == {"AN004"}
+
+    def test_clean_without_guard(self):
+        source = """
+float A[128];
+void kernel(int n) {
+  for (int i = 0; i < n; i = i + 1) { A[i] = A[i] + 1.0f; }
+}
+int main() { kernel(100); return 0; }
+"""
+        assert codes(source, "AN004") == []

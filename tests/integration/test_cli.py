@@ -130,3 +130,47 @@ class TestLintCommand:
             main(["lint", "--help"])
         out = capsys.readouterr().out
         assert "--strict" in out and "--format" in out
+
+
+class TestLintExplain:
+    def test_explain_known_code(self, capsys):
+        assert main(["lint", "--explain", "IR007"]) == 0
+        out = capsys.readouterr().out
+        assert "IR007" in out and "symbolic-out-of-bounds" in out
+        assert "layer: ir" in out
+
+    def test_explain_needs_no_source(self, capsys):
+        # --explain must not require a program or workload argument.
+        assert main(["lint", "--explain", "AN004"]) == 0
+        assert "footprint" in capsys.readouterr().out
+
+    def test_explain_unknown_code_exits_two(self, capsys):
+        assert main(["lint", "--explain", "ZZ999"]) == 2
+        assert "ZZ999" in capsys.readouterr().err
+
+
+class TestExecCommand:
+    def test_exec_reports_elision(self, capsys):
+        assert main(["exec", "--workload", "trisolv"]) == 0
+        out = capsys.readouterr().out
+        assert "result:" in out
+        assert "accesses statically proven" in out
+
+    def test_exec_no_elide(self, capsys):
+        assert main(["exec", "--workload", "trisolv", "--no-elide"]) == 0
+        assert "statically proven" not in capsys.readouterr().out
+
+    def test_sanitize_clean_workload_exits_zero(self, capsys):
+        assert main(["exec", "--workload", "trisolv", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_sanitize_assume_restrict_catches_aliasing(self, capsys):
+        assert main(["exec", "--workload", "smooth-alias", "--sanitize",
+                     "--assume-restrict"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_sanitize_points_to_clean_on_aliasing_workload(self, capsys):
+        assert main(["exec", "--workload", "smooth-alias", "--sanitize"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
