@@ -178,7 +178,10 @@ def _cmd_exec(args) -> int:
         from .interp.sanitizer import SanitizerError, SanitizingInterpreter
 
         interp = SanitizingInterpreter(
-            module, assume_restrict=args.assume_restrict, fail_fast=False
+            module,
+            assume_restrict=args.assume_restrict,
+            fail_fast=False,
+            inject_unsound_bitwidth=args.inject_unsound_bitwidth,
         )
         try:
             result = interp.run(args.entry, entry_args)
@@ -211,26 +214,75 @@ def _cmd_exec(args) -> int:
     return 0
 
 
+def _cmd_bitwidth(args) -> int:
+    from .dataflow import ModuleBitwidthAnalysis
+    from .frontend import compile_source
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    module = compile_source(source, name, optimize=not args.no_opt)
+    analysis = ModuleBitwidthAnalysis(module)
+    total = {
+        "int_ops": 0, "narrowed_ops": 0, "type_bits": 0, "proven_bits": 0,
+        "type_area_um2": 0.0, "proven_area_um2": 0.0,
+    }
+    print(f"{'function':24} {'int ops':>8} {'narrowed':>9} "
+          f"{'bits':>13} {'fu area um2':>20} {'saved':>7}")
+    for func in module.defined_functions():
+        summary = analysis.function_summary(func)
+        for key in total:
+            total[key] += summary[key]
+        saved = summary["type_area_um2"] - summary["proven_area_um2"]
+        pct = (100.0 * saved / summary["type_area_um2"]
+               if summary["type_area_um2"] else 0.0)
+        print(f"@{func.name:23} {summary['int_ops']:8d} "
+              f"{summary['narrowed_ops']:9d} "
+              f"{summary['type_bits']:6d}->{summary['proven_bits']:<6d} "
+              f"{summary['type_area_um2']:9.0f}->{summary['proven_area_um2']:<9.0f} "
+              f"{pct:6.1f}%")
+    saved = total["type_area_um2"] - total["proven_area_um2"]
+    pct = (100.0 * saved / total["type_area_um2"]
+           if total["type_area_um2"] else 0.0)
+    print(f"{'total':24} {total['int_ops']:8d} {total['narrowed_ops']:9d} "
+          f"{total['type_bits']:6d}->{total['proven_bits']:<6d} "
+          f"{total['type_area_um2']:9.0f}->{total['proven_area_um2']:<9.0f} "
+          f"{pct:6.1f}%")
+    print(f"\nestimated datapath FU area delta: -{saved:.0f} um2 "
+          f"({pct:.1f}% of the type-width datapath)")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .diagnostics import render_json, render_text, run_lint
     from .frontend import compile_source
 
     if args.explain:
-        from .diagnostics.registry import get_rule
+        from .diagnostics.registry import all_rules, get_rule
 
-        try:
-            found = get_rule(args.explain)
-        except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(f"{found.code} [{found.severity.name.lower()}] {found.name}")
-        print(f"layer: {found.layer}")
-        if found.requires:
-            print(f"requires: {', '.join(sorted(found.requires))}")
-        if found.paper_ref:
-            print(f"paper: {found.paper_ref}")
-        print()
-        print(found.description)
+        if args.explain.strip().lower() == "all":
+            rules = all_rules()
+        else:
+            rules = []
+            for code in args.explain.split(","):
+                code = code.strip()
+                if not code:
+                    continue
+                try:
+                    rules.append(get_rule(code))
+                except KeyError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+        for index, found in enumerate(rules):
+            if index:
+                print()
+            print(f"{found.code} [{found.severity.name.lower()}] {found.name}")
+            print(f"layer: {found.layer}")
+            if found.requires:
+                print(f"requires: {', '.join(sorted(found.requires))}")
+            if found.paper_ref:
+                print(f"paper: {found.paper_ref}")
+            print()
+            print(found.description)
         return 0
 
     source = _read_program(args)
@@ -260,6 +312,7 @@ def _cmd_bench(args) -> int:
         BenchCache,
         EvaluationEngine,
         FlowParams,
+        area_narrowing_stats,
         build_report,
         compare_reports,
         default_tag,
@@ -303,9 +356,16 @@ def _cmd_bench(args) -> int:
         # probed on a bounded prefix to keep full-suite runs fast.
         elision = interp_elision_stats(names[: args.interp_bench_count])
 
+    narrowing = None
+    if not args.no_area_narrowing:
+        # Type-width vs proven-width datapath area at equal latency,
+        # bounded the same way as the elision probe.
+        narrowing = area_narrowing_stats(names[: args.area_narrowing_count])
+
     tag = args.tag or default_tag(params)
     payload = build_report(
-        records, engine, tag=tag, wall_seconds=wall, interp_elision=elision
+        records, engine, tag=tag, wall_seconds=wall, interp_elision=elision,
+        area_narrowing=narrowing,
     )
     path = write_report(payload, directory=args.output_dir)
 
@@ -326,6 +386,21 @@ def _cmd_bench(args) -> int:
                   f"accesses elided "
                   f"({stat['proven_accesses']}/{stat['total_accesses']} "
                   f"proven)")
+    if narrowing:
+        total_type = sum(s["type_area_um2"] for s in narrowing.values())
+        total_proven = sum(s["proven_area_um2"] for s in narrowing.values())
+        for name, stat in narrowing.items():
+            equal = "equal latency" if stat["latency_equal"] else (
+                f"latency {stat['latency_type']} -> {stat['latency_proven']}")
+            print(f"narrow {name}: {stat['type_area_um2']:.0f} -> "
+                  f"{stat['proven_area_um2']:.0f} um2 "
+                  f"(-{stat['saving_pct']:.1f}%), "
+                  f"{stat['narrowed_ops']}/{stat['int_ops']} int ops "
+                  f"narrowed, {equal}")
+        if total_type:
+            print(f"narrow aggregate: {total_type:.0f} -> {total_proven:.0f} "
+                  f"um2 datapath FU area "
+                  f"(-{100.0 * (1.0 - total_proven / total_type):.1f}%)")
     stats = engine.cache_stats()
     print(f"\n{len(records)} workloads in {wall:.2f}s "
           f"(jobs={args.jobs}, cache hits {stats['hits']}, "
@@ -469,7 +544,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="validate static analysis claims at runtime")
     exec_.add_argument("--assume-restrict", action="store_true",
                        help="with --sanitize: validate the restrict model")
+    exec_.add_argument("--inject-unsound-bitwidth", action="store_true",
+                       help="with --sanitize: deliberately mis-claim one "
+                            "known-zero bit per instruction (self-test; "
+                            "the run must report violations)")
     exec_.set_defaults(func=_cmd_exec)
+
+    bitwidth = sub.add_parser(
+        "bitwidth",
+        help="per-function bitwidth-narrowing report",
+        description=(
+            "Run the known-bits ∧ demanded-bits analysis and print, per "
+            "function, how many integer datapath ops narrow below their "
+            "type width and the estimated functional-unit area recovered."
+        ),
+    )
+    bitwidth.add_argument("source", nargs="?")
+    bitwidth.add_argument("--workload",
+                          help="analyze a registered benchmark instead")
+    bitwidth.add_argument("--no-opt", action="store_true",
+                          help="analyze the unoptimized IR")
+    bitwidth.set_defaults(func=_cmd_bitwidth)
 
     bench = sub.add_parser(
         "bench",
@@ -510,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="probe elision throughput on the first N "
                             "workloads (default 2)")
+    bench.add_argument("--no-area-narrowing", action="store_true",
+                       help="skip the datapath-narrowing area probe")
+    bench.add_argument("--area-narrowing-count", type=int, default=4,
+                       metavar="N",
+                       help="probe type-width vs proven-width datapath "
+                            "area on the first N workloads (default 4)")
     bench.set_defaults(func=_cmd_bench)
 
     bench_list = sub.add_parser("bench-list", help="list benchmark workloads")

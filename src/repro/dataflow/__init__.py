@@ -7,13 +7,23 @@
 * :mod:`~repro.dataflow.pointsto` — Andersen-style may-point-to sets and
   the ``may_alias`` query backing memory-dependence analysis;
 * :mod:`~repro.dataflow.bounds` — in-bounds proofs for loads/stores,
-  consumed by the interpreter's check-elision fast path and the sanitizer.
+  consumed by the interpreter's check-elision fast path and the sanitizer;
+* :mod:`~repro.dataflow.bitwidth` — known-bits ∧ demanded-bits proven
+  widths driving datapath narrowing, FU merging and the width lint rules.
 """
 
 from .framework import ForwardDataflow
 from .interval import Interval, IntervalAnalysis, ModuleIntervalAnalysis
 from .pointsto import AllocSite, PointsToAnalysis
 from .bounds import AccessWindow, BoundsAnalysis, ProvenAccess
+from .bitwidth import (
+    BitwidthAnalysis,
+    DemandedBitsAnalysis,
+    KnownBits,
+    KnownBitsAnalysis,
+    ModuleBitwidthAnalysis,
+    demanded_truncate,
+)
 
 __all__ = [
     "ForwardDataflow",
@@ -25,4 +35,10 @@ __all__ = [
     "AccessWindow",
     "BoundsAnalysis",
     "ProvenAccess",
+    "BitwidthAnalysis",
+    "DemandedBitsAnalysis",
+    "KnownBits",
+    "KnownBitsAnalysis",
+    "ModuleBitwidthAnalysis",
+    "demanded_truncate",
 ]

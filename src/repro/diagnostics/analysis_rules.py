@@ -194,3 +194,61 @@ def check_footprint_bounds(ctx) -> Iterator[Diagnostic]:
                             "window instead of the SCEV footprint"
                         ),
                     )
+
+
+#: AN005 reports a function when an integer datapath op's type width is at
+#: least this factor times its proven width (a narrowing opportunity the
+#: estimator exploits automatically; the report makes it visible).
+NARROWING_FACTOR = 2
+
+
+@rule(
+    "AN005",
+    "datapath-wider-than-proven",
+    layer="analysis",
+    severity=Severity.INFO,
+    description=(
+        "Function contains integer datapath operations whose type width "
+        "is at least NARROWING_FACTOR (2x) their bitwidth-proven width: "
+        "the known-bits ∧ demanded-bits analysis shows most of the "
+        "datapath is provably idle.  Reported per function as a "
+        "narrowing-opportunity aggregate; the area estimator and FU "
+        "merger already bill the proven widths."
+    ),
+    paper_ref="§III-F (area model; width-aware FU characterization)",
+    requires=("profile",),
+)
+def check_datapath_width(ctx) -> Iterator[Diagnostic]:
+    from ..ir import resource_class
+
+    for func in ctx.module.defined_functions():
+        analysis = ctx.bitwidth.for_function(func)
+        wide = total = 0
+        type_bits = proven_bits = 0
+        for inst in func.instructions():
+            if not inst.type.is_int:
+                continue
+            if resource_class(inst) in ("control", "alloca", "call"):
+                continue
+            total += 1
+            width = analysis.proven_width(inst)
+            type_bits += inst.type.bits
+            proven_bits += width
+            if inst.type.bits >= NARROWING_FACTOR * width:
+                wide += 1
+        if wide == 0:
+            continue
+        yield Diagnostic(
+            code="AN005",
+            severity=Severity.INFO,
+            location=Location(function=func.name),
+            message=(
+                f"{wide}/{total} integer datapath ops are at least "
+                f"{NARROWING_FACTOR}x wider than proven "
+                f"({type_bits} type bits vs {proven_bits} proven bits)"
+            ),
+            suggestion=(
+                "no action needed — the estimator narrows automatically; "
+                "use `repro bitwidth` for the per-function area delta"
+            ),
+        )

@@ -25,7 +25,12 @@ from ..analysis.access_patterns import AccessPatternAnalysis
 from ..analysis.callgraph import CallGraph
 from ..analysis.loops import LoopInfo
 from ..analysis.memdep import MemoryDependenceAnalysis
-from ..dataflow import BoundsAnalysis, ModuleIntervalAnalysis, PointsToAnalysis
+from ..dataflow import (
+    BoundsAnalysis,
+    ModuleBitwidthAnalysis,
+    ModuleIntervalAnalysis,
+    PointsToAnalysis,
+)
 from ..ir import Function, Module
 from .config_rules import ConfigRuleEnv
 from .core import LintResult
@@ -51,6 +56,7 @@ class LintContext:
         self._intervals: Optional[ModuleIntervalAnalysis] = None
         self._pointsto: Optional[PointsToAnalysis] = None
         self._bounds: Optional[BoundsAnalysis] = None
+        self._bitwidth: Optional[ModuleBitwidthAnalysis] = None
 
     def access(self, func: Function) -> AccessPatternAnalysis:
         if func not in self._access:
@@ -98,6 +104,12 @@ class LintContext:
         if self._bounds is None:
             self._bounds = BoundsAnalysis(self.module, self.intervals)
         return self._bounds
+
+    @property
+    def bitwidth(self) -> ModuleBitwidthAnalysis:
+        if self._bitwidth is None:
+            self._bitwidth = ModuleBitwidthAnalysis(self.module, self.intervals)
+        return self._bitwidth
 
     @property
     def available_inputs(self) -> frozenset:

@@ -371,5 +371,52 @@ def check_provable_overflow(ctx) -> Iterator[Diagnostic]:
                     )
 
 
+@rule(
+    "IR009",
+    "provable-truncation",
+    layer="ir",
+    severity=Severity.ERROR,
+    description=(
+        "Truncation that provably discards set bits: the source value has "
+        "known-one bits at or above the destination width, and the "
+        "truncated result still feeds an observable effect (a store, "
+        "branch, call, return, or address).  Every execution loses those "
+        "high bits — the narrow value cannot equal the wide one."
+    ),
+    paper_ref="§III-F (datapath widths must preserve observable values)",
+)
+def check_provable_truncation(ctx) -> Iterator[Diagnostic]:
+    from ..ir import Cast
+
+    for func in ctx.module.defined_functions():
+        analysis = ctx.bitwidth.for_function(func)
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not (isinstance(inst, Cast) and inst.opcode == "trunc"):
+                    continue
+                src = inst.operands[0]
+                if not src.type.is_int:
+                    continue
+                dst_bits = inst.type.bits
+                lost_ones = analysis.known(src).ones >> dst_bits
+                if lost_ones == 0:
+                    continue
+                if analysis.demanded(inst) == 0:
+                    continue  # dead trunc: IR002-style, not a data loss
+                yield Diagnostic(
+                    code="IR009",
+                    severity=Severity.ERROR,
+                    location=_loc(func, block, inst),
+                    message=(
+                        f"trunc to i{dst_bits} provably discards set high "
+                        f"bits of %{src.name or '?'} (known ones above bit "
+                        f"{dst_bits - 1}); the demanded result cannot "
+                        "match the full-width value"
+                    ),
+                    suggestion="widen the destination type or mask "
+                               "explicitly before truncating",
+                )
+
+
 def _instruction_location(func, inst: Instruction) -> Location:
     return _loc(func, inst.parent, inst)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..ir import (
     Alloca,
@@ -18,18 +18,36 @@ from ..ir import (
 )
 
 
+def type_bits(ty) -> int:
+    """Datapath width of a value of type ``ty``, with explicit fallbacks:
+    scalar types carry their declared width, pointers are flat 64-bit byte
+    addresses, and anything else (aggregates never materialize as SSA
+    values) conservatively occupies one 32-bit word."""
+    if ty.is_pointer:
+        return 64
+    bits = getattr(ty, "bits", None)
+    if bits is not None:
+        return bits
+    return 32
+
+
 class DFGNode:
     """One operation instance in a data-flow graph.
 
     ``copy`` distinguishes replicas introduced by loop unrolling; the
-    underlying IR instruction is shared between replicas.
+    underlying IR instruction is shared between replicas.  ``width``, when
+    set, overrides the type-derived width with a (narrower) proven width
+    from the bitwidth analysis.
     """
 
-    __slots__ = ("inst", "copy", "preds", "succs", "order_preds")
+    __slots__ = ("inst", "copy", "preds", "succs", "order_preds", "width")
 
-    def __init__(self, inst: Instruction, copy: int = 0):
+    def __init__(
+        self, inst: Instruction, copy: int = 0, width: Optional[int] = None
+    ):
         self.inst = inst
         self.copy = copy
+        self.width = width
         self.preds: List["DFGNode"] = []      # data dependences
         self.succs: List["DFGNode"] = []
         self.order_preds: List["DFGNode"] = []  # memory-ordering dependences
@@ -40,12 +58,14 @@ class DFGNode:
 
     @property
     def bits(self) -> int:
+        if self.width is not None:
+            return self.width
         ty = self.inst.type
         if ty.is_void:
             if isinstance(self.inst, Store):
-                return getattr(self.inst.value.type, "bits", 32)
+                return type_bits(self.inst.value.type)
             return 1
-        return getattr(ty, "bits", 64 if ty.is_pointer else 32)
+        return type_bits(ty)
 
     @property
     def is_memory(self) -> bool:
@@ -70,7 +90,9 @@ class DFG:
     unknown base object) to preserve program semantics during scheduling.
     ``may_alias`` customizes the conflict test (the access-pattern analysis
     provides a precise one); by default distinct instruction pairs conflict
-    whenever at least one is a store.
+    whenever at least one is a store.  ``widths`` optionally maps
+    instructions to proven datapath widths (bitwidth analysis); a store
+    node takes the width proven for its stored value.
     """
 
     def __init__(self, nodes: List[DFGNode]):
@@ -82,6 +104,7 @@ class DFG:
         blocks: Sequence[BasicBlock],
         may_alias=None,
         include_phis: bool = False,
+        widths: Optional[Mapping[Instruction, int]] = None,
     ) -> "DFG":
         nodes: List[DFGNode] = []
         node_of: Dict[Instruction, DFGNode] = {}
@@ -94,7 +117,11 @@ class DFG:
                     continue
                 if isinstance(inst, Phi) and not include_phis:
                     continue
-                node = DFGNode(inst)
+                width = None
+                if widths is not None:
+                    source = inst.value if isinstance(inst, Store) else inst
+                    width = widths.get(source)
+                node = DFGNode(inst, width=width)
                 nodes.append(node)
                 node_of[inst] = node
                 for operand in inst.operands:
@@ -122,7 +149,7 @@ class DFG:
         for copy in range(factor):
             clone_of: Dict[DFGNode, DFGNode] = {}
             for node in self.nodes:
-                clone = DFGNode(node.inst, copy)
+                clone = DFGNode(node.inst, copy, node.width)
                 clone_of[node] = clone
                 clone.preds = [clone_of[p] for p in node.preds]
                 clone.order_preds = [clone_of[p] for p in node.order_preds]

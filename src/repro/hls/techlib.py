@@ -91,6 +91,53 @@ _OPS: Dict[str, OpInfo] = {
 }
 
 _WIDTH_FACTOR_64 = 2.1
+_DELAY_FACTOR_64 = 1.25
+
+# Sub-32-bit area scaling (the bitwidth analysis produces widths like 7 or
+# 14).  Narrow instances keep a fixed overhead floor (I/O buffering, cell
+# granularity) and otherwise scale linearly with width for carry/logic
+# structures and quadratically for array multipliers/dividers.  Delay is
+# left at the 32-bit characterization below 32 bits — conservative, and it
+# keeps schedules (latency) invariant under narrowing.
+_QUADRATIC_RESOURCES = frozenset({"mul", "div", "rem"})
+#: Width-independent classes: memory issue logic, control, call/alloca
+#: bookkeeping, float ops (floats only exist at 32/64 bits) and comparators
+#: (an icmp produces i1 but is sized by its operand width, which the result
+#: type doesn't carry — keep the 32-bit characterization).
+_FIXED_BELOW_32 = frozenset({
+    "load", "store", "control", "alloca", "call",
+    "fadd", "fsub", "fmul", "fdiv", "fneg", "fsqrt", "fabs", "fcmp",
+    "sitofp", "fptosi", "fpext", "fptrunc", "icmp",
+})
+_NARROW_FLOOR = 0.08
+
+
+def _area_factor(resource: str, bits: int) -> float:
+    """Area multiplier vs the 32-bit characterization point.  Exactly 1.0
+    at 32 bits and ``_WIDTH_FACTOR_64`` at 64 bits (the legacy anchors);
+    linear interpolation between them; piecewise linear/quadratic below."""
+    bits = max(1, min(64, bits))
+    if bits == 32:
+        return 1.0
+    if bits >= 64:
+        return _WIDTH_FACTOR_64
+    if bits > 32:
+        return 1.0 + (bits - 32) / 32.0 * (_WIDTH_FACTOR_64 - 1.0)
+    if resource in _FIXED_BELOW_32:
+        return 1.0
+    ratio = bits / 32.0
+    if resource in _QUADRATIC_RESOURCES:
+        return _NARROW_FLOOR + (1.0 - _NARROW_FLOOR) * ratio * ratio
+    return _NARROW_FLOOR + (1.0 - _NARROW_FLOOR) * ratio
+
+
+def _delay_factor(bits: int) -> float:
+    bits = max(1, min(64, bits))
+    if bits <= 32:
+        return 1.0
+    if bits >= 64:
+        return _DELAY_FACTOR_64
+    return 1.0 + (bits - 32) / 32.0 * (_DELAY_FACTOR_64 - 1.0)
 
 
 # -- Interface component characterization (paper §III-C, Fig. 3) --------------
@@ -150,17 +197,28 @@ class TechLibrary:
         return 1e9 / self.clock_ns
 
     def op(self, resource: str, bits: int = 32) -> OpInfo:
-        """Characterization of a resource class at the given bit width."""
+        """Characterization of a resource class at the given bit width.
+
+        Piecewise width scaling calibrated so the legacy 32- and 64-bit
+        characterization points are reproduced exactly; widths in between
+        interpolate linearly, and proven widths below 32 bits shrink the
+        area (linearly for adders/logic, quadratically for multipliers)
+        without touching delay or pipeline latency.
+        """
         try:
             base = _OPS[resource]
         except KeyError:
             raise KeyError(f"no characterization for resource {resource!r}") from None
-        if bits <= 32:
+        if bits == 32:
+            return base
+        area = _area_factor(resource, bits)
+        delay = _delay_factor(bits)
+        if area == 1.0 and delay == 1.0:
             return base
         return OpInfo(
-            delay_ns=base.delay_ns * 1.25,
+            delay_ns=base.delay_ns * delay,
             cycles=base.cycles,
-            area_um2=base.area_um2 * _WIDTH_FACTOR_64,
+            area_um2=base.area_um2 * area,
             pipelined=base.pipelined,
         )
 

@@ -5,6 +5,13 @@ verifies, against observed behavior, each claim the dataflow layer makes:
 
 * **value ranges** — every integer SSA value produced at runtime must lie in
   its statically inferred interval;
+* **known bits** — every integer SSA value must satisfy its claimed
+  known-zero/known-one masks (``u & zeros == 0`` and ``u & ones == ones``
+  over the unsigned representation);
+* **demanded bits** — for every pure integer op, re-executing it with each
+  operand replaced by its demanded-bits truncation (high bits
+  sign-reconstructed, exactly what a narrowed datapath would carry) must
+  reproduce every demanded bit of the original result;
 * **bounds proofs** — every access the bounds analysis proved in-bounds must
   land inside its root object's storage and claimed offset window;
 * **alias facts** — two base pointers the active alias model claims disjoint
@@ -31,18 +38,32 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..ir import (
+    BinaryOp,
+    Cast,
+    Constant,
+    FCmp,
     Function,
     GlobalVariable,
+    ICmp,
     Instruction,
     Load,
     Module,
+    Select,
     Store,
+    UnaryOp,
     sizeof,
 )
 from ..analysis.access_patterns import AccessPatternAnalysis
 from ..analysis.loops import Loop
 from ..analysis.memdep import MemoryDependenceAnalysis
-from ..dataflow import BoundsAnalysis, ModuleIntervalAnalysis, PointsToAnalysis
+from ..dataflow import (
+    BoundsAnalysis,
+    KnownBits,
+    ModuleBitwidthAnalysis,
+    ModuleIntervalAnalysis,
+    PointsToAnalysis,
+    demanded_truncate,
+)
 from .interpreter import Interpreter
 
 
@@ -66,12 +87,14 @@ class SanitizingInterpreter(Interpreter):
         profile: bool = False,
         assume_restrict: bool = False,
         fail_fast: bool = True,
+        inject_unsound_bitwidth: bool = False,
     ):
         super().__init__(
             module, memory_size, max_instructions, profile, bounds=None
         )
         self.assume_restrict = assume_restrict
         self.fail_fast = fail_fast
+        self.inject_unsound_bitwidth = inject_unsound_bitwidth
         self.violations: List[str] = []
         self.notes: List[str] = []
         self._seen: Set[Tuple] = set()
@@ -81,11 +104,16 @@ class SanitizingInterpreter(Interpreter):
         self.intervals = ModuleIntervalAnalysis(module)
         self.pointsto = PointsToAnalysis(module)
         self.bounds = BoundsAnalysis(module, self.intervals)
+        self.bitwidth = ModuleBitwidthAnalysis(module, self.intervals)
         # Never elide in sanitize mode: self.bounds stays analysis-only and
         # the base class keeps _elide_enabled False (we pass bounds=None up).
 
         #: expected interval per int-typed SSA value, at its definition
         self._expected: Dict = {}
+        #: claimed KnownBits per int-typed instruction
+        self._claimed_bits: Dict[Instruction, KnownBits] = {}
+        #: claimed demanded mask per int-typed value (insts and args)
+        self._demanded_mask: Dict = {}
         #: loops containing each block, innermost last
         self._loops_of_block: Dict = {}
         #: loop header → Loop
@@ -100,6 +128,23 @@ class SanitizingInterpreter(Interpreter):
         for func in module.defined_functions():
             self._prepare_function(func)
 
+        if inject_unsound_bitwidth:
+            # Adversarial self-test: claim the lowest *unknown* bit of every
+            # int instruction is zero.  Any workload producing a value with
+            # that bit set must now trip the known-bits check — proving the
+            # sanitizer would catch an unsound transfer function.
+            for inst, kb in list(self._claimed_bits.items()):
+                unknown = ((1 << kb.bits) - 1) & ~(kb.zeros | kb.ones)
+                if unknown:
+                    low = unknown & -unknown
+                    self._claimed_bits[inst] = KnownBits(
+                        kb.bits, kb.zeros | low, kb.ones
+                    )
+            self.notes.append(
+                "inject-unsound-bitwidth: one known-zero bit deliberately "
+                "mis-claimed per instruction (sanitizer self-test)"
+            )
+
         # Runtime trackers.
         self._loop_iter: Dict[Loop, int] = {}
         self._last_write: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
@@ -110,16 +155,24 @@ class SanitizingInterpreter(Interpreter):
         self.values_checked = 0
         self.accesses_checked = 0
         self.conflicts_observed = 0
+        self.bits_checked = 0
+        self.demanded_checked = 0
 
     # Claim construction -----------------------------------------------------
 
     def _prepare_function(self, func: Function) -> None:
         analysis = self.intervals.for_function(func)
+        bw = self.bitwidth.for_function(func)
         for inst in func.instructions():
             if inst.type.is_int:
                 self._expected[inst] = analysis.interval_of(inst)
+                self._claimed_bits[inst] = bw.known(inst)
+                self._demanded_mask[inst] = bw.demanded(inst)
         for arg, interval in analysis.arg_intervals.items():
             self._expected[arg] = interval
+        for arg in func.arguments:
+            if arg.type.is_int:
+                self._demanded_mask[arg] = bw.demanded(arg)
 
         apa = AccessPatternAnalysis(func, analysis.loop_info)
         md = MemoryDependenceAnalysis(
@@ -218,7 +271,56 @@ class SanitizingInterpreter(Interpreter):
                         f"outside inferred {expected} in "
                         f"@{inst.parent.parent.name}",
                     )
+            claimed = self._claimed_bits.get(inst)
+            if claimed is not None:
+                self.bits_checked += 1
+                if not claimed.check(result):
+                    self._violation(
+                        ("known-bits", inst),
+                        f"known-bits violation: %{inst.name} = {result} "
+                        f"contradicts claimed {claimed!r} in "
+                        f"@{inst.parent.parent.name}",
+                    )
+            self._check_demanded(inst, env, result)
         return result
+
+    #: Instruction classes safe to re-execute against a shadow environment:
+    #: pure value computations whose base-class ``_execute`` only reads
+    #: operands (no memory, counters, or control effects).
+    _PURE_INT = (BinaryOp, ICmp, FCmp, Select, Cast, UnaryOp)
+
+    def _check_demanded(self, inst: Instruction, env: Dict, result) -> None:
+        """Single-step demanded-bits validation: replace every operand by
+        its demanded-bits truncation (the value a narrowed datapath would
+        reconstruct) and re-execute; all demanded result bits must agree."""
+        demand = self._demanded_mask.get(inst)
+        if not demand or not isinstance(inst, self._PURE_INT):
+            return
+        shadow = {}
+        narrowed = False
+        for op in inst.operands:
+            if isinstance(op, Constant):
+                continue
+            if op not in env:
+                return
+            val = env[op]
+            if op.type.is_int:
+                val = demanded_truncate(
+                    val, self._demanded_mask.get(op, 0), op.type.bits
+                )
+                narrowed = narrowed or val != env[op]
+            shadow[op] = val
+        if not narrowed:
+            return  # every truncation is the identity — nothing to test
+        self.demanded_checked += 1
+        alt_result = Interpreter._execute(self, inst, shadow)
+        if (alt_result ^ result) & demand:
+            self._violation(
+                ("demanded", inst),
+                f"demanded-bits violation: %{inst.name} narrowed operands "
+                f"produce {alt_result} vs {result} on demanded mask "
+                f"{demand:#x} in @{inst.parent.parent.name}",
+            )
 
     def _validate_access(self, inst, env: Dict) -> None:
         address = self._value(env, inst.pointer)
@@ -335,6 +437,8 @@ class SanitizingInterpreter(Interpreter):
     def report(self) -> str:
         lines = [
             f"sanitize: {self.values_checked} value-range checks, "
+            f"{self.bits_checked} known-bits checks, "
+            f"{self.demanded_checked} demanded-bits re-executions, "
             f"{self.accesses_checked} access checks, "
             f"{self.conflicts_observed} loop-carried conflicts observed, "
             f"{len(self._disjoint_claims)} disjointness claims",

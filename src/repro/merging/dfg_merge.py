@@ -58,6 +58,8 @@ def merge_pair(
     if match is None:
         match = match_units(unit_a.dfg, unit_b.dfg, techlib)
     counterpart = {b: a for a, b in match.pairs}
+    # A shared instance must be wide enough for both members.
+    shared_width = {a: max(a.bits, b.bits) for a, b in match.pairs}
 
     # Build the merged DFG from clones so the member units stay intact:
     # every A node survives; unmatched B nodes are kept with their edges to
@@ -66,7 +68,7 @@ def merge_pair(
     merged_nodes: List[DFGNode] = []
 
     def clone(node: DFGNode) -> DFGNode:
-        copy = DFGNode(node.inst, node.copy)
+        copy = DFGNode(node.inst, node.copy, shared_width.get(node, node.width))
         clone_of[node] = copy
         merged_nodes.append(copy)
         return copy
@@ -95,7 +97,10 @@ def merge_pair(
         dfg=DFG(merged_nodes),
         owner=unit_a.owner,
         member_names=unit_a.member_names + unit_b.member_names,
-        mux_area=unit_a.mux_area + unit_b.mux_area + match.mux_area,
+        mux_area=(
+            unit_a.mux_area + unit_b.mux_area
+            + match.mux_area + match.width_glue_area
+        ),
         config_bits=unit_a.config_bits + unit_b.config_bits + match.config_bits,
     )
 

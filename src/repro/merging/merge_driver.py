@@ -55,6 +55,9 @@ class MergedSolution:
     unit_groups: List[int] = field(default_factory=list)
     #: Group root per entry of `accelerators` (same id space as unit_groups).
     group_roots: List[int] = field(default_factory=list)
+    #: FU area recovered specifically by width-aware matching: saving the
+    #: legacy binary 32/64 bucketing could not have realized.
+    width_recovered_area: float = 0.0
 
     @property
     def saving(self) -> float:
@@ -138,6 +141,7 @@ class AcceleratorMerger:
 
         uf = _UnionFind(len(solution.accelerators))
         total_step_saving = 0.0
+        width_recovered = 0.0
         steps = 0
         # Lazily maintained pair-saving cache.  Keyed by per-run serials,
         # not bare id(): a unit replaced during merging could be
@@ -195,10 +199,12 @@ class AcceleratorMerger:
             units = [u for k, u in enumerate(units) if k not in (i, j)]
             units.append(merged)
             total_step_saving += best_saving
+            width_recovered += best_match.width_recovered_area
             steps += 1
 
         return self._finalize(
-            solution, area_before, total_step_saving, units, kernel_of_owner, uf, steps
+            solution, area_before, total_step_saving, units, kernel_of_owner,
+            uf, steps, width_recovered
         )
 
     #: Fraction of redundant interface hardware a reusable accelerator can
@@ -215,6 +221,7 @@ class AcceleratorMerger:
         kernel_of_owner: Dict[int, str],
         uf: _UnionFind,
         steps: int,
+        width_recovered: float = 0.0,
     ) -> MergedSolution:
         # Group accelerators by union-find root.
         groups: Dict[int, List[int]] = {}
@@ -264,6 +271,7 @@ class AcceleratorMerger:
             units=list(units),
             unit_groups=[uf.find(u.owner) for u in units],
             group_roots=group_roots,
+            width_recovered_area=width_recovered,
         )
 
 

@@ -1,10 +1,14 @@
 """Operation matching between two datapath units (paper §III-E).
 
 Merging two basic-block datapaths shares functional units of the same
-resource class and width.  A matched operation pair needs operand
-multiplexers unless its producers are matched to each other as well — so
-the matcher greedily prefers pairs whose operands are already matched,
-maximizing shared wiring and minimizing mux overhead.
+resource class.  Integer compute ops match across *proven* widths: an
+11-bit and a 14-bit adder share one 14-bit unit (the narrower member is
+zero-extended onto it by a sliver of glue logic), instead of the historical
+binary 32/64 bucketing.  Float ops and memory port logic keep exact width
+classes — an f32 adder never absorbs an f64 one.  A matched operation pair
+needs operand multiplexers unless its producers are matched to each other
+as well — so the matcher greedily prefers pairs whose operands are already
+matched, maximizing shared wiring and minimizing mux overhead.
 """
 
 from __future__ import annotations
@@ -15,6 +19,14 @@ from typing import Dict, List, Tuple
 from ..hls.dfg import DFG, DFGNode
 from ..hls.techlib import CONFIG_BIT_AREA_UM2, TechLibrary
 
+#: Integer resource classes whose instances merge at ``max(width_a,
+#: width_b)`` with zero-extend glue on the narrower member's operands.
+_INT_MERGEABLE = frozenset({
+    "add", "sub", "and", "or", "xor", "shl", "shr", "neg", "not",
+    "icmp", "select", "mul", "div", "rem", "gep", "phi",
+    "sext", "zext", "trunc",
+})
+
 
 @dataclass
 class MatchResult:
@@ -24,18 +36,27 @@ class MatchResult:
     shared_area: float = 0.0       # functional-unit area saved by sharing
     mux_area: float = 0.0          # multiplexers inserted on shared inputs
     config_bits: int = 0           # reconfiguration bit registers for muxes
+    width_glue_area: float = 0.0   # zero-extend glue for width-mixed pairs
+    width_recovered_area: float = 0.0  # saving the binary bucketing missed
 
     @property
     def net_saving(self) -> float:
-        return self.shared_area - self.mux_area - (
+        return self.shared_area - self.mux_area - self.width_glue_area - (
             self.config_bits * CONFIG_BIT_AREA_UM2
         )
 
 
+def _bucket(bits: int) -> int:
+    """The legacy binary width class (pre-bitwidth-analysis behavior)."""
+    return 64 if bits > 32 else 32
+
+
 def _op_key(node: DFGNode) -> Tuple[str, int]:
-    # Accesses of any width share the same port logic; compute ops share by
-    # (resource, width) so an f32 adder never absorbs an f64 one.
-    return (node.resource, 64 if node.bits > 32 else 32)
+    # Integer compute ops share across widths (the shared unit is sized at
+    # the max); float ops and memory port logic share by exact width class.
+    if node.resource in _INT_MERGEABLE:
+        return (node.resource, 0)
+    return (node.resource, _bucket(node.bits))
 
 
 def match_units(
@@ -61,19 +82,45 @@ def match_units(
         if not candidates:
             continue
         best = None
-        best_bonus = -1
+        best_score = None
         for node_a in candidates:
-            bonus = _producer_bonus(node_a, node_b, matched_b)
-            if bonus > best_bonus:
-                best, best_bonus = node_a, bonus
+            # Prefer already-matched producers, then the closest width (a
+            # wider partner wastes shared-unit bits, a narrower one buys
+            # less) — deterministic because program order breaks ties.
+            score = (
+                _producer_bonus(node_a, node_b, matched_b),
+                -abs(node_a.bits - node_b.bits),
+            )
+            if best_score is None or score > best_score:
+                best, best_score = node_a, score
         matched_a[best] = node_b
         matched_b[node_b] = best
         result.pairs.append((best, node_b))
 
-    clock_area = techlib  # alias for brevity below
     for node_a, node_b in result.pairs:
-        key = _op_key(node_a)
-        result.shared_area += clock_area.area(key[0], key[1])
+        resource = node_a.resource
+        bits_a, bits_b = node_a.bits, node_b.bits
+        shared_bits = max(bits_a, bits_b)
+        # Sharing keeps one instance at the max width: the saving is the
+        # smaller member's area.
+        saved = (
+            techlib.area(resource, bits_a)
+            + techlib.area(resource, bits_b)
+            - techlib.area(resource, shared_bits)
+        )
+        result.shared_area += saved
+        if bits_a != bits_b:
+            result.width_glue_area += techlib.area("zext", shared_bits)
+        if resource in _INT_MERGEABLE:
+            if _bucket(bits_a) != _bucket(bits_b):
+                # The binary bucketing could not merge this pair at all.
+                result.width_recovered_area += saved
+            else:
+                # It could, but would have billed the bucket width.
+                result.width_recovered_area += (
+                    techlib.area(resource, _bucket(shared_bits))
+                    - techlib.area(resource, shared_bits)
+                )
         # One mux per operand position whose producers differ.
         arity = max(len(node_a.preds), len(node_b.preds))
         for slot in range(arity):
@@ -81,7 +128,7 @@ def match_units(
             prod_b = node_b.preds[slot] if slot < len(node_b.preds) else None
             if prod_b is not None and matched_b.get(prod_b) is prod_a and prod_a is not None:
                 continue  # shared wire, no mux
-            result.mux_area += clock_area.mux_area(node_a.bits, 2)
+            result.mux_area += techlib.mux_area(shared_bits, 2)
             result.config_bits += 1
     return result
 
@@ -101,6 +148,5 @@ def unit_fu_area(unit: DFG, techlib: TechLibrary) -> float:
     """Raw functional-unit area of one datapath unit (no sharing)."""
     total = 0.0
     for node in unit.nodes:
-        key = _op_key(node)
-        total += techlib.area(key[0], key[1])
+        total += techlib.area(node.resource, node.bits)
     return total

@@ -54,7 +54,7 @@ from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 #: heuristics, cost-table updates, scheduling changes, ...): it is part of the
 #: bench harness's persistent cache key, so bumping it invalidates every
 #: cached evaluation record.
-ESTIMATOR_VERSION = "2"
+ESTIMATOR_VERSION = "3"
 
 
 class FunctionContext:
@@ -63,10 +63,12 @@ class FunctionContext:
     ``points_to`` and ``intervals`` are the module-level dataflow results
     (built once by the model): points-to sharpens ``may_alias`` beyond the
     same-base test, and interval-proven access windows clamp scratchpad
-    footprint estimates.
+    footprint estimates.  ``bitwidth`` supplies proven datapath widths that
+    narrow every DFG node below its type width.
     """
 
-    def __init__(self, func: Function, points_to=None, intervals=None):
+    def __init__(self, func: Function, points_to=None, intervals=None,
+                 bitwidth=None):
         self.func = func
         self.access = AccessPatternAnalysis(func)
         self.loop_info: LoopInfo = self.access.loop_info
@@ -76,6 +78,11 @@ class FunctionContext:
         )
         self.memdep = MemoryDependenceAnalysis(
             self.access, points_to=points_to, intervals=self.intervals
+        )
+        #: Instruction → proven width map for DFG construction (None keeps
+        #: type widths, e.g. when narrowing is disabled for A/B comparison).
+        self.widths = (
+            bitwidth.width_map(func) if bitwidth is not None else None
         )
         from ..analysis.cfg import reverse_postorder
 
@@ -119,6 +126,7 @@ class AcceleratorModel:
         coupled_only: bool = False,
         pipeline_innermost: bool = True,
         legality_prefilter: bool = True,
+        narrow_widths: bool = True,
     ):
         self.module = module
         self.profile = profile
@@ -129,25 +137,38 @@ class AcceleratorModel:
         self.coupled_only = coupled_only
         self.pipeline_innermost = pipeline_innermost
         self.legality_prefilter = legality_prefilter
+        #: ``False`` prices every DFG node at its type width (pre-bitwidth
+        #: behavior) — used for the bench ``area_narrowing`` comparison.
+        self.narrow_widths = narrow_widths
         #: Configurations rejected by the legality pre-filter, as
         #: ``(config, diagnostics)`` pairs — inspectable after a run.
         self.rejected_configs: List[Tuple[AcceleratorConfig, list]] = []
         self._contexts: Dict[Function, FunctionContext] = {}
         self._estimate_cache: Dict[Tuple, List[AcceleratorEstimate]] = {}
         # Module-level dataflow results shared by every function context:
-        # points-to backs may_alias, interval windows clamp footprints.
-        from ..dataflow import BoundsAnalysis, ModuleIntervalAnalysis, PointsToAnalysis
+        # points-to backs may_alias, interval windows clamp footprints,
+        # bitwidth narrows datapath operators to their proven widths.
+        from ..dataflow import (
+            BoundsAnalysis,
+            ModuleBitwidthAnalysis,
+            ModuleIntervalAnalysis,
+            PointsToAnalysis,
+        )
 
         self._intervals = ModuleIntervalAnalysis(module)
         self._points_to = PointsToAnalysis(module)
         self._bounds = BoundsAnalysis(module, self._intervals)
+        self._bitwidth = ModuleBitwidthAnalysis(module, self._intervals)
 
     # Context management ------------------------------------------------------
 
     def context(self, func: Function) -> FunctionContext:
         if func not in self._contexts:
             self._contexts[func] = FunctionContext(
-                func, points_to=self._points_to, intervals=self._intervals
+                func,
+                points_to=self._points_to,
+                intervals=self._intervals,
+                bitwidth=self._bitwidth if self.narrow_widths else None,
             )
         return self._contexts[func]
 
@@ -395,7 +416,9 @@ class AcceleratorModel:
                 continue
             loop = loop_plan.loop
             blocks = ctx.ordered_blocks(loop.blocks)
-            dfg = DFG.from_blocks(blocks, may_alias=ctx.may_alias)
+            dfg = DFG.from_blocks(
+                blocks, may_alias=ctx.may_alias, widths=ctx.widths
+            )
             if not dfg.nodes:
                 continue
             # Unrolled outer loops replicate this inner pipeline into lanes.
@@ -434,7 +457,9 @@ class AcceleratorModel:
             if block in pipelined_blocks:
                 continue
             count = profile.block_count(block)
-            dfg = DFG.from_blocks([block], may_alias=ctx.may_alias)
+            dfg = DFG.from_blocks(
+                [block], may_alias=ctx.may_alias, widths=ctx.widths
+            )
             if not dfg.nodes:
                 cycles += count  # control-only block: one FSM state
                 continue

@@ -563,6 +563,72 @@ def interp_elision_stats(names: Sequence[str]) -> Dict[str, Dict]:
     return stats
 
 
+# Datapath-narrowing area probe --------------------------------------------------
+
+
+def area_narrowing_stats(names: Sequence[str]) -> Dict[str, Dict]:
+    """Type-width vs bitwidth-proven datapath area, at equal latency.
+
+    Compiles each workload and prices every function's per-block DFGs
+    twice — once at type widths (``narrow_widths=False`` pricing) and once
+    at the bitwidth-proven widths — then list-schedules both variants.
+    Narrowing only shrinks operator area (delay is width-invariant at or
+    below 32 bits, see ``docs/bitwidth.md``), so the proven-width schedule
+    is expected to be exactly as long; ``latency_equal`` records that.
+    Every field is an exact count or a deterministic area sum, so the
+    whole section participates in ``compare_reports``.
+    """
+    from ..dataflow import ModuleBitwidthAnalysis
+    from ..frontend.lowering import compile_source
+    from ..hls.dfg import DFG
+    from ..hls.scheduling import AccessTiming, schedule_dfg
+    from ..hls.techlib import DEFAULT_TECHLIB
+
+    def timing(_node):
+        # Fixed contention-free access timing: identical for both variants,
+        # so any latency difference is attributable to operator widths.
+        return AccessTiming(latency=2, port=None)
+
+    stats: Dict[str, Dict] = {}
+    for name in names:
+        workload = get_workload(name)
+        module = compile_source(workload.source, workload.name)
+        bitwidth = ModuleBitwidthAnalysis(module)
+        int_ops = narrowed_ops = 0
+        type_area = proven_area = 0.0
+        latency_type = latency_proven = 0
+        for func in module.defined_functions():
+            summary = bitwidth.function_summary(func)
+            int_ops += int(summary["int_ops"])
+            narrowed_ops += int(summary["narrowed_ops"])
+            type_area += summary["type_area_um2"]
+            proven_area += summary["proven_area_um2"]
+            widths = bitwidth.width_map(func)
+            for block in func.blocks:
+                wide = DFG.from_blocks([block])
+                if not wide.nodes:
+                    continue
+                narrow = DFG.from_blocks([block], widths=widths)
+                latency_type += schedule_dfg(
+                    wide, DEFAULT_TECHLIB, timing
+                ).length
+                latency_proven += schedule_dfg(
+                    narrow, DEFAULT_TECHLIB, timing
+                ).length
+        saving = (1.0 - proven_area / type_area) if type_area else 0.0
+        stats[name] = {
+            "int_ops": int_ops,
+            "narrowed_ops": narrowed_ops,
+            "type_area_um2": round(type_area, 6),
+            "proven_area_um2": round(proven_area, 6),
+            "saving_pct": round(100.0 * saving, 3),
+            "latency_type": latency_type,
+            "latency_proven": latency_proven,
+            "latency_equal": latency_type == latency_proven,
+        }
+    return stats
+
+
 # BENCH_<tag>.json reports -------------------------------------------------------
 
 
@@ -572,6 +638,7 @@ def build_report(
     tag: str,
     wall_seconds: float,
     interp_elision: Optional[Dict[str, Dict]] = None,
+    area_narrowing: Optional[Dict[str, Dict]] = None,
 ) -> Dict:
     """The machine-readable bench payload (see docs/benchmarking.md)."""
     payload = {
@@ -591,6 +658,8 @@ def build_report(
     }
     if interp_elision is not None:
         payload["interp_elision"] = interp_elision
+    if area_narrowing is not None:
+        payload["area_narrowing"] = area_narrowing
     return payload
 
 
@@ -644,6 +713,18 @@ def compare_reports(left: Dict, right: Dict) -> List[str]:
                         f"interp_elision/{name}: {key} differs "
                         f"({a.get(key)} vs {b.get(key)})"
                     )
+    left_narrow = left.get("area_narrowing")
+    right_narrow = right.get("area_narrowing")
+    if left_narrow is not None and right_narrow is not None:
+        # Every field is deterministic (exact counts, frozen-techlib area
+        # sums, schedule lengths) — compare the whole per-workload dict.
+        for name in sorted(set(left_narrow) | set(right_narrow)):
+            a = left_narrow.get(name)
+            b = right_narrow.get(name)
+            if a is None or b is None:
+                problems.append(f"area_narrowing/{name}: in only one report")
+            elif a != b:
+                problems.append(f"area_narrowing/{name}: differs")
     return problems
 
 

@@ -7,6 +7,14 @@ historical blanket-``restrict`` aliasing model mishandles (it claims the
 arguments never alias, dropping a real loop-carried dependence).  The
 points-to analysis proves the overlap, and the sanitizing interpreter
 demonstrates the restrict model's unsoundness at runtime.
+
+``bitwidth-adversary`` stresses the bitwidth layer: an LCG whose state
+parity alternates every iteration (so no sound analysis may claim its low
+bit), mixed through shifts, xor, masking, negation and 64-bit widening.
+Run under ``--sanitize`` it must be violation-free; run with
+``--inject-unsound-bitwidth`` (which deliberately mis-claims one
+known-zero bit per instruction) the sanitizer must fail — demonstrating
+an unsound transfer function cannot slip through.
 """
 
 from .registry import Workload, register
@@ -40,6 +48,47 @@ int main() {
   init(96);
   smooth(out, buf, 96);
   smooth(buf, buf, 96);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="bitwidth-adversary",
+    suite="synthetic",
+    description=(
+        "alternating-parity LCG with shifts, xor, masking and 64-bit "
+        "mixing: every low bit is runtime-live, so any unsound known-bits "
+        "or demanded-bits claim is caught by the sanitizer"
+    ),
+    outputs=("mix",),
+    source="""
+int mix[64];
+
+int lcg_mix(int rounds) {
+  int s = 1;
+  int acc = 0;
+  for (int i = 0; i < rounds; i++) {
+    s = s * 5 + 3;
+    int masked = s & 255;
+    int doubled = i * 2;
+    int shifted = (s >> 3) ^ (masked << 2);
+    long wide = (long)s * 3;
+    int narrow = (int)wide;
+    int neg = 0 - masked;
+    if ((s & 1) == 1) {
+      acc = acc ^ (shifted + doubled);
+    } else {
+      acc = acc + (narrow ^ neg);
+    }
+  }
+  return acc;
+}
+
+int main() {
+  for (int i = 0; i < 64; i++) {
+    mix[i] = lcg_mix(i + 1);
+  }
   return 0;
 }
 """,

@@ -1,0 +1,99 @@
+"""Firing and clean cases for the bitwidth-backed rules IR009/AN005."""
+
+from repro.diagnostics import run_lint
+from repro.frontend.lowering import compile_source
+from repro.interp.profiler import profile_module
+
+
+def codes(source, rule, name="t", optimize=True, **lint_kwargs):
+    module = compile_source(source, name, optimize=optimize)
+    result = run_lint(module, rules={rule}, **lint_kwargs)
+    return [d.code for d in result.diagnostics]
+
+
+class TestProvableTruncation:
+    def test_fires_on_known_ones_above_destination(self):
+        source = """
+int A[4];
+int kernel() {
+  long big = ((long)3 << 40) + 7;
+  int small = (int)big;
+  A[0] = small;
+  return 0;
+}
+int main() { return kernel(); }
+"""
+        # optimize=False: the -O3 pipeline would constant-fold the whole
+        # kernel away, trunc included.
+        assert codes(source, "IR009", optimize=False) == ["IR009"]
+
+    def test_clean_when_discarded_bits_unknown(self):
+        # The high half of an unknown argument *may* be set — IR009
+        # reports definite violations only.
+        source = """
+int A[4];
+int kernel(long n) {
+  A[0] = (int)n;
+  return 0;
+}
+"""
+        assert codes(source, "IR009") == []
+
+    def test_clean_when_value_fits(self):
+        source = """
+int A[4];
+int kernel() {
+  long small = 1000;
+  A[0] = (int)small;
+  return 0;
+}
+int main() { return kernel(); }
+"""
+        assert codes(source, "IR009") == []
+
+    def test_silent_when_result_unobserved(self):
+        # Same provably lossy trunc, but nothing demands the result: a
+        # datapath that never reads the value cannot misbehave.
+        source = """
+int kernel() {
+  long big = ((long)3 << 40) + 7;
+  int dead = (int)big;
+  return 1;
+}
+int main() { return kernel(); }
+"""
+        assert codes(source, "IR009", optimize=False) == []
+
+
+NARROWABLE_SOURCE = """
+int A[64];
+int kernel(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + A[i]; }
+  return s;
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  return kernel(64);
+}
+"""
+
+
+class TestDatapathWiderThanProven:
+    def test_fires_with_profile(self):
+        module = compile_source(NARROWABLE_SOURCE, "t")
+        profile = profile_module(module, entry="main")
+        result = run_lint(module, profile=profile, rules={"AN005"})
+        found = [d for d in result.diagnostics if d.code == "AN005"]
+        assert found
+        assert all(d.severity.name == "INFO" for d in found)
+        # The aggregate message carries the narrowing-opportunity counts.
+        assert any("proven" in d.message for d in found)
+
+    def test_requires_profile(self):
+        # Without a profile the rule is skipped entirely — fast
+        # --no-profile runs stay silent and the rule is not "checked".
+        module = compile_source(NARROWABLE_SOURCE, "t")
+        result = run_lint(module, rules={"AN005"})
+        assert result.diagnostics == []
+        assert "AN005" not in result.checked_rules

@@ -87,7 +87,10 @@ class TestRunLint:
         assert "CF001" in result.checked_rules
         # merge rules run pairwise during merging, not from run_lint
         assert "CF004" not in result.checked_rules
-        assert result.diagnostics == []
+        # AN005 is an informational narrowing-opportunity report, expected
+        # on any program with narrowable datapath ops; nothing else fires.
+        assert [d for d in result.diagnostics if d.code != "AN005"] == []
+        assert all(d.severity.name == "INFO" for d in result.diagnostics)
 
     def test_clean_program_is_clean(self, compiled):
         assert run_lint(compiled).exit_code() == 0

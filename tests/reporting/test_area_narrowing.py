@@ -1,0 +1,79 @@
+"""Bench-level validation of the datapath-narrowing area probe.
+
+The acceptance bar for the bitwidth work: at least three PolyBench /
+MachSuite workloads must show strictly smaller estimated datapath area at
+equal schedule latency, and the ``area_narrowing`` section must be
+deterministic enough for ``--compare-to`` to exact-compare it.
+"""
+
+import json
+
+import pytest
+
+from repro.reporting.bench import (
+    EvaluationEngine,
+    FlowParams,
+    area_narrowing_stats,
+    build_report,
+    compare_reports,
+)
+
+# trisolv/bicg/mvt are PolyBench, nw is MachSuite.
+NARROWING_NAMES = ["trisolv", "bicg", "mvt", "nw"]
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return area_narrowing_stats(NARROWING_NAMES)
+
+
+class TestAreaNarrowingStats:
+    def test_every_workload_present(self, stats):
+        assert sorted(stats) == sorted(NARROWING_NAMES)
+
+    @pytest.mark.parametrize("name", NARROWING_NAMES)
+    def test_strictly_smaller_area_at_equal_latency(self, stats, name):
+        entry = stats[name]
+        assert entry["proven_area_um2"] < entry["type_area_um2"]
+        assert entry["latency_equal"]
+        assert entry["latency_type"] == entry["latency_proven"]
+
+    @pytest.mark.parametrize("name", NARROWING_NAMES)
+    def test_narrowed_op_counts_consistent(self, stats, name):
+        entry = stats[name]
+        assert 0 < entry["narrowed_ops"] <= entry["int_ops"]
+        assert 0.0 < entry["saving_pct"] < 100.0
+
+    def test_deterministic_across_recomputation(self, stats):
+        assert area_narrowing_stats(NARROWING_NAMES) == stats
+
+
+class TestAreaNarrowingInReports:
+    @pytest.fixture(scope="class")
+    def payload(self, stats):
+        engine = EvaluationEngine(FlowParams())
+        return build_report([], engine, "t", 0.0, area_narrowing=stats)
+
+    def test_section_included(self, payload, stats):
+        assert payload["area_narrowing"] == stats
+
+    def test_omitted_when_not_supplied(self):
+        engine = EvaluationEngine(FlowParams())
+        payload = build_report([], engine, "t", 0.0)
+        assert "area_narrowing" not in payload
+
+    def test_compare_identical_after_json_roundtrip(self, payload):
+        roundtrip = json.loads(json.dumps(payload))
+        assert compare_reports(payload, roundtrip) == []
+
+    def test_compare_detects_perturbed_field(self, payload):
+        tampered = json.loads(json.dumps(payload))
+        tampered["area_narrowing"]["trisolv"]["proven_area_um2"] += 0.001
+        problems = compare_reports(payload, tampered)
+        assert any("area_narrowing/trisolv" in p for p in problems)
+
+    def test_compare_detects_missing_workload(self, payload):
+        shrunk = json.loads(json.dumps(payload))
+        del shrunk["area_narrowing"]["nw"]
+        problems = compare_reports(payload, shrunk)
+        assert any("area_narrowing/nw" in p for p in problems)
