@@ -20,14 +20,24 @@ from .scalar_evolution import (
     SCEVAddRec,
     SCEVConstant,
     SCEVCouldNotCompute,
+    SCEVScaled,
     SCEVSum,
     SCEVUnknown,
     ScalarEvolution,
     scev_add,
+    scev_mul,
     scev_mul_const,
     scev_sub,
 )
 from .access_patterns import AccessInfo, AccessPatternAnalysis
+from .dependence import (
+    AffineAccess,
+    DependenceTester,
+    DependenceVector,
+    LatticeSet,
+    LevelEntry,
+    PairTestResult,
+)
 from .dot import cfg_to_dot, dfg_to_dot, wpst_to_dot
 from .memdep import Dependence, MemoryDependenceAnalysis
 
@@ -39,9 +49,11 @@ __all__ = [
     "ProgramStructureTree", "Region", "find_sese_regions",
     "WPST", "WPSTNode",
     "CNC", "SCEV", "SCEVAddRec", "SCEVConstant", "SCEVCouldNotCompute",
-    "SCEVSum", "SCEVUnknown", "ScalarEvolution",
-    "scev_add", "scev_mul_const", "scev_sub",
+    "SCEVScaled", "SCEVSum", "SCEVUnknown", "ScalarEvolution",
+    "scev_add", "scev_mul", "scev_mul_const", "scev_sub",
     "AccessInfo", "AccessPatternAnalysis",
+    "AffineAccess", "DependenceTester", "DependenceVector",
+    "LatticeSet", "LevelEntry", "PairTestResult",
     "cfg_to_dot", "dfg_to_dot", "wpst_to_dot",
     "Dependence", "MemoryDependenceAnalysis",
 ]

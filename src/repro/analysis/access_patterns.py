@@ -70,15 +70,18 @@ class AccessInfo:
     @property
     def is_stream(self) -> bool:
         """True when the address sequence is statically computable: a nest
-        of constant-step recurrences whose residual symbolic part is
-        invariant in every loop enclosing the access (an AGU can latch it
-        once per kernel invocation)."""
+        of affine recurrences whose steps and residual symbolic part are
+        invariant in every loop enclosing the access (an AGU can latch them
+        once per kernel invocation).  Steps may be symbolic — ``{0,+,n}`` for
+        a linearized ``A[i*n + j]`` is still a stream."""
         if self.base is None:
             return False
+        steps = []
         scev = self.offset
         while isinstance(scev, SCEVAddRec):
-            if scev.constant_step is None:
+            if not scev.step.is_affine:
                 return False
+            steps.append(scev.step)
             scev = scev.base
         if not scev.is_affine:
             return False
@@ -86,6 +89,8 @@ class AccessInfo:
             loop = self.loop_info.innermost_loop(self.inst.parent)
             while loop is not None:
                 if not scev.is_invariant_in(loop):
+                    return False
+                if any(not step.is_invariant_in(loop) for step in steps):
                     return False
                 loop = loop.parent
         return True
@@ -120,6 +125,24 @@ class AccessInfo:
         if not scev.is_affine:
             return None
         levels.reverse()  # peeling yields innermost-first; report outermost-first
+        return levels
+
+    def affine_addrec_levels(self) -> Optional[List]:
+        """The addrec nest as ``[(loop, step_scev)] `` outermost-first,
+        allowing loop-invariant *symbolic* steps, or None when the offset is
+        not an affine recurrence nest.  The byte-stride of a level is
+        ``step_scev``'s value — constant, or resolvable through an interval
+        analysis (see :mod:`repro.analysis.dependence`)."""
+        levels = []
+        scev = self.offset
+        while isinstance(scev, SCEVAddRec):
+            if not scev.step.is_affine:
+                return None
+            levels.append((scev.loop, scev.step))
+            scev = scev.base
+        if not scev.is_affine:
+            return None
+        levels.reverse()
         return levels
 
     def footprint_in(self, loop: Loop, trip_count: int) -> Optional[int]:

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from ..ir import Alloca, GlobalVariable, Load, Store
 from .access_patterns import AccessInfo, AccessPatternAnalysis
+from .dependence import DependenceTester, DependenceVector
 from .loops import Loop
 from .scalar_evolution import SCEVAddRec, SCEVConstant, scev_sub
 
@@ -39,11 +40,14 @@ from .scalar_evolution import SCEVAddRec, SCEVConstant, scev_sub
 class Dependence:
     """A loop-carried dependence between two possibly-overlapping accesses.
 
-    ``distance`` is the iteration distance when known (None = unknown, treat
-    as 1 for RecMII purposes, i.e. the tightest recurrence).  ``via_alias``
-    marks dependences between *distinct* base pointers that a points-to
-    analysis could not prove disjoint — the pairs the old blanket-restrict
-    model ignored entirely.
+    ``distance`` is the *proven minimal* iteration distance when known
+    (None = unknown, treat as 1 for RecMII purposes, i.e. the tightest
+    recurrence).  ``vector`` carries the per-level affine dependence vector
+    when the pair was decided by :class:`repro.analysis.dependence.
+    DependenceTester` (None for the conservative fallback paths).
+    ``via_alias`` marks dependences between *distinct* base pointers that a
+    points-to analysis could not prove disjoint — the pairs the old blanket-
+    restrict model ignored entirely.
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class Dependence:
         kind: str,
         distance: Optional[int],
         via_alias: bool = False,
+        vector: Optional[DependenceVector] = None,
     ):
         self.source = source          # earlier-iteration access (a store)
         self.sink = sink              # later-iteration access
@@ -61,6 +66,7 @@ class Dependence:
         self.kind = kind              # "flow" | "anti" | "output"
         self.distance = distance
         self.via_alias = via_alias
+        self.vector = vector
 
     @property
     def effective_distance(self) -> int:
@@ -112,7 +118,12 @@ class MemoryDependenceAnalysis:
     window-overlap disjointness test for accesses that sweep an inner-loop
     span each iteration; without it such pairs are conservatively carried.
     ``assume_restrict`` reinstates the unsound historical model in which
-    distinct pointer arguments never alias.
+    distinct pointer arguments never alias.  ``vector_distances`` (default
+    on) decides affine same-base pairs with the multi-subscript
+    :class:`repro.analysis.dependence.DependenceTester`, yielding proven
+    minimal distances and per-level dependence vectors; off, the legacy 1-D
+    stride/window tests decide everything (the before/after baseline used by
+    the ``pipeline_ii`` bench section).
     """
 
     def __init__(
@@ -121,12 +132,21 @@ class MemoryDependenceAnalysis:
         points_to=None,
         assume_restrict: bool = False,
         intervals=None,
+        vector_distances: bool = True,
     ):
         self.access = access_analysis
         self.loop_info = access_analysis.loop_info
         self.points_to = points_to
         self.assume_restrict = assume_restrict
         self.intervals = intervals
+        self.vector_distances = vector_distances
+        self._tester: Optional[DependenceTester] = None
+        self._carried_cache: dict = {}
+
+    def vector_tester(self) -> DependenceTester:
+        if self._tester is None:
+            self._tester = DependenceTester(self.loop_info, self.intervals)
+        return self._tester
 
     # Base-object disambiguation ---------------------------------------------
 
@@ -200,14 +220,14 @@ class MemoryDependenceAnalysis:
         peeled_a = self._peel_window(a, loop)
         peeled_b = self._peel_window(b, loop)
         if peeled_a is None or peeled_b is None:
-            return (None, False)
+            return (None, False, None)
         base_a, step_a, lo_a, hi_a = peeled_a
         base_b, step_b, lo_b, hi_b = peeled_b
         if step_a != step_b:
-            return (None, False)  # drifting windows may collide eventually
+            return (None, False, None)  # drifting windows may collide eventually
         delta = scev_sub(base_a, base_b)
         if not isinstance(delta, SCEVConstant):
-            return (None, False)
+            return (None, False, None)
         d0 = delta.value
         # Windows overlap at iteration distance k iff
         #   d0 + step*k + [lo_a, hi_a + size_a)  ∩  [lo_b, hi_b + size_b) ≠ ∅
@@ -217,7 +237,7 @@ class MemoryDependenceAnalysis:
         step = abs(step_a)
         if step == 0:
             # Same window every iteration: carried iff the windows overlap.
-            return (1, False) if low < 0 < high else None
+            return (1, False, None) if low < 0 < high else None
         # Integer multiples of ``step`` strictly inside (low, high).
         smallest = low // step + 1             # smallest k with step*k > low
         largest = -((-high) // step) - 1       # largest k with step*k < high
@@ -232,7 +252,7 @@ class MemoryDependenceAnalysis:
             candidates.append(max(1, smallest))
         if has_negative:
             candidates.append(-min(-1, largest))
-        return (min(candidates), False)
+        return (min(candidates), False, None)
 
     def _carried_distance(
         self, a: AccessInfo, b: AccessInfo, loop: Loop
@@ -240,18 +260,28 @@ class MemoryDependenceAnalysis:
         """Decide whether accesses ``a`` and ``b`` conflict across iterations.
 
         Returns None for "no loop-carried dependence", or ``(distance,
-        via_alias)`` where distance may itself be None for "carried with
-        unknown distance".
+        via_alias, vector)`` where distance may itself be None for "carried
+        with unknown distance" and ``vector`` is the affine dependence
+        vector when the multi-subscript test decided the pair.
         """
         overlap = self._bases_may_overlap(a, b)
         if overlap is None:
-            return (None, False)  # unknown base: conservative
+            return (None, False, None)  # unknown base: conservative
         if not overlap:
             return None
         if a.base is not b.base:
             # May-overlap through aliasing: offsets are relative to
             # different SSA pointers, so no distance arithmetic applies.
-            return (None, True)
+            return (None, True, None)
+        if self.vector_distances:
+            # Multi-subscript affine test: exact ZIV/SIV + GCD/Banerjee on
+            # residue lattices, covering inner-loop windows and symbolic
+            # strides the 1-D tests below give up on.
+            verdict = self.vector_tester().test_pair(a, b, loop)
+            if verdict is not None:
+                if verdict.independent:
+                    return None
+                return (verdict.distance, False, verdict.vector)
         if self._varies_inside(a, loop) or self._varies_inside(b, loop):
             # At least one access sweeps an inner-loop window on every
             # iteration of ``loop``; per-iteration distance arithmetic
@@ -263,7 +293,7 @@ class MemoryDependenceAnalysis:
         stride_a = a.stride_in(loop)
         stride_b = b.stride_in(loop)
         if stride_a is None or stride_b is None:
-            return (None, False)  # address varies unanalyzably within the loop
+            return (None, False, None)  # address varies unanalyzably within the loop
         delta = scev_sub(a.offset, b.offset)
         if not isinstance(delta, SCEVConstant):
             # Same base, offsets differ by a non-constant.  When the
@@ -277,28 +307,42 @@ class MemoryDependenceAnalysis:
             # it — can collide across iterations; assume carried.
             if stride_a == stride_b and delta.is_invariant_in(loop):
                 return None
-            return (None, False)
+            return (None, False, None)
         diff = delta.value
         if stride_a != stride_b:
             # Different strides with constant offset difference can collide
             # at some iteration pair; be conservative.
-            return (None, False)
+            return (None, False, None)
         stride = stride_a
+        # Byte ranges overlap at iteration distance k iff
+        #   diff + stride*k ∈ [-(size_a-1), size_b-1]
+        # — checking plain address equality (diff % stride == 0) would miss
+        # partial element overlaps, and floor-dividing before taking the
+        # absolute value mishandles descending (negative-stride) loops.
+        w_lo = -(a.element_size - 1)
+        w_hi = b.element_size - 1
         if stride == 0:
             # Same fixed address every iteration (e.g. z[i] in the j-loop).
-            return (1, False) if diff == 0 else None
-        if diff == 0:
-            return None  # same address only within the same iteration
-        if diff % stride == 0:
-            distance = abs(diff // stride)
-            return (distance, False)
-        return None
+            return (1, False, None) if w_lo <= diff <= w_hi else None
+        best = None
+        for target in range(w_lo, w_hi + 1):
+            num = target - diff
+            if num % stride:
+                continue
+            k = num // stride  # exact: sign-safe for descending loops
+            if k != 0:
+                best = abs(k) if best is None else min(best, abs(k))
+        return None if best is None else (best, False, None)
 
     # Dependence enumeration --------------------------------------------------
 
     def loop_carried(self, loop: Loop) -> List[Dependence]:
         """All loop-carried dependencies of ``loop`` (at any nesting depth
-        inside it), involving at least one store."""
+        inside it), involving at least one store.  Memoized — estimation,
+        lint, and the sanitizer all re-query the same loops."""
+        cached = self._carried_cache.get(loop)
+        if cached is not None:
+            return cached
         accesses = [
             self.access.info(inst)
             for block in loop.blocks
@@ -313,14 +357,17 @@ class MemoryDependenceAnalysis:
                 result = self._carried_distance(first, second, loop)
                 if result is None:
                     continue
-                distance, via_alias = result
+                distance, via_alias, vector = result
                 source, sink = (first, second) if first.is_store else (second, first)
+                if vector is not None and source is second:
+                    vector = vector.flipped()
                 deps.append(
                     Dependence(
                         source, sink, loop, _classify(source, sink),
-                        distance, via_alias,
+                        distance, via_alias, vector,
                     )
                 )
+        self._carried_cache[loop] = deps
         return deps
 
     def has_loop_carried_dependence(self, loop: Loop) -> bool:

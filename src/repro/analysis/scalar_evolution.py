@@ -116,10 +116,10 @@ class SCEVAddRec(SCEV):
 
     @property
     def is_affine(self) -> bool:
-        return (
-            isinstance(self.step, SCEVConstant)
-            and self.base.is_affine
-        )
+        # A symbolic step is still affine as long as it is itself within the
+        # affine fragment: the recurrence advances by a loop-invariant amount
+        # (e.g. ``{0,+,n}`` for a linearized ``A[i*n + j]`` row stride).
+        return self.step.is_affine and self.base.is_affine
 
     @property
     def constant_step(self) -> Optional[int]:
@@ -233,22 +233,53 @@ class SCEVSum(SCEV):
         return "(" + " + ".join(parts) + ")"
 
 
+def _accumulate_linear(part: SCEV, factor: int, coeffs, order) -> Optional[int]:
+    """Fold ``factor * part`` into a coefficient map over symbolic values.
+
+    Returns the constant contribution, or None when ``part`` falls outside
+    the linear fragment (constants, unknowns, scaled unknowns, sums)."""
+    if isinstance(part, SCEVConstant):
+        return factor * part.value
+    if isinstance(part, SCEVUnknown):
+        key = id(part.value)
+        if key not in coeffs:
+            order.append(part)
+        coeffs[key] = coeffs.get(key, 0) + factor
+        return 0
+    if isinstance(part, SCEVScaled):
+        return _accumulate_linear(part.inner, factor * part.factor, coeffs, order)
+    if isinstance(part, SCEVSum):
+        constant = factor * part.constant
+        for term in part.terms:
+            inner = _accumulate_linear(term, factor, coeffs, order)
+            if inner is None:
+                return None
+            constant += inner
+        return constant
+    return None
+
+
 def _symbolic_sum(a: SCEV, b: SCEV) -> SCEV:
-    terms = []
+    """Canonical linear combination: coefficients are folded per symbolic
+    value so equal terms cancel (``n - n`` → 0, ``2n + n`` → ``3n``)."""
+    coeffs: Dict[int, int] = {}
+    order: list = []
     constant = 0
     for part in (a, b):
-        if isinstance(part, SCEVConstant):
-            constant += part.value
-        elif isinstance(part, SCEVUnknown):
-            terms.append(part)
-        elif isinstance(part, SCEVSum):
-            terms.extend(part.terms)
-            constant += part.constant
-        else:
+        inner = _accumulate_linear(part, 1, coeffs, order)
+        if inner is None:
             return CNC
-    terms.sort(key=lambda t: id(t.value))
+        constant += inner
+    terms = []
+    for unknown in sorted(order, key=lambda t: id(t.value)):
+        coeff = coeffs[id(unknown.value)]
+        if coeff == 0:
+            continue
+        terms.append(unknown if coeff == 1 else SCEVScaled(unknown, coeff))
     if not terms:
         return SCEVConstant(constant)
+    if len(terms) == 1 and constant == 0:
+        return terms[0]
     return SCEVSum(terms, constant)
 
 
@@ -270,6 +301,8 @@ def scev_mul_const(a: SCEV, factor: int) -> SCEV:
         # Scaled symbolic sums leave the representable fragment unless there
         # is a single term with zero constant; keep it simple and symbolic.
         return SCEVScaled(a, factor)
+    if isinstance(a, SCEVScaled):
+        return scev_mul_const(a.inner, a.factor * factor)
     if isinstance(a, SCEVUnknown):
         return SCEVScaled(a, factor)
     return CNC
@@ -305,6 +338,32 @@ class SCEVScaled(SCEV):
 
 def scev_sub(a: SCEV, b: SCEV) -> SCEV:
     return scev_add(a, scev_mul_const(b, -1))
+
+
+def scev_mul(a: SCEV, b: SCEV) -> Optional[SCEV]:
+    """Product within the affine fragment, or None when not representable.
+
+    Beyond constant scaling this distributes a recurrence by a loop-invariant
+    symbolic factor — ``{0,+,1}<i> * n`` becomes ``{0,+,n}<i>`` — which is
+    what classifies linearized subscripts like ``A[i*n + j]`` as affine.
+    Products of two symbolic values (or two recurrences) stay opaque."""
+    if isinstance(a, SCEVCouldNotCompute) or isinstance(b, SCEVCouldNotCompute):
+        return CNC
+    if isinstance(a, SCEVConstant):
+        return scev_mul_const(b, a.value)
+    if isinstance(b, SCEVConstant):
+        return scev_mul_const(a, b.value)
+    if isinstance(a, SCEVAddRec) and isinstance(b, SCEVAddRec):
+        return None  # quadratic in the induction variables
+    if isinstance(b, SCEVAddRec):
+        a, b = b, a
+    if isinstance(a, SCEVAddRec) and b.is_affine and b.is_invariant_in(a.loop):
+        base = scev_mul(a.base, b)
+        step = scev_mul(a.step, b)
+        if base is None or step is None:
+            return None
+        return make_addrec(a.loop, base, step)
+    return None  # symbolic x symbolic
 
 
 class ScalarEvolution:
@@ -343,12 +402,9 @@ class ScalarEvolution:
             if value.opcode == "sub":
                 return scev_sub(self.scev_of(value.lhs), self.scev_of(value.rhs))
             if value.opcode == "mul":
-                lhs = self.scev_of(value.lhs)
-                rhs = self.scev_of(value.rhs)
-                if isinstance(rhs, SCEVConstant):
-                    return scev_mul_const(lhs, rhs.value)
-                if isinstance(lhs, SCEVConstant):
-                    return scev_mul_const(rhs, lhs.value)
+                product = scev_mul(self.scev_of(value.lhs), self.scev_of(value.rhs))
+                if product is not None:
+                    return product
                 return self._opaque(value)
             if value.opcode == "shl":
                 rhs = self.scev_of(value.rhs)

@@ -182,6 +182,7 @@ def _cmd_exec(args) -> int:
             assume_restrict=args.assume_restrict,
             fail_fast=False,
             inject_unsound_bitwidth=args.inject_unsound_bitwidth,
+            inject_unsound_dependence=args.inject_unsound_dependence,
         )
         try:
             result = interp.run(args.entry, entry_args)
@@ -252,6 +253,107 @@ def _cmd_bitwidth(args) -> int:
     return 0
 
 
+def _cmd_deps(args) -> int:
+    import json
+
+    from .dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+    from .frontend import compile_source
+    from .model.estimator import FunctionContext
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    module = compile_source(source, name, optimize=not args.no_opt)
+    intervals = ModuleIntervalAnalysis(module)
+    points_to = PointsToAnalysis(module)
+
+    def access_label(info):
+        inst_name = info.inst.name or "?"
+        base = getattr(info.base, "name", None) or "?"
+        return f"{info.inst.opcode} %{inst_name}[{base}]"
+
+    report = {"program": name, "functions": []}
+    for func in module.defined_functions():
+        ctx = FunctionContext(func, points_to=points_to, intervals=intervals)
+        func_entry = {"name": func.name, "loops": []}
+        for loop in sorted(ctx.loop_info.loops, key=lambda l: l.name):
+            deps = []
+            for dep in ctx.memdep.loop_carried(loop):
+                vector = dep.vector
+                deps.append({
+                    "kind": dep.kind,
+                    "source": access_label(dep.source),
+                    "sink": access_label(dep.sink),
+                    "distance": dep.distance,
+                    "exact": vector.exact if vector is not None else False,
+                    "via_alias": dep.via_alias,
+                    "vector": str(vector) if vector is not None else None,
+                    "levels": [
+                        {
+                            "loop": entry.loop.name,
+                            "direction": entry.direction,
+                            "distance": entry.distance,
+                            "exact": entry.exact,
+                        }
+                        for entry in (vector.entries if vector else ())
+                    ],
+                })
+            func_entry["loops"].append({
+                "name": loop.name,
+                "depth": loop.depth,
+                "innermost": loop.is_innermost,
+                "deps": deps,
+            })
+        report["functions"].append(func_entry)
+
+    carried = sum(
+        len(loop["deps"]) for f in report["functions"] for loop in f["loops"]
+    )
+    proven = sum(
+        1 for f in report["functions"] for loop in f["loops"]
+        for d in loop["deps"] if d["distance"] is not None
+    )
+    exact = sum(
+        1 for f in report["functions"] for loop in f["loops"]
+        for d in loop["deps"] if d["vector"] is not None and d["exact"]
+    )
+    report["summary"] = {
+        "carried_deps": carried, "proven_distance": proven,
+        "exact_vectors": exact,
+    }
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    for func_entry in report["functions"]:
+        loops = func_entry["loops"]
+        if not loops:
+            continue
+        print(f"@{func_entry['name']}")
+        for loop in loops:
+            inner = " innermost" if loop["innermost"] else ""
+            print(f"  loop {loop['name']} (depth {loop['depth']}{inner})")
+            if not loop["deps"]:
+                print("    no carried dependences")
+                continue
+            for d in loop["deps"]:
+                dist = "?" if d["distance"] is None else str(d["distance"])
+                vec = d["vector"] or "-"
+                tags = []
+                if d["exact"]:
+                    tags.append("exact")
+                if d["via_alias"]:
+                    tags.append("via-alias")
+                tag = f"  [{', '.join(tags)}]" if tags else ""
+                print(f"    {d['kind']:6} {d['source']} -> {d['sink']}  "
+                      f"vector {vec}  distance {dist}{tag}")
+    s = report["summary"]
+    print(f"deps: {s['carried_deps']} carried, "
+          f"{s['proven_distance']} with proven distance, "
+          f"{s['exact_vectors']} exact vectors")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .diagnostics import render_json, render_text, run_lint
     from .frontend import compile_source
@@ -318,6 +420,7 @@ def _cmd_bench(args) -> int:
         default_tag,
         interp_elision_stats,
         load_report,
+        pipeline_ii_stats,
         write_report,
     )
     from .workloads import all_workloads
@@ -362,10 +465,16 @@ def _cmd_bench(args) -> int:
         # bounded the same way as the elision probe.
         narrowing = area_narrowing_stats(names[: args.area_narrowing_count])
 
+    pipeline_ii = None
+    if not args.no_pipeline_ii:
+        # Legacy windowed vs dependence-vector pipeline II at equal area,
+        # bounded the same way as the other probes.
+        pipeline_ii = pipeline_ii_stats(names[: args.pipeline_ii_count])
+
     tag = args.tag or default_tag(params)
     payload = build_report(
         records, engine, tag=tag, wall_seconds=wall, interp_elision=elision,
-        area_narrowing=narrowing,
+        area_narrowing=narrowing, pipeline_ii=pipeline_ii,
     )
     path = write_report(payload, directory=args.output_dir)
 
@@ -401,6 +510,12 @@ def _cmd_bench(args) -> int:
             print(f"narrow aggregate: {total_type:.0f} -> {total_proven:.0f} "
                   f"um2 datapath FU area "
                   f"(-{100.0 * (1.0 - total_proven / total_type):.1f}%)")
+    if pipeline_ii:
+        for name, stat in pipeline_ii.items():
+            print(f"pipeii {name}: II {stat['ii_before_total']} -> "
+                  f"{stat['ii_after_total']} over {stat['pipelined_loops']} "
+                  f"pipelined loops ({stat['improved_loops']} improved, "
+                  f"equal area)")
     stats = engine.cache_stats()
     print(f"\n{len(records)} workloads in {wall:.2f}s "
           f"(jobs={args.jobs}, cache hits {stats['hits']}, "
@@ -548,7 +663,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --sanitize: deliberately mis-claim one "
                             "known-zero bit per instruction (self-test; "
                             "the run must report violations)")
+    exec_.add_argument("--inject-unsound-dependence", action="store_true",
+                       help="with --sanitize: deliberately inflate every "
+                            "claimed carried-dependence distance by one "
+                            "(self-test; the run must report violations)")
     exec_.set_defaults(func=_cmd_exec)
+
+    deps = sub.add_parser(
+        "deps",
+        help="dependence-vector table per loop nest",
+        description=(
+            "Run the affine dependence-vector analysis and print, per "
+            "function and loop, every loop-carried memory dependence with "
+            "its per-level direction/distance vector and the proven "
+            "minimal carried distance."
+        ),
+    )
+    deps.add_argument("source", nargs="?")
+    deps.add_argument("--workload", help="analyze a registered benchmark")
+    deps.add_argument("--no-opt", action="store_true",
+                      help="analyze the unoptimized IR")
+    deps.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    deps.set_defaults(func=_cmd_deps)
 
     bitwidth = sub.add_parser(
         "bitwidth",
@@ -611,6 +748,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="probe type-width vs proven-width datapath "
                             "area on the first N workloads (default 4)")
+    bench.add_argument("--no-pipeline-ii", action="store_true",
+                       help="skip the dependence-vector pipeline-II probe")
+    bench.add_argument("--pipeline-ii-count", type=int, default=6,
+                       metavar="N",
+                       help="probe windowed vs dependence-vector pipeline "
+                            "II on the first N workloads (default 6)")
     bench.set_defaults(func=_cmd_bench)
 
     bench_list = sub.add_parser("bench-list", help="list benchmark workloads")

@@ -60,14 +60,17 @@ def check_cold_regions(ctx) -> Iterator[Diagnostic]:
     severity=Severity.ERROR,
     description=(
         "Access classified as a stream although its address is not an "
-        "affine recurrence nest — a decoupled AGU cannot generate it."
+        "affine recurrence nest — a decoupled AGU cannot generate it.  "
+        "Loop-invariant symbolic steps are affine (an AGU strides by a "
+        "runtime-loaded register); only genuinely non-affine offsets "
+        "(data-dependent indices, non-invariant steps) are flagged."
     ),
     paper_ref="§III-C (decoupled interfaces are legal only for streams)",
 )
 def check_stream_classification(ctx) -> Iterator[Diagnostic]:
     for func in ctx.module.defined_functions():
         for access in ctx.access(func).accesses():
-            if access.is_stream and access.addrec_levels() is None:
+            if access.is_stream and access.affine_addrec_levels() is None:
                 inst = access.inst
                 yield Diagnostic(
                     code="AN002",
@@ -194,6 +197,55 @@ def check_footprint_bounds(ctx) -> Iterator[Diagnostic]:
                             "window instead of the SCEV footprint"
                         ),
                     )
+
+
+@rule(
+    "AN006",
+    "pipeline-ii-bound-by-unproven-dependence",
+    layer="analysis",
+    severity=Severity.INFO,
+    description=(
+        "An innermost (pipelining-candidate) loop carries a flow "
+        "dependence whose distance the affine dependence-vector analysis "
+        "could not prove: the recurrence must be scheduled at distance 1, "
+        "so the pipeline II is bound by the full recurrence latency.  "
+        "Proving the distance (constant subscripts, interprocedurally "
+        "resolvable parameters) would divide the recurrence II by it."
+    ),
+    paper_ref="§III-C (recurrence II = ceil(latency / distance))",
+    requires=("profile",),
+)
+def check_unproven_recurrence_distance(ctx) -> Iterator[Diagnostic]:
+    for func in ctx.module.defined_functions():
+        memdep = ctx.memdep(func)
+        for loop in ctx.loop_info(func).loops:
+            if not loop.is_innermost:
+                continue
+            for dep in memdep.recurrence_deps(loop):
+                if dep.distance is not None:
+                    continue
+                inst = dep.sink.inst
+                yield Diagnostic(
+                    code="AN006",
+                    severity=Severity.INFO,
+                    location=Location(
+                        function=func.name,
+                        block=inst.parent.name if inst.parent else None,
+                        instruction=inst.ref,
+                        detail=f"loop {loop.name}",
+                    ),
+                    message=(
+                        f"pipeline II of loop {loop.name} is bound by a "
+                        "carried flow dependence of unproven distance "
+                        "(scheduled at distance 1)"
+                    ),
+                    suggestion=(
+                        "make the subscripts affine in the loop counters "
+                        "(or the strides interprocedurally constant) so "
+                        "the dependence-vector analysis can prove the "
+                        "minimal distance"
+                    ),
+                )
 
 
 #: AN005 reports a function when an integer datapath op's type width is at

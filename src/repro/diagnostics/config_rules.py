@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
-from ..hls.transform import unroll_legal
+from ..hls.transform import max_safe_unroll, unroll_legal
 from ..ir import Call
 from .core import Diagnostic, Location, Severity
 from .registry import rule
@@ -59,8 +59,11 @@ def _trip_count(loop, env: ConfigRuleEnv) -> Optional[float]:
     layer="config",
     severity=Severity.ERROR,
     description=(
-        "Configuration unrolls a loop that has a loop-carried dependence; "
-        "replicated iterations would race on the dependence."
+        "Configuration unrolls a loop beyond what its loop-carried "
+        "dependences permit; replicated iterations would race on the "
+        "dependence.  Factor-aware: a carried dependence with a proven "
+        "minimal distance ≥ the unroll factor is legal (the dependence "
+        "crosses unrolled groups)."
     ),
     paper_ref="§III-C (unroll only loops without carried dependencies)",
 )
@@ -68,7 +71,7 @@ def check_unroll_legality(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
     for plan in config.loop_plans.values():
         if plan.unroll <= 1:
             continue
-        if not unroll_legal(plan.loop, env.memdep):
+        if not unroll_legal(plan.loop, env.memdep, plan.unroll):
             yield Diagnostic(
                 code="CF001",
                 severity=Severity.ERROR,
@@ -79,6 +82,44 @@ def check_unroll_legality(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
                     "carries a dependence between iterations"
                 ),
                 suggestion="unroll an enclosing dependence-free loop instead",
+            )
+
+
+@rule(
+    "IR010",
+    "unroll-factor-breaks-carried-dependence",
+    layer="config",
+    severity=Severity.ERROR,
+    description=(
+        "Unroll factor exceeds the proven minimal distance of a carried "
+        "memory dependence: iterations t..t+F-1 run as one parallel group, "
+        "so a dependence spanning fewer than F iterations would be "
+        "violated inside the group.  The limit is the smallest distance "
+        "the affine dependence-vector analysis proved (1 for dependences "
+        "of unknown distance)."
+    ),
+    paper_ref="§III-C (unrolling legality from dependence distances)",
+)
+def check_unroll_distance(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    for plan in config.loop_plans.values():
+        if plan.unroll <= 1:
+            continue
+        limit = max_safe_unroll(plan.loop, env.memdep)
+        if limit is not None and plan.unroll > limit:
+            yield Diagnostic(
+                code="IR010",
+                severity=Severity.ERROR,
+                location=_loop_loc(config, plan.loop,
+                                   f"unroll x{plan.unroll} > distance {limit}"),
+                message=(
+                    f"unroll factor {plan.unroll} of loop {plan.loop.name} "
+                    f"exceeds the proven minimal carried-dependence "
+                    f"distance {limit}"
+                ),
+                suggestion=(
+                    f"cap the factor at {limit}, or unroll an enclosing "
+                    "dependence-free loop instead"
+                ),
             )
 
 

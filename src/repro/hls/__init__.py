@@ -34,6 +34,7 @@ from .scheduling import (
 from .pipeline import PipelineResult, pipeline_loop, recurrence_mii, resource_mii
 from .transform import (
     CANDIDATE_UNROLL_FACTORS,
+    max_safe_unroll,
     UnrolledLoop,
     legal_unroll_factors,
     unroll_dfg,
@@ -59,7 +60,7 @@ __all__ = [
     "functional_unit_usage", "register_bits", "schedule_dfg",
     "PipelineResult", "pipeline_loop", "recurrence_mii", "resource_mii",
     "CANDIDATE_UNROLL_FACTORS", "UnrolledLoop", "legal_unroll_factors",
-    "unroll_dfg", "unroll_legal",
+    "max_safe_unroll", "unroll_dfg", "unroll_legal",
     "AreaBreakdown", "pipelined_datapath_area", "sequential_datapath_area",
     "ControlFSM", "ControlPlan", "GlobalControlUnit",
     "SynthesisReport",

@@ -33,12 +33,37 @@ class UnrolledLoop:
     residual_trip_factor: float  # trip count multiplier (1/factor)
 
 
-def unroll_legal(loop: Loop, memdep: MemoryDependenceAnalysis) -> bool:
-    """A loop may be unrolled iff it has no loop-carried dependence.
+def max_safe_unroll(loop: Loop, memdep: MemoryDependenceAnalysis) -> Optional[int]:
+    """Largest unroll factor the carried *memory* dependences permit.
+
+    Unrolling by ``F`` packs iterations ``t..t+F-1`` into one parallel
+    group, so it is legal only when every carried dependence spans at least
+    ``F`` iterations.  Proven minimal distances (the affine dependence
+    vectors) bound that: the answer is the smallest proven distance, 1 for
+    any dependence of unknown distance, or None when the loop carries no
+    memory dependence at all (unlimited).
+    """
+    limit: Optional[int] = None
+    for dep in memdep.loop_carried(loop):
+        distance = dep.distance if dep.distance is not None else 1
+        limit = distance if limit is None else min(limit, distance)
+    return limit
+
+
+def unroll_legal(
+    loop: Loop,
+    memdep: MemoryDependenceAnalysis,
+    factor: Optional[int] = None,
+) -> bool:
+    """Whether ``loop`` may be unrolled (by ``factor``, when given).
 
     Two dependence classes are checked:
 
-    * **memory**: no loop-carried memory dependence (paper §III-C);
+    * **memory**: without a concrete ``factor``, the loop must carry no
+      memory dependence at all (paper §III-C); with one, carried
+      dependences whose *proven* minimal distance is ≥ ``factor`` still
+      admit the unroll — the dependence then crosses unrolled groups and
+      survives as a (longer-latency-budget) inter-group recurrence;
     * **SSA**: every header-phi recurrence must be a *reassociable
       reduction* — the back-edge value applies an associative/commutative
       operator directly to the phi (``s += ...``, ``p *= ...``, and the
@@ -46,7 +71,8 @@ def unroll_legal(loop: Loop, memdep: MemoryDependenceAnalysis) -> bool:
       an IIR filter (``s = a*x + (1-a)*s``) cannot be split into parallel
       lanes and block unrolling.
     """
-    if memdep.has_loop_carried_dependence(loop):
+    limit = max_safe_unroll(loop, memdep)
+    if limit is not None and (factor is None or factor > limit):
         return False
     return _ssa_recurrences_reassociable(loop)
 
@@ -89,13 +115,16 @@ def legal_unroll_factors(
     """Unroll factors worth trying for ``loop``.
 
     Illegal loops only get factor 1.  Factors above the (known) trip count
-    are pointless and dropped.
+    or above the proven carried-dependence distance are pointless/illegal
+    and dropped.
     """
-    if not unroll_legal(loop, memdep):
+    if not _ssa_recurrences_reassociable(loop):
         return [1]
+    limit = max_safe_unroll(loop, memdep)
     factors = [
         f for f in CANDIDATE_UNROLL_FACTORS
-        if trip_count is None or trip_count <= 0 or f <= max(1, trip_count)
+        if (trip_count is None or trip_count <= 0 or f <= max(1, trip_count))
+        and (limit is None or f <= limit)
     ]
     return factors or [1]
 

@@ -88,6 +88,7 @@ class SanitizingInterpreter(Interpreter):
         assume_restrict: bool = False,
         fail_fast: bool = True,
         inject_unsound_bitwidth: bool = False,
+        inject_unsound_dependence: bool = False,
     ):
         super().__init__(
             module, memory_size, max_instructions, profile, bounds=None
@@ -95,6 +96,7 @@ class SanitizingInterpreter(Interpreter):
         self.assume_restrict = assume_restrict
         self.fail_fast = fail_fast
         self.inject_unsound_bitwidth = inject_unsound_bitwidth
+        self.inject_unsound_dependence = inject_unsound_dependence
         self.violations: List[str] = []
         self.notes: List[str] = []
         self._seen: Set[Tuple] = set()
@@ -145,11 +147,33 @@ class SanitizingInterpreter(Interpreter):
                 "mis-claimed per instruction (sanitizer self-test)"
             )
 
+        if inject_unsound_dependence:
+            # Adversarial self-test: over-claim every carried-dependence
+            # distance by one.  "Proven minimal distance d" promises no
+            # conflict closer than d iterations; any workload whose real
+            # recurrence runs at exactly its claimed distance must now trip
+            # the distance check — proving the sanitizer would catch an
+            # unsound dependence-vector test.
+            for loop, claims in self._dep_claims.items():
+                for key in list(claims):
+                    claims[key] += 1
+            self.notes.append(
+                "inject-unsound-dependence: every claimed carried-"
+                "dependence distance deliberately inflated by one "
+                "(sanitizer self-test)"
+            )
+
         # Runtime trackers.
         self._loop_iter: Dict[Loop, int] = {}
         self._last_write: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
         self._last_read: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
         self._touched: Dict = {}  # base value → set of byte addresses
+        #: (loop, dep pair) → smallest carried distance observed at runtime;
+        #: soundness demands claimed ≤ every entry here (the property tests
+        #: and the ``deps`` report consume this trace).
+        self.observed_distances: Dict[
+            Tuple[Loop, FrozenSet[Instruction]], int
+        ] = {}
 
         # Stats for reporting.
         self.values_checked = 0
@@ -384,6 +408,10 @@ class SanitizingInterpreter(Interpreter):
             return
         self.conflicts_observed += 1
         key = frozenset((earlier, later))
+        trace_key = (loop, key)
+        prior = self.observed_distances.get(trace_key)
+        if prior is None or distance < prior:
+            self.observed_distances[trace_key] = distance
         claimed = claims.get(key)
         if claimed is None:
             self._violation(

@@ -54,7 +54,7 @@ from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 #: heuristics, cost-table updates, scheduling changes, ...): it is part of the
 #: bench harness's persistent cache key, so bumping it invalidates every
 #: cached evaluation record.
-ESTIMATOR_VERSION = "3"
+ESTIMATOR_VERSION = "4"
 
 
 class FunctionContext:
@@ -68,7 +68,7 @@ class FunctionContext:
     """
 
     def __init__(self, func: Function, points_to=None, intervals=None,
-                 bitwidth=None):
+                 bitwidth=None, vector_distances: bool = True):
         self.func = func
         self.access = AccessPatternAnalysis(func)
         self.loop_info: LoopInfo = self.access.loop_info
@@ -76,8 +76,12 @@ class FunctionContext:
         self.intervals = (
             intervals.for_function(func) if intervals is not None else None
         )
+        #: ``vector_distances=False`` falls back to the 1-D windowed distance
+        #: test (pre-dependence-vector behavior) — the "before" variant of
+        #: the bench ``pipeline_ii`` comparison.
         self.memdep = MemoryDependenceAnalysis(
-            self.access, points_to=points_to, intervals=self.intervals
+            self.access, points_to=points_to, intervals=self.intervals,
+            vector_distances=vector_distances,
         )
         #: Instruction → proven width map for DFG construction (None keeps
         #: type widths, e.g. when narrowing is disabled for A/B comparison).
@@ -107,6 +111,44 @@ class FunctionContext:
 
     def ordered_blocks(self, blocks) -> List:
         return sorted(blocks, key=lambda b: self.rpo_index.get(b, 1 << 30))
+
+
+def loop_recurrences(
+    loop: Loop, dfg: DFG, ctx: FunctionContext, unroll_factor: int = 1
+) -> List[Tuple[DFGNode, DFGNode, int]]:
+    """Recurrence triples ``(load_node, store_node, distance)`` of ``loop``.
+
+    Memory recurrences carry the *proven minimal* dependence distance
+    (``Dependence.effective_distance``, 1 when unproven): a recurrence of
+    latency L at distance d only forces II ≥ ceil(L / d).  When the loop is
+    unrolled, distances are re-expressed in groups of ``unroll_factor``
+    iterations.  SSA recurrences through header phis (promoted accumulators)
+    are always distance 1.
+    """
+    node_of: Dict[Instruction, DFGNode] = {}
+    for node in dfg.nodes:
+        node_of.setdefault(node.inst, node)
+    result: List[Tuple[DFGNode, DFGNode, int]] = []
+    for dep in ctx.memdep.recurrence_deps(loop):
+        store_node = node_of.get(dep.source.inst)
+        load_node = node_of.get(dep.sink.inst)
+        if store_node is not None and load_node is not None:
+            distance = max(1, dep.effective_distance // max(1, unroll_factor))
+            result.append((load_node, store_node, distance))
+    # The path from the phi's first consumer to the back-edge definition
+    # must fit within one II (distance 1).
+    for phi in loop.header.phis():
+        for value, pred in phi.incoming():
+            if pred not in loop.blocks:
+                continue
+            back_node = node_of.get(value) if isinstance(value, Instruction) else None
+            if back_node is None:
+                continue
+            for user in phi.users:
+                start = node_of.get(user)
+                if start is not None:
+                    result.append((start, back_node, 1))
+    return result
 
 
 class AcceleratorModel:
@@ -286,7 +328,9 @@ class AcceleratorModel:
                     continue
                 candidate: Optional[Loop] = loop
                 while candidate is not None and candidate in loop_set:
-                    if unroll_legal(candidate, ctx.memdep):
+                    # Factor-aware legality: a carried dependence with a
+                    # proven distance ≥ factor still admits this unroll.
+                    if unroll_legal(candidate, ctx.memdep, factor):
                         if self.profile.trip_count(candidate) >= factor:
                             loop_plans[candidate].unroll = factor
                         break
@@ -426,7 +470,7 @@ class AcceleratorModel:
                 loop, config.loop_plans
             )
             unrolled = dfg.replicate(replication)
-            recurrences = self._recurrences(loop, unrolled, ctx)
+            recurrences = self._recurrences(loop, unrolled, ctx, loop_plan.unroll)
             result = pipeline_loop(unrolled, techlib, timing, ports, recurrences)
             entries = profile.loop_entries(loop)
             iterations = profile.loop_iterations(loop) / replication
@@ -544,32 +588,9 @@ class AcceleratorModel:
         ]
 
     def _recurrences(
-        self, loop: Loop, dfg: DFG, ctx: FunctionContext
+        self, loop: Loop, dfg: DFG, ctx: FunctionContext, unroll_factor: int = 1
     ) -> List[Tuple[DFGNode, DFGNode, int]]:
-        node_of: Dict[Instruction, DFGNode] = {}
-        for node in dfg.nodes:
-            node_of.setdefault(node.inst, node)
-        result = []
-        for dep in ctx.memdep.recurrence_deps(loop):
-            store_node = node_of.get(dep.source.inst)
-            load_node = node_of.get(dep.sink.inst)
-            if store_node is not None and load_node is not None:
-                result.append((load_node, store_node, dep.effective_distance))
-        # SSA recurrences through header phis (e.g. promoted accumulators):
-        # the path from the phi's first consumer to the back-edge definition
-        # must fit within one II (distance 1).
-        for phi in loop.header.phis():
-            for value, pred in phi.incoming():
-                if pred not in loop.blocks:
-                    continue
-                back_node = node_of.get(value) if isinstance(value, Instruction) else None
-                if back_node is None:
-                    continue
-                for user in phi.users:
-                    start = node_of.get(user)
-                    if start is not None:
-                        result.append((start, back_node, 1))
-        return result
+        return loop_recurrences(loop, dfg, ctx, unroll_factor)
 
     @staticmethod
     def _region_has_call(region: Region) -> bool:

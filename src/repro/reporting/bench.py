@@ -629,6 +629,99 @@ def area_narrowing_stats(names: Sequence[str]) -> Dict[str, Dict]:
     return stats
 
 
+# Pipeline-II dependence-vector probe --------------------------------------------
+
+
+def pipeline_ii_stats(names: Sequence[str]) -> Dict[str, Dict]:
+    """Before/after pipeline II with proven dependence distances, equal area.
+
+    Pipelines every innermost loop of each workload twice over the *same*
+    body DFG (so area is identical by construction): once with the legacy
+    1-D windowed dependence test (``vector_distances=False``) and once with
+    the affine dependence-vector engine.  A recurrence of latency L at
+    proven distance d only forces II ≥ ceil(L / d), so proven distances > 1
+    lower the recurrence-constrained II.  Access timing is fixed
+    (contention-free, latency 2) to isolate the recurrence effect; latency
+    is evaluated at the interval-proven trip bound (nominal 100 when
+    unproven).  Every field is an exact count, so the whole section
+    participates in :func:`compare_reports`.
+    """
+    from ..dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+    from ..frontend.lowering import compile_source
+    from ..hls.dfg import DFG
+    from ..hls.pipeline import pipeline_loop
+    from ..hls.scheduling import AccessTiming
+    from ..hls.techlib import DEFAULT_TECHLIB
+    from ..model.estimator import FunctionContext, loop_recurrences
+
+    def timing(_node):
+        return AccessTiming(latency=2, port=None)
+
+    stats: Dict[str, Dict] = {}
+    for name in names:
+        workload = get_workload(name)
+        module = compile_source(workload.source, workload.name)
+        intervals = ModuleIntervalAnalysis(module)
+        points_to = PointsToAnalysis(module)
+        loops: List[Dict] = []
+        for func in module.defined_functions():
+            contexts = {
+                variant: FunctionContext(
+                    func, points_to=points_to, intervals=intervals,
+                    vector_distances=variant,
+                )
+                for variant in (False, True)
+            }
+            after = contexts[True]
+            # The two contexts build separate Loop objects over the same
+            # blocks; match them by their (identical) block sets.
+            before_by_blocks = {
+                frozenset(l.blocks): l for l in contexts[False].loop_info.loops
+            }
+            for loop in after.loop_info.loops:
+                if not loop.is_innermost:
+                    continue
+                dfg = DFG.from_blocks(
+                    after.ordered_blocks(loop.blocks), may_alias=after.may_alias
+                )
+                if not dfg.nodes:
+                    continue
+                before_loop = before_by_blocks[frozenset(loop.blocks)]
+                trip = after.static_trip_bound(loop) or 100
+
+                def pipelined(ctx, ctx_loop):
+                    return pipeline_loop(
+                        dfg, DEFAULT_TECHLIB, timing,
+                        recurrences=loop_recurrences(ctx_loop, dfg, ctx),
+                    )
+
+                before = pipelined(contexts[False], before_loop)
+                result = pipelined(after, loop)
+                loops.append({
+                    "function": func.name,
+                    "loop": loop.name,
+                    "trip": trip,
+                    "depth": result.depth,
+                    "rec_mii_before": before.rec_mii,
+                    "rec_mii_after": result.rec_mii,
+                    "ii_before": before.ii,
+                    "ii_after": result.ii,
+                    "latency_before": round(before.latency(trip), 3),
+                    "latency_after": round(result.latency(trip), 3),
+                })
+        loops.sort(key=lambda entry: (entry["function"], entry["loop"]))
+        stats[name] = {
+            "loops": loops,
+            "pipelined_loops": len(loops),
+            "improved_loops": sum(
+                1 for e in loops if e["ii_after"] < e["ii_before"]
+            ),
+            "ii_before_total": sum(e["ii_before"] for e in loops),
+            "ii_after_total": sum(e["ii_after"] for e in loops),
+        }
+    return stats
+
+
 # BENCH_<tag>.json reports -------------------------------------------------------
 
 
@@ -639,6 +732,7 @@ def build_report(
     wall_seconds: float,
     interp_elision: Optional[Dict[str, Dict]] = None,
     area_narrowing: Optional[Dict[str, Dict]] = None,
+    pipeline_ii: Optional[Dict[str, Dict]] = None,
 ) -> Dict:
     """The machine-readable bench payload (see docs/benchmarking.md)."""
     payload = {
@@ -660,6 +754,8 @@ def build_report(
         payload["interp_elision"] = interp_elision
     if area_narrowing is not None:
         payload["area_narrowing"] = area_narrowing
+    if pipeline_ii is not None:
+        payload["pipeline_ii"] = pipeline_ii
     return payload
 
 
@@ -725,6 +821,17 @@ def compare_reports(left: Dict, right: Dict) -> List[str]:
                 problems.append(f"area_narrowing/{name}: in only one report")
             elif a != b:
                 problems.append(f"area_narrowing/{name}: differs")
+    left_ii = left.get("pipeline_ii")
+    right_ii = right.get("pipeline_ii")
+    if left_ii is not None and right_ii is not None:
+        # Exact counts throughout (IIs, depths, trip bounds): full compare.
+        for name in sorted(set(left_ii) | set(right_ii)):
+            a = left_ii.get(name)
+            b = right_ii.get(name)
+            if a is None or b is None:
+                problems.append(f"pipeline_ii/{name}: in only one report")
+            elif a != b:
+                problems.append(f"pipeline_ii/{name}: differs")
     return problems
 
 

@@ -15,6 +15,25 @@ Run under ``--sanitize`` it must be violation-free; run with
 ``--inject-unsound-bitwidth`` (which deliberately mis-claims one
 known-zero bit per instruction) the sanitizer must fail — demonstrating
 an unsound transfer function cannot slip through.
+
+``seidel-1d``, ``iir-interleaved`` and ``conv-dilated`` stress the
+dependence layer: each has an in-place recurrence over a *symbolic
+stride* (a row stride or channel count known only through a kernel
+argument) with a small constant iteration distance.  The 1-D windowed
+distance test cannot read a symbolic stride and reports "carried,
+distance unknown" — forcing recurrence II equal to the full recurrence
+latency — while the affine dependence-vector engine resolves the stride
+through interprocedural intervals and proves the real distance, cutting
+the pipeline II at identical area (the ``pipeline_ii`` bench section
+measures exactly this before/after).
+
+``wave-lag`` is the sibling soundness case: the recurrence *distance
+itself* is the argument (``W[j] = f(W[j - lag])``).  The 1-D test sees an
+invariant symbolic offset difference and — assuming lockstep sequences
+stay disjoint — drops the dependence entirely, an unsound claim the
+vector engine repairs by proving the finite distance ``lag``; its
+``pipeline_ii`` delta is therefore an II *increase* (a soundness fix,
+not a regression).
 """
 
 from .registry import Workload, register
@@ -89,6 +108,143 @@ int main() {
   for (int i = 0; i < 64; i++) {
     mix[i] = lcg_mix(i + 1);
   }
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="seidel-1d",
+    suite="synthetic",
+    description=(
+        "red-black Gauss-Seidel-like column sweep over a linearized grid: "
+        "each cell feeds back the cell two rows up, across a symbolic row "
+        "stride n (distance 2, stride known only interprocedurally)"
+    ),
+    outputs=("G",),
+    source="""
+float G[600];
+
+void init(int cells) {
+  for (int i = 0; i < cells; i++) {
+    G[i] = (float)((i * 11 + 5) % 23) / 22.0f;
+  }
+}
+
+void sweep(int n, int rows) {
+  for (int t = 0; t < 2; t++) {
+    cols: for (int c = 0; c < n; c++) {
+      col_sweep: for (int r = 2; r < rows; r++) {
+        G[r * n + c] = G[r * n + c] * 0.5f + G[(r - 2) * n + c] * 0.5f;
+      }
+    }
+  }
+}
+
+int main() {
+  init(576);
+  sweep(24, 24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="wave-lag",
+    suite="synthetic",
+    description=(
+        "time-stepped 1-D wave update feeding back the sample `lag` "
+        "positions behind: recurrence distance = lag, an argument (the "
+        "1-D windowed test unsoundly drops this dependence; the vector "
+        "engine proves distance lag)"
+    ),
+    outputs=("W",),
+    source="""
+float W[512];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    W[i] = (float)((i * 13 + 7) % 31) / 30.0f;
+  }
+}
+
+void step(int lag, int n) {
+  for (int t = 0; t < 6; t++) {
+    upd: for (int j = lag; j < n; j++) {
+      W[j] = W[j] * 0.5f + W[j - lag] * 0.5f;
+    }
+  }
+}
+
+int main() {
+  init(512);
+  step(6, 512);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="conv-dilated",
+    suite="synthetic",
+    description=(
+        "in-place accumulation over dilated sample positions B[j*d] = "
+        "B[(j-3)*d]*a + X[j*d]: symbolic stride d, carried distance 3"
+    ),
+    outputs=("B",),
+    source="""
+float B[400];
+float X[400];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    B[i] = 0.0f;
+    X[i] = (float)((i * 5 + 2) % 19) / 18.0f;
+  }
+}
+
+void conv(int d, int taps) {
+  acc: for (int j = 3; j < taps; j++) {
+    B[j * d] = B[(j - 3) * d] * 0.25f + X[j * d];
+  }
+}
+
+int main() {
+  init(400);
+  conv(4, 100);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="iir-interleaved",
+    suite="synthetic",
+    description=(
+        "order-2 in-place IIR feedback over channel-interleaved samples: "
+        "symbolic element stride ch, carried distance 2 frames"
+    ),
+    outputs=("S",),
+    source="""
+float S[512];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    S[i] = (float)((i * 13 + 7) % 31) / 30.0f;
+  }
+}
+
+void filt(int ch, int frames) {
+  chans: for (int c = 0; c < ch; c++) {
+    taps: for (int j = 2; j < frames; j++) {
+      S[j * ch + c] = S[j * ch + c] * 0.6f + S[(j - 2) * ch + c] * 0.4f;
+    }
+  }
+}
+
+int main() {
+  init(480);
+  filt(4, 120);
   return 0;
 }
 """,

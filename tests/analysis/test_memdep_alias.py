@@ -109,8 +109,10 @@ class TestInnerWindowDisjointness:
         assert outer_deps(RECTANGULAR, "fill", "fill") == []
 
     def test_unknown_trip_bound_is_conservative(self):
-        """Without interval facts the inner window is unbounded: the
-        verdict must fall back to carried-with-unknown-distance."""
+        """Without interval facts the inner window is unbounded: a carried
+        dependence must still be assumed (the j-index could run past the
+        row), claiming at most the trivially sound distance 1 and never an
+        *exact* vector."""
         module = compile_source(RECTANGULAR, "rect")
         func = module.get_function("fill")
         access = AccessPatternAnalysis(func)
@@ -118,4 +120,5 @@ class TestInnerWindowDisjointness:
         outer = max(access.loop_info.loops, key=lambda l: len(l.blocks))
         deps = md.loop_carried(outer)
         assert deps
-        assert all(d.distance is None for d in deps)
+        assert all(d.effective_distance == 1 for d in deps)
+        assert all(d.vector is None or not d.vector.exact for d in deps)

@@ -1,0 +1,55 @@
+"""Coverage floor for the dependence-vector engine on PolyBench.
+
+The acceptance bar for the affine engine: on the PolyBench suite, at
+least 70% of all loop-carried dependences are decided by the
+multi-subscript vector test (i.e. both accesses are in the affine
+fragment and the pair got a `DependenceVector`), and every
+vector-decided dependence carries a proven minimal distance.  Measured
+at the time of writing: 112/139 carried deps vector-decided (80.6%),
+112/112 of those with proven distances.
+"""
+
+import pytest
+
+from repro.dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+from repro.frontend import compile_source
+from repro.model.estimator import FunctionContext
+from repro.workloads import all_workloads
+
+
+def polybench_names():
+    return [w.name for w in all_workloads() if w.suite == "polybench"]
+
+
+@pytest.fixture(scope="module")
+def suite_counts():
+    carried = vectored = proven = 0
+    for name in polybench_names():
+        workload = next(w for w in all_workloads() if w.name == name)
+        module = compile_source(workload.source, name)
+        intervals = ModuleIntervalAnalysis(module)
+        points_to = PointsToAnalysis(module)
+        for func in module.defined_functions():
+            ctx = FunctionContext(
+                func, points_to=points_to, intervals=intervals
+            )
+            for loop in ctx.loop_info.loops:
+                for dep in ctx.memdep.loop_carried(loop):
+                    carried += 1
+                    if dep.vector is not None:
+                        vectored += 1
+                        if dep.distance is not None:
+                            proven += 1
+    return carried, vectored, proven
+
+
+def test_at_least_70_percent_vector_decided(suite_counts):
+    carried, vectored, _ = suite_counts
+    assert carried > 0
+    assert vectored / carried >= 0.70, (vectored, carried)
+
+
+def test_vector_decided_deps_have_proven_distances(suite_counts):
+    _, vectored, proven = suite_counts
+    assert vectored > 0
+    assert proven == vectored, (proven, vectored)

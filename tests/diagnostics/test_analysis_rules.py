@@ -63,6 +63,9 @@ class StubInfo:
     def addrec_levels(self):
         return None
 
+    def affine_addrec_levels(self):
+        return None
+
     def stride_in(self, loop):
         return None
 
@@ -138,3 +141,57 @@ class TestMemdepFootprints:
         module = compile_source(HOT_SOURCE, "ok2")
         result = run_lint(module, rules={"AN003"})
         assert result.diagnostics == []
+
+
+UNPROVEN_DEP_SOURCE = """
+int A[64]; int P[64];
+void scatter(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    A[P[i]] = A[i] + 1;
+  }
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { A[i] = i; P[i] = 63 - i; }
+  scatter(64);
+  return A[5];
+}
+"""
+
+PROVEN_DEP_SOURCE = """
+int A[64];
+void siv(int n) {
+  for (int i = 2; i < n; i = i + 1) {
+    A[i] = A[i - 2] + 1;
+  }
+}
+int main() {
+  for (int i = 0; i < 64; i = i + 1) A[i] = i;
+  siv(64);
+  return A[5];
+}
+"""
+
+
+class TestUnprovenRecurrenceDistance:
+    def test_fires_on_data_dependent_subscript(self):
+        module, profile, wpst = compiled_with_profile(
+            UNPROVEN_DEP_SOURCE, "an006"
+        )
+        result = run_lint(module, profile=profile, wpst=wpst,
+                          rules={"AN006"})
+        assert [d.code for d in result.diagnostics] == ["AN006"]
+        assert "unproven distance" in result.diagnostics[0].message
+
+    def test_clean_on_proven_distance(self):
+        module, profile, wpst = compiled_with_profile(
+            PROVEN_DEP_SOURCE, "an006-ok"
+        )
+        result = run_lint(module, profile=profile, wpst=wpst,
+                          rules={"AN006"})
+        assert result.diagnostics == []
+
+    def test_skipped_without_profile(self):
+        module = compile_source(UNPROVEN_DEP_SOURCE, "an006-skip")
+        result = run_lint(module, rules={"AN006"})
+        assert result.diagnostics == []
+        assert "AN006" not in result.checked_rules

@@ -10,6 +10,7 @@ from repro.diagnostics.config_rules import (
     check_merge_signatures,
     check_pipelined_calls,
     check_scratchpad_capacity,
+    check_unroll_distance,
     check_unroll_legality,
     check_unroll_trip_count,
     config_diagnostics,
@@ -29,16 +30,19 @@ from repro.model.interfaces import (
 
 
 SOURCE = """
-int A[64]; int B[64];
+int A[64]; int B[64]; int C[64];
 void prefix(int n) {
   for (int i = 1; i < n; i = i + 1) A[i] = A[i-1] + A[i];
 }
 void saxpy(int n, int k) {
   for (int i = 0; i < n; i = i + 1) B[i] = k * A[i];
 }
+void siv2(int n) {
+  for (int i = 2; i < n; i = i + 1) C[i] = C[i-2] + 1;
+}
 int main() {
-  for (int i = 0; i < 64; i = i + 1) A[i] = i;
-  for (int r = 0; r < 4; r = r + 1) { prefix(64); saxpy(64, 3); }
+  for (int i = 0; i < 64; i = i + 1) { A[i] = i; C[i] = i; }
+  for (int r = 0; r < 4; r = r + 1) { prefix(64); saxpy(64, 3); siv2(64); }
   return B[10];
 }
 """
@@ -92,6 +96,20 @@ class TestUnrollLegality:
     def test_clean_on_independent_loop(self, setup):
         config = config_with_plan(setup, "saxpy", unroll=4)
         assert list(check_unroll_legality(config, env_for(setup, "saxpy"))) == []
+
+
+class TestUnrollDistance:
+    def test_fires_when_factor_exceeds_distance(self, setup):
+        # siv2 carries C[i] <- C[i-2]: proven distance 2, so x4 races.
+        config = config_with_plan(setup, "siv2", unroll=4)
+        found = list(check_unroll_distance(config, env_for(setup, "siv2")))
+        assert [d.code for d in found] == ["IR010"]
+        assert found[0].severity is Severity.ERROR
+        assert "distance 2" in found[0].message
+
+    def test_clean_within_proven_distance(self, setup):
+        config = config_with_plan(setup, "siv2", unroll=2)
+        assert list(check_unroll_distance(config, env_for(setup, "siv2"))) == []
 
 
 class TestUnrollTripCount:

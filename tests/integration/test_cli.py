@@ -213,6 +213,49 @@ class TestExecCommand:
                      "--inject-unsound-bitwidth"]) == 1
         assert "VIOLATION" in capsys.readouterr().out
 
+    def test_sanitize_dependence_workload_clean(self, capsys):
+        assert main(["exec", "--workload", "wave-lag", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "loop-carried conflicts observed" in out
+
+    def test_sanitize_injected_unsound_dependence_exits_one(self, capsys):
+        assert main(["exec", "--workload", "wave-lag", "--sanitize",
+                     "--inject-unsound-dependence"]) == 1
+        out = capsys.readouterr().out
+        assert "dependence-distance violation" in out
+
+
+class TestDepsCommand:
+    def test_workload_table(self, capsys):
+        assert main(["deps", "--workload", "wave-lag"]) == 0
+        out = capsys.readouterr().out
+        # The inner update loop carries W[j] <- W[j-lag] at the
+        # interprocedurally proven distance 6.
+        assert "loop upd" in out
+        assert "distance 6" in out and "exact" in out
+        assert "deps:" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["deps", "--workload", "seidel-1d", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["carried_deps"] > 0
+        inner = [
+            loop
+            for func in data["functions"] for loop in func["loops"]
+            if loop["name"] == "col_sweep"
+        ]
+        assert inner and any(
+            d["distance"] == 2 and d["exact"] for d in inner[0]["deps"]
+        )
+
+    def test_source_file_report(self, kernel_file, capsys):
+        assert main(["deps", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "no carried dependences" in out
+
 
 class TestBitwidthCommand:
     def test_workload_report(self, capsys):

@@ -29,6 +29,12 @@ CLEAN_UNDER_POINTS_TO = [
     "nw",
     "linear-alg-mid-100x100-sp",
     "smooth-alias",
+    # Dependence-vector stress cases: symbolic strides / symbolic lags whose
+    # proven distances the runtime conflict trace must confirm.
+    "seidel-1d",
+    "wave-lag",
+    "conv-dilated",
+    "iir-interleaved",
 ]
 
 
@@ -61,6 +67,33 @@ class TestRestrictModelUnsound:
         interp = SanitizingInterpreter(module, assume_restrict=True)
         with pytest.raises(SanitizerError):
             interp.run(workload.entry)
+
+
+class TestDependenceDistances:
+    def test_observed_distances_cover_claims(self):
+        """wave-lag's recurrence W[j] <- W[j-6] must be observed at exactly
+        the vector-proven distance 6, never closer."""
+        interp = sanitize("wave-lag")
+        assert interp.violations == []
+        assert interp.conflicts_observed > 0
+        assert 6 in {d for d in interp.observed_distances.values()}
+
+    @pytest.mark.parametrize(
+        "name", ["wave-lag", "seidel-1d", "conv-dilated", "smooth-alias"]
+    )
+    def test_injected_overclaim_is_caught(self, name):
+        """Inflating every claimed distance by one turns each claim into an
+        over-claim; the runtime trace must flag it on any workload whose
+        recurrence runs at exactly its proven distance."""
+        interp = sanitize(name, inject_unsound_dependence=True)
+        assert interp.violations, (
+            f"unsound dependence claim escaped the sanitizer on {name}"
+        )
+        assert any("dependence-distance" in v for v in interp.violations)
+
+    def test_injection_is_noted(self):
+        interp = sanitize("wave-lag", inject_unsound_dependence=True)
+        assert any("inject-unsound-dependence" in n for n in interp.notes)
 
 
 class TestEntryGating:
