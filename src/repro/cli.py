@@ -183,6 +183,7 @@ def _cmd_exec(args) -> int:
             fail_fast=False,
             inject_unsound_bitwidth=args.inject_unsound_bitwidth,
             inject_unsound_dependence=args.inject_unsound_dependence,
+            engine=args.engine,
         )
         try:
             result = interp.run(args.entry, entry_args)
@@ -201,7 +202,7 @@ def _cmd_exec(args) -> int:
         from .dataflow import BoundsAnalysis
 
         bounds = BoundsAnalysis(module)
-    interp = Interpreter(module, bounds=bounds)
+    interp = Interpreter(module, bounds=bounds, engine=args.engine)
     result = interp.run(args.entry, entry_args)
     wall = time.perf_counter() - started
     print(f"result: {result}")
@@ -494,7 +495,8 @@ def _cmd_bench(args) -> int:
                   f"{stat['elided']}/{stat['elided'] + stat['checked']} "
                   f"accesses elided "
                   f"({stat['proven_accesses']}/{stat['total_accesses']} "
-                  f"proven)")
+                  f"proven), compiled engine "
+                  f"{stat['engine_speedup']:.1f}x over reference")
     if narrowing:
         total_type = sum(s["type_area_um2"] for s in narrowing.values())
         total_proven = sum(s["proven_area_um2"] for s in narrowing.values())
@@ -655,6 +657,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="interpret the unoptimized IR")
     exec_.add_argument("--no-elide", action="store_true",
                        help="keep every runtime bounds check")
+    exec_.add_argument("--engine", choices=["compiled", "reference"],
+                       default="compiled",
+                       help="execution engine: 'compiled' translates each "
+                            "function to specialized closures once "
+                            "(default), 'reference' is the per-instruction "
+                            "dispatch oracle")
     exec_.add_argument("--sanitize", action="store_true",
                        help="validate static analysis claims at runtime")
     exec_.add_argument("--assume-restrict", action="store_true",

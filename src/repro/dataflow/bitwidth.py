@@ -260,7 +260,9 @@ class KnownBits:
         c = amount.constant_value()
         if c is None:
             return KnownBits.top(self.bits)
-        c &= 63  # interpreter masks the (signed) amount to 6 bits
+        # Amounts outside 0..bits-1 trap at runtime, so any transfer result
+        # for them is vacuous; masking keeps the fold total regardless.
+        c &= 63
         if c >= self.bits:
             return KnownBits.constant(0, self.bits)
         return KnownBits(

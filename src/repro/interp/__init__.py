@@ -8,12 +8,13 @@ from .interpreter import (
     InterpreterError,
     ProfileCounters,
 )
+from .compiled import CompiledProgram
 from .narrowing import NarrowingInterpreter
 from .profiler import RegionProfile, profile_module
 
 __all__ = [
     "CPU_CYCLES", "CPU_FREQ_HZ", "cycles_to_seconds", "instruction_cycles",
-    "FlatMemory", "MemoryError_",
+    "CompiledProgram", "FlatMemory", "MemoryError_",
     "ExecutionLimitExceeded", "Interpreter", "InterpreterError",
     "NarrowingInterpreter", "ProfileCounters",
     "RegionProfile", "profile_module",

@@ -11,6 +11,7 @@ The interpreter serves two roles:
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Dict, List, Optional, Tuple
 
@@ -74,6 +75,7 @@ class ProfileCounters:
 
     def __init__(self):
         self.block_count: Dict = {}
+        self.block_instructions: Dict = {}  # non-phi instructions executed
         self.block_cycles: Dict = {}       # inclusive of callee time
         self.edge_count: Dict[Tuple, int] = {}
         self.func_entry_count: Dict = {}
@@ -91,7 +93,11 @@ class Interpreter:
         max_instructions: int = 200_000_000,
         profile: bool = False,
         bounds=None,
+        engine: str = "compiled",
     ):
+        if engine not in ("compiled", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
         self.module = module
         self.memory = FlatMemory(memory_size)
         self.max_instructions = max_instructions
@@ -113,6 +119,8 @@ class Interpreter:
         self.checked_accesses = 0
         # Subclasses set this to receive _on_block_transition callbacks.
         self._trace_blocks = False
+        # Lazily built CompiledProgram per elision mode (compiled engine).
+        self._programs: Dict[bool, object] = {}
         for var in module.globals.values():
             self.global_addresses[var] = self.memory.allocate(var.allocated_type)
 
@@ -156,6 +164,62 @@ class Interpreter:
         return True
 
     def _run_function(self, func: Function, args: List):
+        if self.engine == "compiled":
+            return self._program().invoke(func, args)
+        return self._run_reference(func, args)
+
+    def _program(self):
+        """The compiled program matching the current elision mode.
+
+        Compilation is lazy (first run) and cached per elision flag; the
+        module must not be mutated between runs of the same interpreter.
+        """
+        key = bool(self._elide_enabled)
+        program = self._programs.get(key)
+        if program is None:
+            from .compiled import CompiledProgram
+
+            program = CompiledProgram(self, elide=key)
+            self._programs[key] = program
+        return program
+
+    def precompile(self, elide: Optional[bool] = None) -> None:
+        """Build the compiled program ahead of the first ``run``.
+
+        Translation happens lazily on first execution otherwise; callers
+        timing execution throughput (``repro bench``) use this to keep the
+        one-time compile cost out of the measured window.  ``elide``
+        defaults to the mode a seed-matching top-level run would use.
+        No-op on the reference engine.
+        """
+        if self.engine != "compiled":
+            return
+        key = self.bounds is not None if elide is None else bool(elide)
+        saved = self._elide_enabled
+        self._elide_enabled = key
+        try:
+            self._program()
+        finally:
+            self._elide_enabled = saved
+
+    # Compile-time instrumentation hooks (compiled engine) --------------------
+    #
+    # Subclasses that post-process results (NarrowingInterpreter) or observe
+    # accesses/values (SanitizingInterpreter) return callables here; the
+    # compiled engine folds them into the generated code at the exact program
+    # points where the reference engine's ``_execute`` override would fire.
+
+    def _compile_result_hook(self, inst: Instruction):
+        """Optional callable ``hook(result, *operand_values) -> result``
+        applied to ``inst``'s value right after it is computed."""
+        return None
+
+    def _compile_access_hook(self, inst: Instruction):
+        """Optional callable ``hook(address)`` invoked with the computed
+        address before each Load/Store executes."""
+        return None
+
+    def _run_reference(self, func: Function, args: List):
         env: Dict = {}
         for formal, actual in zip(func.arguments, args):
             env[formal] = actual
@@ -181,6 +245,8 @@ class Interpreter:
 
             # Phis first, evaluated atomically against the predecessor.
             instructions = block.instructions
+            if not instructions:
+                raise InterpreterError(f"block {block.name} is empty")
             index = 0
             if isinstance(instructions[0], Phi):
                 phi_values = []
@@ -194,6 +260,14 @@ class Interpreter:
                     index += 1
                 for phi, value in phi_values:
                     env[phi] = value
+
+            if self.profile:
+                # Non-phi instructions this execution will retire; phis are
+                # free parallel copies and never hit the instruction counter.
+                self.counters.block_instructions[block] = (
+                    self.counters.block_instructions.get(block, 0)
+                    + len(instructions) - index
+                )
 
             result = None
             next_block = None
@@ -295,7 +369,6 @@ class Interpreter:
             if inst.opcode == "fsqrt":
                 if operand < 0:
                     raise InterpreterError("fsqrt of a negative value")
-                import math
                 result = math.sqrt(operand)
                 if inst.type.bits == 32:
                     result = struct.unpack("<f", struct.pack("<f", result))[0]
@@ -348,9 +421,17 @@ class Interpreter:
             elif op == "xor":
                 result = lhs ^ rhs
             elif op == "shl":
-                result = lhs << (rhs & 63)
+                if rhs < 0 or rhs >= inst.type.bits:
+                    raise InterpreterError(
+                        f"shl amount {rhs} out of range for i{inst.type.bits}"
+                    )
+                result = lhs << rhs
             elif op == "shr":
-                result = lhs >> (rhs & 63)
+                if rhs < 0 or rhs >= inst.type.bits:
+                    raise InterpreterError(
+                        f"shr amount {rhs} out of range for i{inst.type.bits}"
+                    )
+                result = lhs >> rhs
             else:  # pragma: no cover - opcode set is closed
                 raise InterpreterError(f"unknown binary op {op}")
             return _wrap_int(result, inst.type.bits)

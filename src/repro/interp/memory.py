@@ -133,8 +133,8 @@ class FlatMemory:
     def write_array_i(self, address: int, values, bits: int = 32) -> None:
         nbytes = bits // 8
         self._check(address, nbytes * len(values))
+        mask = (1 << bits) - 1
         for i, value in enumerate(values):
-            mask = (1 << bits) - 1
             self.data[address + i * nbytes:address + (i + 1) * nbytes] = (
                 (int(value) & mask).to_bytes(nbytes, "little")
             )

@@ -45,9 +45,11 @@ class NarrowingInterpreter(Interpreter):
         memory_size: int = 1 << 22,
         max_instructions: int = 200_000_000,
         profile: bool = False,
+        engine: str = "compiled",
     ):
         super().__init__(
-            module, memory_size, max_instructions, profile, bounds=None
+            module, memory_size, max_instructions, profile, bounds=None,
+            engine=engine,
         )
         self.intervals = ModuleIntervalAnalysis(module)
         self.bitwidth = ModuleBitwidthAnalysis(module, self.intervals)
@@ -87,8 +89,9 @@ class NarrowingInterpreter(Interpreter):
 
     # Narrowed execution ------------------------------------------------------
 
-    def _execute(self, inst: Instruction, env: Dict):
-        result = super()._execute(inst, env)
+    def _apply_narrowing(self, inst: Instruction, result):
+        """Truncate+re-extend ``result`` to ``inst``'s proven width; shared
+        by the reference ``_execute`` override and the compiled-engine hook."""
         if (
             self.narrowing_active
             and result is not None
@@ -104,3 +107,15 @@ class NarrowingInterpreter(Interpreter):
                     narrowed &= 1  # i1 stays unsigned 0/1
                 result = narrowed
         return result
+
+    def _execute(self, inst: Instruction, env: Dict):
+        return self._apply_narrowing(inst, super()._execute(inst, env))
+
+    def _compile_result_hook(self, inst: Instruction):
+        if inst not in self._narrow:
+            return None
+
+        def hook(result, *values, _inst=inst):
+            return self._apply_narrowing(_inst, result)
+
+        return hook

@@ -34,6 +34,10 @@ class RegionProfile:
     def block_count(self, block: BasicBlock) -> int:
         return self.counters.block_count.get(block, 0)
 
+    def block_instructions(self, block: BasicBlock) -> int:
+        """Non-phi instructions executed inside the block."""
+        return self.counters.block_instructions.get(block, 0)
+
     def block_cycles(self, block: BasicBlock) -> float:
         return self.counters.block_cycles.get(block, 0.0)
 
@@ -62,7 +66,9 @@ class RegionProfile:
         return sum(self.block_cycles(block) for block in region.blocks)
 
     def region_instruction_count(self, region: Region) -> int:
-        return sum(self.block_count(block) for block in region.blocks)
+        """Instructions executed inside the region (block executions times
+        block size, not block-entry counts)."""
+        return sum(self.block_instructions(block) for block in region.blocks)
 
     def region_seconds(self, region: Region) -> float:
         return self.region_cycles(region) / CPU_FREQ_HZ

@@ -51,6 +51,7 @@ from ..ir import (
     Select,
     Store,
     UnaryOp,
+    UndefValue,
     sizeof,
 )
 from ..analysis.access_patterns import AccessPatternAnalysis
@@ -89,9 +90,11 @@ class SanitizingInterpreter(Interpreter):
         fail_fast: bool = True,
         inject_unsound_bitwidth: bool = False,
         inject_unsound_dependence: bool = False,
+        engine: str = "compiled",
     ):
         super().__init__(
-            module, memory_size, max_instructions, profile, bounds=None
+            module, memory_size, max_instructions, profile, bounds=None,
+            engine=engine,
         )
         self.assume_restrict = assume_restrict
         self.fail_fast = fail_fast
@@ -277,9 +280,17 @@ class SanitizingInterpreter(Interpreter):
     # Per-instruction validation ----------------------------------------------
 
     def _execute(self, inst: Instruction, env: Dict):
-        if isinstance(inst, (Load, Store)) and self._claims_active:
-            self._validate_access(inst, env)
+        if isinstance(inst, (Load, Store)):
+            self._validate_access(inst, self._value(env, inst.pointer))
         result = super()._execute(inst, env)
+        self._check_result(inst, result, env)
+        return result
+
+    def _check_result(self, inst: Instruction, result, env: Dict) -> None:
+        """Interval, known-bits, and demanded-bits validation of one
+        produced value; shared by the reference ``_execute`` override and
+        the compiled-engine result hook.  ``env`` must map each
+        non-constant operand of ``inst`` to its runtime value."""
         if (
             self._claims_active
             and result is not None
@@ -306,7 +317,33 @@ class SanitizingInterpreter(Interpreter):
                         f"@{inst.parent.parent.name}",
                     )
             self._check_demanded(inst, env, result)
-        return result
+
+    # Compiled-engine instrumentation ------------------------------------------
+
+    def _compile_access_hook(self, inst: Instruction):
+        def hook(address, _inst=inst):
+            self._validate_access(_inst, address)
+
+        return hook
+
+    def _compile_result_hook(self, inst: Instruction):
+        if not inst.type.is_int:
+            return None
+        operands = list(inst.operands)
+
+        def hook(result, *values, _inst=inst, _ops=operands):
+            # Rebuild exactly the reference env membership: constants,
+            # globals, and undefs are resolved by ``_value``/codegen and
+            # never live in env — _check_demanded relies on that to skip.
+            env = {
+                op: value
+                for op, value in zip(_ops, values)
+                if not isinstance(op, (Constant, GlobalVariable, UndefValue))
+            }
+            self._check_result(_inst, result, env)
+            return result
+
+        return hook
 
     #: Instruction classes safe to re-execute against a shadow environment:
     #: pure value computations whose base-class ``_execute`` only reads
@@ -346,8 +383,9 @@ class SanitizingInterpreter(Interpreter):
                 f"{demand:#x} in @{inst.parent.parent.name}",
             )
 
-    def _validate_access(self, inst, env: Dict) -> None:
-        address = self._value(env, inst.pointer)
+    def _validate_access(self, inst, address: int) -> None:
+        if not self._claims_active:
+            return
         ty = inst.type if isinstance(inst, Load) else inst.value.type
         nbytes = sizeof(ty)
         self.accesses_checked += 1

@@ -168,8 +168,14 @@ def constant_fold_binary(op: str, lhs: Constant, rhs: Constant) -> Optional[Cons
         if op == "xor":
             return Constant(ty, a ^ b)
         if op == "shl":
+            # Out-of-range amounts trap at runtime (InterpreterError); never
+            # fold them away silently.
+            if b < 0 or b >= ty.bits:
+                return None
             return Constant(ty, a << b)
         if op == "shr":
+            if b < 0 or b >= ty.bits:
+                return None
             return Constant(ty, a >> b)
     except (TypeError, ValueError, OverflowError):
         return None

@@ -48,6 +48,8 @@ def _verify_block_structure(
 ) -> None:
     if block.parent is not func:
         raise VerificationError(f"{func.name}/{block.name}: wrong parent")
+    if not block.instructions:
+        raise VerificationError(f"{func.name}/{block.name}: block is empty")
     if not block.is_terminated:
         raise VerificationError(f"{func.name}/{block.name}: missing terminator")
     for inst in block.instructions[:-1]:

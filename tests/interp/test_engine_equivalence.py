@@ -1,0 +1,230 @@
+"""Compiled-engine equivalence: the closure-compiled execution engine must
+be bit-identical to the reference interpreter — results, final memory image,
+``cycles``, ``instructions``, elided/checked access counts, and every
+``ProfileCounters`` field — including under the sanitizer and the
+narrowing interpreter.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import BoundsAnalysis
+from repro.frontend import compile_source
+from repro.interp import Interpreter, InterpreterError, NarrowingInterpreter
+from repro.interp.sanitizer import SanitizingInterpreter
+from repro.ir import I32, Module
+from repro.workloads import get_workload
+
+# Registry cross-section: PolyBench dense/triangular kernels, a MachSuite
+# kernel with calls, and the synthetic soundness stress workloads.
+CROSS_SECTION = [
+    "trisolv", "bicg", "nw", "jacobi-2d", "fft",
+    "bitwidth-adversary", "wave-lag", "smooth-alias",
+]
+
+
+def run_both(name, *, profile=False, elide=True):
+    """Run one workload under both engines on the same module object (so
+    profile counters are keyed by identical block objects) and return the
+    two interpreters plus their results."""
+    workload = get_workload(name)
+    module = compile_source(workload.source, workload.name)
+    bounds = BoundsAnalysis(module) if elide else None
+    out = {}
+    for engine in ("reference", "compiled"):
+        interp = Interpreter(
+            module, bounds=bounds, profile=profile, engine=engine
+        )
+        out[engine] = (interp.run(workload.entry), interp)
+    return out
+
+
+def assert_identical(out):
+    (ref_result, ref), (cmp_result, cmp_) = out["reference"], out["compiled"]
+    assert ref_result == cmp_result
+    assert ref.memory.data == cmp_.memory.data
+    assert ref.cycles == cmp_.cycles
+    assert ref.instructions == cmp_.instructions
+    assert ref.elided_accesses == cmp_.elided_accesses
+    assert ref.checked_accesses == cmp_.checked_accesses
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", CROSS_SECTION)
+    def test_bit_identical_elided(self, name):
+        assert_identical(run_both(name, elide=True))
+
+    @pytest.mark.parametrize("name", ["trisolv", "wave-lag"])
+    def test_bit_identical_fully_checked(self, name):
+        out = run_both(name, elide=False)
+        assert_identical(out)
+        assert out["compiled"][1].elided_accesses == 0
+
+    @pytest.mark.parametrize("name", ["trisolv", "nw", "fft"])
+    def test_profile_counters_identical(self, name):
+        out = run_both(name, profile=True)
+        assert_identical(out)
+        ref, cmp_ = out["reference"][1].counters, out["compiled"][1].counters
+        assert ref.block_count == cmp_.block_count
+        assert ref.block_instructions == cmp_.block_instructions
+        assert ref.block_cycles == pytest.approx(cmp_.block_cycles)
+        assert ref.edge_count == cmp_.edge_count
+        assert ref.func_entry_count == cmp_.func_entry_count
+
+
+class TestInstrumentedEquivalence:
+    @pytest.mark.parametrize("name", ["trisolv", "smooth-alias", "wave-lag"])
+    def test_sanitizer_identical(self, name):
+        workload = get_workload(name)
+        out = {}
+        for engine in ("reference", "compiled"):
+            module = compile_source(workload.source, workload.name)
+            interp = SanitizingInterpreter(
+                module, fail_fast=False, engine=engine
+            )
+            result = interp.run(workload.entry)
+            out[engine] = (
+                result, interp.violations, interp.accesses_checked,
+                interp.values_checked, interp.instructions, interp.cycles,
+                bytes(interp.memory.data),
+            )
+        assert out["reference"] == out["compiled"]
+
+    def test_sanitizer_injection_caught_on_compiled_engine(self):
+        workload = get_workload("bitwidth-adversary")
+        counts = {}
+        for engine in ("reference", "compiled"):
+            module = compile_source(workload.source, workload.name)
+            interp = SanitizingInterpreter(
+                module, fail_fast=False, inject_unsound_bitwidth=True,
+                engine=engine,
+            )
+            interp.run(workload.entry)
+            counts[engine] = len(interp.violations)
+        assert counts["compiled"] > 0
+        assert counts["reference"] == counts["compiled"]
+
+    @pytest.mark.parametrize("name", ["trisolv", "bitwidth-adversary"])
+    def test_narrowing_identical(self, name):
+        workload = get_workload(name)
+        out = {}
+        for engine in ("reference", "compiled"):
+            module = compile_source(workload.source, workload.name)
+            interp = NarrowingInterpreter(module, engine=engine)
+            result = interp.run(workload.entry)
+            assert interp.narrowing_active, "narrowing must actually engage"
+            out[engine] = (
+                result, interp.instructions, interp.cycles,
+                bytes(interp.memory.data),
+            )
+        assert out["reference"] == out["compiled"]
+
+
+class TestErrorSemantics:
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    @pytest.mark.parametrize("amount", ["40", "-1", "n"])
+    def test_shift_amount_out_of_range_traps(self, engine, amount):
+        # i32 shifts by >= 32 (or negative) must trap, matching lint rule
+        # IR008's provable-overflow verdict — not silently produce a value.
+        source = f"int main(int n) {{ int x = 3; return x << ({amount}); }}"
+        module = compile_source(source, "shift", optimize=False)
+        interp = Interpreter(module, engine=engine)
+        with pytest.raises(InterpreterError, match="out of range"):
+            interp.run("main", [40])
+
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    def test_in_range_shift_still_works(self, engine):
+        module = compile_source(
+            "int main(int n) { int x = 3; return x << n; }",
+            "shift", optimize=False,
+        )
+        interp = Interpreter(module, engine=engine)
+        assert interp.run("main", [4]) == 48
+
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    def test_empty_block_is_an_interpreter_error(self, engine):
+        # Malformed IR (unverified): an empty entry block must raise a
+        # proper InterpreterError, not a bare IndexError.
+        module = Module("m")
+        func = module.add_function("f", I32, [])
+        func.add_block("entry")
+        interp = Interpreter(module, engine=engine)
+        with pytest.raises(InterpreterError, match="block entry is empty"):
+            interp.run("f")
+
+    @pytest.mark.parametrize("engine", ["reference", "compiled"])
+    def test_instruction_limit_enforced(self, engine):
+        from repro.interp import ExecutionLimitExceeded
+
+        module = compile_source(
+            "int main() { int s = 0; for (int i = 0; i < 100000; i++) s += i;"
+            " return s; }",
+            "limit", optimize=False,
+        )
+        interp = Interpreter(module, max_instructions=1000, engine=engine)
+        with pytest.raises(ExecutionLimitExceeded):
+            interp.run("main")
+
+
+# Randomized equivalence: generated integer programs with data-dependent
+# control flow must execute identically under both engines.
+
+constants = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+small_constants = st.integers(min_value=-64, max_value=64)
+
+
+@st.composite
+def branchy_programs(draw):
+    """``int main()``: a chain of integer defs followed by a loop that
+    conditionally re-accumulates them — exercises phis, condbr, and every
+    specialized binary-op shape."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    statements = []
+    for index in range(count):
+        def operand():
+            if index and draw(st.booleans()):
+                return f"v{draw(st.integers(min_value=0, max_value=index - 1))}"
+            return str(draw(constants if draw(st.booleans()) else small_constants))
+
+        kind = draw(st.sampled_from(("binary", "shift", "divmod")))
+        if kind == "binary":
+            op = draw(st.sampled_from(("+", "-", "*", "&", "|", "^")))
+            expr = f"{operand()} {op} {operand()}"
+        elif kind == "shift":
+            amount = draw(st.integers(min_value=0, max_value=31))
+            expr = f"{operand()} {draw(st.sampled_from(('<<', '>>')))} {amount}"
+        else:
+            divisor = draw(st.integers(min_value=1, max_value=1000))
+            expr = f"{operand()} {draw(st.sampled_from(('/', '%')))} {divisor}"
+        statements.append(f"  int v{index} = {expr};")
+    body = "\n".join(statements)
+    trip = draw(st.integers(min_value=0, max_value=20))
+    threshold = draw(small_constants)
+    return (
+        "int main() {\n"
+        f"{body}\n"
+        "  int acc = 0;\n"
+        f"  for (int i = 0; i < {trip}; i++) {{\n"
+        f"    if (v{count - 1} > {threshold}) acc += v{draw(st.integers(min_value=0, max_value=count - 1))};\n"
+        "    else acc -= i;\n"
+        "  }\n"
+        f"  return acc + v{count - 1};\n"
+        "}\n"
+    )
+
+
+@given(branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_random_programs_execute_identically(source):
+    module = compile_source(source, "prop", optimize=False)
+    runs = {}
+    for engine in ("reference", "compiled"):
+        interp = Interpreter(module, profile=True, engine=engine)
+        result = interp.run("main")
+        runs[engine] = (
+            result, interp.instructions, interp.cycles,
+            dict(interp.counters.block_count),
+            dict(interp.counters.block_instructions),
+            dict(interp.counters.edge_count),
+        )
+    assert runs["reference"] == runs["compiled"], source

@@ -89,6 +89,51 @@ class TestRegionAggregation:
             assert fig2_profile.region_time_share(node.region) >= 0.05
 
 
+class TestInstructionCounts:
+    def test_block_instructions_scale_with_block_size(self):
+        module = compile_source(
+            "int main() { int s = 0; loop: for (int i = 0; i < 10; i++)"
+            " s += i * i + 3; return s; }",
+            optimize=False,
+        )
+        profile = profile_module(module)
+        func = module.get_function("main")
+        body = func.block_by_name("loop.body")
+        from repro.ir import Phi
+        body_size = sum(
+            1 for inst in body.instructions if not isinstance(inst, Phi)
+        )
+        assert body_size > 1
+        # Regression: instruction counts are executions x block size, not
+        # block-entry counts.
+        assert profile.block_instructions(body) == 10 * body_size
+        assert profile.block_instructions(body) > profile.block_count(body)
+
+    def test_region_instruction_count_counts_instructions(self, fig2_module,
+                                                          fig2_profile):
+        from repro.ir import Phi
+
+        wpst = WPST(fig2_module)
+        for node in wpst.region_vertices():
+            region = node.region
+            expected = sum(
+                fig2_profile.block_count(block)
+                * sum(1 for inst in block.instructions
+                      if not isinstance(inst, Phi))
+                for block in region.blocks
+            )
+            assert fig2_profile.region_instruction_count(region) == expected
+
+    def test_region_totals_match_interpreter_total(self, fig2_module):
+        profile = profile_module(fig2_module)
+        per_block = sum(
+            profile.block_instructions(block)
+            for func in fig2_module.defined_functions()
+            for block in func.blocks
+        )
+        assert per_block == profile.counters.total_instructions
+
+
 class TestTripCounts:
     def test_constant_trip(self):
         module = compile_source(

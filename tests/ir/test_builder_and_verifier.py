@@ -117,9 +117,18 @@ class TestPrinter:
 class TestVerifier:
     def test_missing_terminator(self):
         module = Module("m")
-        func = module.add_function("f", VOID, [])
-        func.add_block("entry")  # empty block, no terminator
+        func = module.add_function("f", I32, [])
+        entry = func.add_block("entry")
+        b = IRBuilder(entry)
+        b.add(b.const_i32(1), b.const_i32(2))  # no terminator follows
         with pytest.raises(VerificationError, match="terminator"):
+            verify_function(func)
+
+    def test_empty_block_rejected(self):
+        module = Module("m")
+        func = module.add_function("f", VOID, [])
+        func.add_block("entry")  # no instructions at all
+        with pytest.raises(VerificationError, match="block is empty"):
             verify_function(func)
 
     def test_use_before_def_same_block(self):
