@@ -47,6 +47,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import current as current_telemetry
 from .access_patterns import AccessInfo
 from .loops import Loop, LoopInfo
 from .scalar_evolution import (
@@ -345,6 +346,21 @@ class DependenceTester:
         iteration conflicts of ``query``.  None = not applicable (fall back
         to the conservative tests); otherwise a definite verdict whose
         distances are sound lower bounds."""
+        verdict = self._test_pair(a, b, query)
+        tele = current_telemetry()
+        if tele.enabled:
+            tele.count("dependence.vector.pairs_tested")
+            if verdict is not None:
+                tele.count("dependence.vector.pairs_decided")
+                if verdict.independent:
+                    tele.count("dependence.vector.independent")
+                elif verdict.exact:
+                    tele.count("dependence.vector.exact")
+        return verdict
+
+    def _test_pair(
+        self, a: AccessInfo, b: AccessInfo, query: Loop
+    ) -> Optional[PairTestResult]:
         if a.base is None or a.base is not b.base:
             return None
         if a.inst.parent not in query.blocks or b.inst.parent not in query.blocks:

@@ -31,10 +31,24 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..ir import Alloca, GlobalVariable, Load, Store
+from ..telemetry import current as current_telemetry
 from .access_patterns import AccessInfo, AccessPatternAnalysis
 from .dependence import DependenceTester, DependenceVector
 from .loops import Loop
 from .scalar_evolution import SCEVAddRec, SCEVConstant, scev_sub
+
+
+def _count_tier(tier: str) -> None:
+    """Telemetry: which decision tier settled one access pair.
+
+    Tiers, from most to least precise: ``vector`` (affine multi-subscript
+    engine), ``stride`` (legacy 1-D constant-stride arithmetic),
+    ``windowed`` (per-iteration byte-window overlap), ``lockstep``
+    (symbolic loop-invariant row difference), ``base_disjoint`` /
+    ``alias`` (points-to verdicts), ``unknown_base`` and ``conservative``
+    (gave up, dependence assumed).
+    """
+    current_telemetry().count(f"dependence.tier.{tier}")
 
 
 class Dependence:
@@ -266,12 +280,15 @@ class MemoryDependenceAnalysis:
         """
         overlap = self._bases_may_overlap(a, b)
         if overlap is None:
+            _count_tier("unknown_base")
             return (None, False, None)  # unknown base: conservative
         if not overlap:
+            _count_tier("base_disjoint")
             return None
         if a.base is not b.base:
             # May-overlap through aliasing: offsets are relative to
             # different SSA pointers, so no distance arithmetic applies.
+            _count_tier("alias")
             return (None, True, None)
         if self.vector_distances:
             # Multi-subscript affine test: exact ZIV/SIV + GCD/Banerjee on
@@ -279,6 +296,7 @@ class MemoryDependenceAnalysis:
             # strides the 1-D tests below give up on.
             verdict = self.vector_tester().test_pair(a, b, loop)
             if verdict is not None:
+                _count_tier("vector")
                 if verdict.independent:
                     return None
                 return (verdict.distance, False, verdict.vector)
@@ -289,10 +307,12 @@ class MemoryDependenceAnalysis:
             # indices) is invalid there — iteration k of a Gaussian
             # elimination stores rows i>k that iteration i later reads.
             # Decide by overlapping the per-iteration byte windows instead.
+            _count_tier("windowed")
             return self._windowed_distance(a, b, loop)
         stride_a = a.stride_in(loop)
         stride_b = b.stride_in(loop)
         if stride_a is None or stride_b is None:
+            _count_tier("conservative")
             return (None, False, None)  # address varies unanalyzably within the loop
         delta = scev_sub(a.offset, b.offset)
         if not isinstance(delta, SCEVConstant):
@@ -306,14 +326,18 @@ class MemoryDependenceAnalysis:
             # where iteration k stores row i>k and iteration i later reads
             # it — can collide across iterations; assume carried.
             if stride_a == stride_b and delta.is_invariant_in(loop):
+                _count_tier("lockstep")
                 return None
+            _count_tier("conservative")
             return (None, False, None)
         diff = delta.value
         if stride_a != stride_b:
             # Different strides with constant offset difference can collide
             # at some iteration pair; be conservative.
+            _count_tier("conservative")
             return (None, False, None)
         stride = stride_a
+        _count_tier("stride")
         # Byte ranges overlap at iteration distance k iff
         #   diff + stride*k ∈ [-(size_a-1), size_b-1]
         # — checking plain address equality (diff % stride == 0) would miss

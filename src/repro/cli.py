@@ -9,6 +9,7 @@ Commands:
 * ``table1``         — print the Table I capability matrix.
 * ``dump <file.c>``  — compile and print the optimized IR and the wPST.
 * ``lint <file.c>``  — run the static diagnostics engine (Cayman Lint).
+* ``trace <file.c>`` — run the flow with telemetry; print/export the trace.
 * ``bench-list``     — list the available benchmark workloads.
 """
 
@@ -542,6 +543,61 @@ def _cmd_bench(args) -> int:
     return status
 
 
+def _cmd_trace(args) -> int:
+    from .framework import Cayman
+    from .telemetry import ChromeTraceSink, JsonlSink, Telemetry
+
+    sinks = []
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    if args.chrome:
+        sinks.append(ChromeTraceSink(args.chrome))
+    tele = Telemetry(sinks=sinks)
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    framework = Cayman(
+        alpha=args.alpha,
+        beta=args.beta,
+        lint=not args.no_lint,
+        telemetry=tele,
+    )
+    result = framework.run(source, entry=args.entry, name=name)
+    tele.close()
+
+    print(f"trace of {name} "
+          f"({result.runtime_seconds:.2f}s, "
+          f"front size {len(result.front)})")
+    print("\nspans (seconds):")
+    for span in tele.walk_spans():
+        attrs = ""
+        if span.attrs:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            attrs = f"  [{rendered}]"
+        indent = "  " * span.depth
+        print(f"  {span.duration_s:9.4f}  {indent}{span.name}{attrs}")
+
+    snapshot = tele.snapshot()
+    if snapshot["counters"]:
+        print("\ncounters:")
+        width = max(len(key) for key in snapshot["counters"])
+        for key, value in snapshot["counters"].items():
+            rendered = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"  {key:{width}}  {rendered}")
+    if snapshot["timings"]:
+        print("\ntimings (count, total seconds):")
+        width = max(len(key) for key in snapshot["timings"])
+        for key, stats in snapshot["timings"].items():
+            print(f"  {key:{width}}  {stats['count']:4d}  "
+                  f"{stats['total']:.4f}")
+    for path, label in ((args.jsonl, "JSONL"), (args.chrome, "Chrome trace")):
+        if path:
+            print(f"\nwrote {label} to {path}")
+    return 0
+
+
 def _cmd_bench_list(args) -> int:
     from .workloads import all_workloads
 
@@ -763,6 +819,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probe windowed vs dependence-vector pipeline "
                             "II on the first N workloads (default 6)")
     bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run the full flow with telemetry and print/export the trace",
+        description=(
+            "Run the full Cayman flow on a workload (or mini-C file) with "
+            "telemetry recording enabled, then print the hierarchical span "
+            "tree, the exact counters of every pipeline layer, and the "
+            "wall-time histograms.  --jsonl streams spans as JSON lines; "
+            "--chrome writes Chrome trace-event JSON loadable in Perfetto "
+            "(ui.perfetto.dev) or chrome://tracing."
+        ),
+    )
+    trace.add_argument("source", nargs="?")
+    trace.add_argument("--workload", help="trace a registered benchmark")
+    trace.add_argument("--entry", default="main")
+    trace.add_argument("--alpha", type=float, default=1.1)
+    trace.add_argument("--beta", type=float, default=4.0)
+    trace.add_argument("--no-lint", action="store_true",
+                       help="skip the lint stage")
+    trace.add_argument("--jsonl", metavar="FILE",
+                       help="write one JSON line per span/counter to FILE")
+    trace.add_argument("--chrome", metavar="FILE",
+                       help="write Chrome trace-event JSON to FILE")
+    trace.set_defaults(func=_cmd_trace)
 
     bench_list = sub.add_parser("bench-list", help="list benchmark workloads")
     bench_list.set_defaults(func=_cmd_bench_list)

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 from ..ir import BasicBlock, Function
 from ..analysis.cfg import predecessor_map, reverse_postorder
 from ..analysis.loops import LoopInfo
+from ..telemetry import current as current_telemetry
 
 
 class ForwardDataflow:
@@ -108,6 +109,7 @@ class ForwardDataflow:
         pending = list(range(len(self.rpo)))
         pending_set = set(pending)
         guard = 0
+        widenings = 0
         max_steps = 200 * (len(self.rpo) + 1)
         while pending:
             guard += 1
@@ -130,6 +132,7 @@ class ForwardDataflow:
                 joined = self.join(old_in, state)
                 if visits[block] > self.widen_after:
                     state = self.widen(old_in, joined, block)
+                    widenings += 1
                 else:
                     state = joined
             self.in_states[block] = state
@@ -142,9 +145,18 @@ class ForwardDataflow:
                 if succ_index is not None and succ_index not in pending_set:
                     pending_set.add(succ_index)
                     pending.append(succ_index)
+        narrow_sweeps = 0
         for _ in range(self.narrow_passes):
+            narrow_sweeps += 1
             if not self._narrow_once():
                 break
+        tele = current_telemetry()
+        if tele.enabled:
+            # One batched update per solve keeps the per-visit path clean.
+            tele.count("dataflow.solves")
+            tele.count("dataflow.worklist_iterations", guard)
+            tele.count("dataflow.widenings", widenings)
+            tele.count("dataflow.narrow_sweeps", narrow_sweeps)
         return self
 
     def _narrow_once(self) -> bool:

@@ -14,6 +14,16 @@ from __future__ import annotations
 from typing import Callable, List, Sequence, Tuple
 
 from ..ir import Module, VerificationError, verify_module
+from ..telemetry import current as current_telemetry
+
+
+def _instruction_count(module: Module) -> int:
+    """Total instructions across all defined functions (span attribution)."""
+    return sum(
+        len(block.instructions)
+        for func in module.defined_functions()
+        for block in func.blocks
+    )
 
 
 class PassVerificationError(VerificationError):
@@ -52,8 +62,20 @@ class LintPassManager:
         """Run all passes in order; return the total change count."""
         self.pass_log = []
         total = 0
+        tele = current_telemetry()
+        # Instruction counting walks the whole module per pass, so it only
+        # happens when someone is actually recording.
+        before = _instruction_count(module) if tele.enabled else 0
         for name, fn in self.passes:
-            changes = fn(module)
+            with tele.span(f"opt.pass:{name}") as span:
+                changes = fn(module)
+                if tele.enabled:
+                    after = _instruction_count(module)
+                    span.set("changes", changes)
+                    span.set("instructions_before", before)
+                    span.set("instructions_after", after)
+                    tele.count("opt.pass_changes", changes)
+                    before = after
             total += changes
             self.pass_log.append((name, changes))
             if self.verify_each and changes:

@@ -7,6 +7,7 @@ program analysis → accelerator-model-driven candidate selection (Algorithm
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -21,6 +22,12 @@ from .model.estimator import AcceleratorModel
 from .selection.knapsack import CandidateSelector
 from .selection.pruning import PruneHeuristic
 from .selection.solution import EMPTY_SOLUTION, Solution
+from .telemetry import Telemetry, current as current_telemetry, use as use_telemetry
+
+#: Pipeline stages of one :meth:`Cayman.run`, in execution order.  ``lint``
+#: only appears when the driver runs with ``lint=True``.
+PIPELINE_STAGES = ("compile", "profile", "analysis", "selection", "merging",
+                   "lint")
 
 
 @dataclass
@@ -38,8 +45,12 @@ class CaymanResult:
     #: runs with ``lint=True``); ``None`` when linting was skipped.
     diagnostics: Optional["LintResult"] = None
     #: Wall time per pipeline stage (compile, profile, analysis, selection,
-    #: merging), feeding the bench harness's stage instrumentation.
+    #: merging, and lint when enabled), derived from the run's stage spans
+    #: and feeding the bench harness's stage instrumentation.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The telemetry context the run recorded into (the installed ambient
+    #: context, or a run-local one when none was installed).
+    telemetry: Optional["Telemetry"] = None
 
     @property
     def total_seconds(self) -> float:
@@ -104,6 +115,7 @@ class Cayman:
         area_cap_ratio: float = 2.0,
         legality_prefilter: bool = True,
         lint: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.techlib = techlib
         self.alpha = alpha
@@ -115,6 +127,7 @@ class Cayman:
         self.area_cap_ratio = area_cap_ratio
         self.legality_prefilter = legality_prefilter
         self.lint = lint
+        self.telemetry = telemetry
 
     def run(
         self,
@@ -125,65 +138,109 @@ class Cayman:
         name: str = "app",
     ) -> CaymanResult:
         """Run the full flow on a mini-C source string or an IR module."""
-        import time
-
-        stage_seconds: Dict[str, float] = {}
-
-        def _mark(stage: str, since: float) -> float:
-            now = time.perf_counter()
-            stage_seconds[stage] = now - since
-            return now
-
-        started = time.perf_counter()
-        module = (
-            compile_source(program, name) if isinstance(program, str) else program
-        )
-        checkpoint = _mark("compile", started)
-        profile = profile_module(module, entry=entry, args=args, setup=setup)
-        checkpoint = _mark("profile", checkpoint)
-        wpst = WPST(module, entry_function=entry)
-        model = AcceleratorModel(
-            module,
-            profile,
-            techlib=self.techlib,
-            beta=self.beta,
-            unroll_factors=self.unroll_factors,
-            coupled_only=self.coupled_only,
-            legality_prefilter=self.legality_prefilter,
-        )
-        checkpoint = _mark("analysis", checkpoint)
-        selector = CandidateSelector(
-            wpst,
-            model,
-            prune=PruneHeuristic(profile, self.prune_threshold),
-            alpha=self.alpha,
-            area_cap=self.area_cap_ratio * CVA6_TILE_AREA_UM2,
-        )
-        front = selector.run()
-        checkpoint = _mark("selection", checkpoint)
-
-        merger = AcceleratorMerger(self.techlib)
-        merged: List[MergedSolution] = []
-        for solution in front:
-            if solution.is_empty:
-                continue
-            if self.merging:
-                merged.append(merger.merge(solution))
-            else:
-                merged.append(
-                    MergedSolution(
-                        solution=solution,
-                        area_before=solution.area,
-                        area_after=solution.area,
-                        merge_steps=0,
-                    )
-                )
-        checkpoint = _mark("merging", checkpoint)
-        diagnostics: Optional[LintResult] = None
-        if self.lint:
-            diagnostics = run_lint(
-                module, profile=profile, wpst=wpst, model=model
+        tele = self.telemetry if self.telemetry is not None else current_telemetry()
+        if not tele.enabled:
+            # Stage spans are the source of ``stage_seconds``, so the run
+            # always records into a real context — a run-local one when no
+            # ambient telemetry is installed.
+            tele = Telemetry()
+        with use_telemetry(tele):
+            return self._run_instrumented(
+                tele, program, entry=entry, args=args, setup=setup, name=name
             )
+
+    def _run_instrumented(
+        self,
+        tele: Telemetry,
+        program: Union[str, Module],
+        entry: str,
+        args: Optional[List],
+        setup: Optional[Callable],
+        name: str,
+    ) -> CaymanResult:
+        stage_spans: Dict[str, "object"] = {}
+
+        def stage(stage_name: str):
+            span = tele.span(f"stage:{stage_name}")
+            stage_spans[stage_name] = span
+            return span
+
+        with tele.span("cayman.run", workload=name, entry=entry,
+                       coupled_only=self.coupled_only) as root:
+            started = time.perf_counter()
+            with stage("compile"):
+                module = (
+                    compile_source(program, name)
+                    if isinstance(program, str) else program
+                )
+            with stage("profile"):
+                profile = profile_module(
+                    module, entry=entry, args=args, setup=setup
+                )
+            with stage("analysis"):
+                wpst = WPST(module, entry_function=entry)
+                model = AcceleratorModel(
+                    module,
+                    profile,
+                    techlib=self.techlib,
+                    beta=self.beta,
+                    unroll_factors=self.unroll_factors,
+                    coupled_only=self.coupled_only,
+                    legality_prefilter=self.legality_prefilter,
+                )
+            with stage("selection"):
+                selector = CandidateSelector(
+                    wpst,
+                    model,
+                    prune=PruneHeuristic(profile, self.prune_threshold),
+                    alpha=self.alpha,
+                    area_cap=self.area_cap_ratio * CVA6_TILE_AREA_UM2,
+                )
+                front = selector.run()
+            with stage("merging") as merging_span:
+                merger = AcceleratorMerger(self.techlib)
+                merged: List[MergedSolution] = []
+                for solution in front:
+                    if solution.is_empty:
+                        continue
+                    if self.merging:
+                        merged.append(merger.merge(solution))
+                    else:
+                        merged.append(
+                            MergedSolution(
+                                solution=solution,
+                                area_before=solution.area,
+                                area_after=solution.area,
+                                merge_steps=0,
+                            )
+                        )
+                merging_span.set("solutions", len(merged))
+            diagnostics: Optional[LintResult] = None
+            if self.lint:
+                with stage("lint") as lint_span:
+                    diagnostics = run_lint(
+                        module, profile=profile, wpst=wpst, model=model
+                    )
+                    lint_span.set("findings", len(diagnostics.diagnostics))
+            runtime_seconds = time.perf_counter() - started
+            root.set("front_size", len(front))
+
+        stage_seconds = {
+            stage_name: span.duration_s
+            for stage_name, span in stage_spans.items()
+        }
+        # The stages are contiguous and cover the whole run, so their sum
+        # must account for (almost) all of the runtime — anything else means
+        # a stage was dropped from the accounting (the pre-telemetry code
+        # lost the lint stage exactly this way).
+        accounted = sum(stage_seconds.values())
+        assert runtime_seconds + 1e-9 >= accounted, (
+            f"stage times exceed runtime: {accounted} > {runtime_seconds}"
+        )
+        assert runtime_seconds - accounted <= max(0.05, 0.1 * runtime_seconds), (
+            f"unattributed stage time: stages sum to {accounted:.6f}s "
+            f"of {runtime_seconds:.6f}s"
+        )
         return CaymanResult(
             module=module,
             wpst=wpst,
@@ -191,9 +248,10 @@ class Cayman:
             selector=selector,
             front=front,
             merged=merged,
-            runtime_seconds=time.perf_counter() - started,
+            runtime_seconds=runtime_seconds,
             diagnostics=diagnostics,
             stage_seconds=stage_seconds,
+            telemetry=tele,
         )
 
 def _prune_dominated(points):

@@ -726,8 +726,14 @@ def compile_source(source: str, name: str = "module", optimize: bool = True) -> 
     """
     from ..ir import verify_module
 
-    module = lower_program(parse(source), name)
-    verify_module(module)
+    from ..telemetry import current as current_telemetry
+
+    tele = current_telemetry()
+    with tele.span("frontend.parse"):
+        program = parse(source)
+    with tele.span("frontend.lower"):
+        module = lower_program(program, name)
+        verify_module(module)
     if optimize:
         from ..opt import optimize_module
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 import struct
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..ir import (
@@ -41,6 +42,7 @@ from ..ir import (
     sizeof,
     resource_class,
 )
+from ..telemetry import current as current_telemetry
 from .cpu_model import instruction_cycles
 from .memory import FlatMemory
 
@@ -143,6 +145,16 @@ class Interpreter:
             raise InterpreterError(
                 f"{func.name} expects {len(func.arguments)} args, got {len(args)}"
             )
+        if self._depth == 0:
+            tele = current_telemetry()
+            if tele.enabled:
+                # Telemetry stays at the top-level call boundary: counters
+                # are flushed as deltas once per run, never per instruction,
+                # so the compiled engine's hot loop is untouched.
+                return self._call_top_level_traced(tele, func, args)
+        return self._call_function_inner(func, args)
+
+    def _call_function_inner(self, func: Function, args: List):
         self._depth += 1
         try:
             if self._depth == 1 and self.bounds is not None:
@@ -150,6 +162,31 @@ class Interpreter:
             return self._run_function(func, args)
         finally:
             self._depth -= 1
+
+    def _call_top_level_traced(self, tele, func: Function, args: List):
+        instructions0 = self.instructions
+        elided0 = self.elided_accesses
+        checked0 = self.checked_accesses
+        with tele.span("interp.run", function=func.name, engine=self.engine):
+            start = time.perf_counter()
+            try:
+                return self._call_function_inner(func, args)
+            finally:
+                tele.record(
+                    "interp.exec_seconds", time.perf_counter() - start
+                )
+                tele.count("interp.runs")
+                tele.count(
+                    "interp.instructions", self.instructions - instructions0
+                )
+                tele.count(
+                    "interp.elided_accesses",
+                    self.elided_accesses - elided0,
+                )
+                tele.count(
+                    "interp.checked_accesses",
+                    self.checked_accesses - checked0,
+                )
 
     def _entry_args_match_seeds(self, func: Function, args: List) -> bool:
         """The bounds proofs assume each function's integer arguments stay
@@ -179,7 +216,16 @@ class Interpreter:
         if program is None:
             from .compiled import CompiledProgram
 
-            program = CompiledProgram(self, elide=key)
+            tele = current_telemetry()
+            with tele.span("interp.compile", elide=key):
+                start = time.perf_counter()
+                program = CompiledProgram(self, elide=key)
+                if tele.enabled:
+                    tele.count("interp.compiles")
+                    tele.record(
+                        "interp.compile_seconds",
+                        time.perf_counter() - start,
+                    )
             self._programs[key] = program
         return program
 

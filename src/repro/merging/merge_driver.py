@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from ..hls.fsm import GlobalControlUnit
 from ..hls.techlib import ACCELERATOR_BASE_AREA_UM2, DEFAULT_TECHLIB, TechLibrary
 from ..selection.solution import Solution
+from ..telemetry import current as current_telemetry
 from .dfg_merge import MergedUnit, estimate_pair_saving, merge_pair
 
 
@@ -120,6 +121,24 @@ class AcceleratorMerger:
         self.min_match_fraction = min_match_fraction
 
     def merge(self, solution: Solution) -> MergedSolution:
+        tele = current_telemetry()
+        with tele.span(
+            "merging.solution", accelerators=len(solution.accelerators)
+        ) as span:
+            merged = self._merge_impl(solution)
+            if tele.enabled:
+                span.set("steps", merged.merge_steps)
+                span.set("saving_um2", merged.saving)
+                tele.count("merging.solutions")
+                tele.count("merging.steps", merged.merge_steps)
+                tele.count("merging.recovered_area_um2", merged.saving)
+                tele.count(
+                    "merging.width_recovered_area_um2",
+                    merged.width_recovered_area,
+                )
+        return merged
+
+    def _merge_impl(self, solution: Solution) -> MergedSolution:
         units: List[MergedUnit] = []
         kernel_of_owner: Dict[int, str] = {}
         for owner, accel in enumerate(solution.accelerators):
@@ -164,6 +183,7 @@ class AcceleratorMerger:
         def pair_saving(i: int, j: int):
             key = (serials[id(units[i])], serials[id(units[j])])
             if key not in savings:
+                current_telemetry().count("merging.pairs_evaluated")
                 saving, match = estimate_pair_saving(
                     units[i], units[j], self.techlib
                 )

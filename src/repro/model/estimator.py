@@ -45,6 +45,7 @@ from ..hls.techlib import (
 from ..hls.report import SynthesisReport
 from ..hls.transform import unroll_legal
 from ..interp.profiler import RegionProfile
+from ..telemetry import current as current_telemetry
 from .config import AcceleratorConfig, AcceleratorEstimate, LoopPlan
 from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 
@@ -238,23 +239,29 @@ class AcceleratorModel:
         estimates: List[AcceleratorEstimate] = []
         seen: set = set()
         env = self._rule_env(ctx) if self.legality_prefilter else None
+        tele = current_telemetry()
 
         for config in self._configs_for_region(region, ctx):
+            tele.count("model.configs_generated")
             if env is not None:
                 from ..diagnostics.config_rules import config_errors
 
                 errors = config_errors(config, env)
                 if errors:
                     self.rejected_configs.append((config, errors))
+                    tele.count("model.configs_prefiltered")
                     continue
             estimate = self.estimate(config, ctx)
             if estimate is None or not estimate.is_profitable:
+                tele.count("model.configs_unprofitable")
                 continue
             signature = (round(estimate.cycles), round(estimate.area))
             if signature in seen:
+                tele.count("model.configs_deduped")
                 continue
             seen.add(signature)
             estimates.append(estimate)
+        tele.count("model.candidates", len(estimates))
         return estimates
 
     # Configuration generation ----------------------------------------------------

@@ -38,8 +38,10 @@ def optimize_module(module: Module, verify: bool = True) -> Module:
     pass via :class:`~repro.diagnostics.passes.PassVerificationError`.
     """
     from ..diagnostics.passes import LintPassManager
+    from ..telemetry import current as current_telemetry
 
-    LintPassManager(DEFAULT_PASSES, verify_each=verify).run(module)
+    with current_telemetry().span("opt.pipeline"):
+        LintPassManager(DEFAULT_PASSES, verify_each=verify).run(module)
     return module
 
 

@@ -38,6 +38,7 @@ from ..baselines.novia import Novia
 from ..baselines.qscores import QsCores
 from ..framework import Cayman, CaymanResult
 from ..model.estimator import ESTIMATOR_VERSION
+from ..telemetry import Telemetry, merge_snapshots, use as use_telemetry
 from ..workloads import get_workload
 
 #: Bumped whenever the on-disk record layout changes (old entries are
@@ -113,31 +114,50 @@ class BenchmarkComparison:
         return getattr(self, flow)
 
 
-def run_comparison(name: str, params: FlowParams) -> BenchmarkComparison:
-    """Run all four flows on one workload (the single execution path)."""
+def run_comparison(
+    name: str,
+    params: FlowParams,
+    telemetry: Optional[Telemetry] = None,
+) -> BenchmarkComparison:
+    """Run all four flows on one workload (the single execution path).
+
+    ``telemetry`` (when given) is installed as the ambient sink for the
+    whole comparison, so every flow's counters land in one per-workload
+    snapshot.  Serial and parallel bench runs both evaluate each workload
+    against its own fresh :class:`Telemetry`, which keeps merged counters
+    bit-identical regardless of ``--jobs`` (identical additions in
+    identical order).
+    """
+    from ..telemetry import current as current_telemetry
+
+    tele = telemetry if telemetry is not None else current_telemetry()
     workload = get_workload(name)
     flow_seconds: Dict[str, float] = {}
 
     def timed(flow: str, runner):
         started = time.perf_counter()
-        result = runner.run(workload.source, entry=workload.entry, name=name)
+        with tele.span(f"bench.flow:{flow}", workload=name):
+            result = runner.run(
+                workload.source, entry=workload.entry, name=name
+            )
         flow_seconds[flow] = time.perf_counter() - started
         return result
 
-    cayman = timed("cayman", Cayman(
-        alpha=params.alpha, beta=params.beta,
-        prune_threshold=params.prune_threshold,
-    ))
-    coupled = timed("coupled_only", Cayman(
-        alpha=params.alpha, beta=params.beta,
-        prune_threshold=params.prune_threshold, coupled_only=True,
-    ))
-    novia = timed("novia", Novia(
-        alpha=params.alpha, prune_threshold=params.prune_threshold,
-    ))
-    qscores = timed("qscores", QsCores(
-        alpha=params.alpha, prune_threshold=params.prune_threshold,
-    ))
+    with use_telemetry(tele):
+        cayman = timed("cayman", Cayman(
+            alpha=params.alpha, beta=params.beta,
+            prune_threshold=params.prune_threshold,
+        ))
+        coupled = timed("coupled_only", Cayman(
+            alpha=params.alpha, beta=params.beta,
+            prune_threshold=params.prune_threshold, coupled_only=True,
+        ))
+        novia = timed("novia", Novia(
+            alpha=params.alpha, prune_threshold=params.prune_threshold,
+        ))
+        qscores = timed("qscores", QsCores(
+            alpha=params.alpha, prune_threshold=params.prune_threshold,
+        ))
     return BenchmarkComparison(
         name=name,
         suite=workload.suite,
@@ -317,16 +337,32 @@ def record_from_comparison(
 # Persistent cache ---------------------------------------------------------------
 
 
+def _hit_rate(hits: int, misses: int) -> float:
+    """``hits / (hits + misses)`` with a zero-total guard."""
+    total = hits + misses
+    return (hits / total) if total else 0.0
+
+
 class BenchCache:
     """Content-keyed on-disk store of :class:`WorkloadRecord` JSON blobs."""
 
     def __init__(self, directory: str = DEFAULT_CACHE_DIR):
         self.directory = directory
+        self.hits = 0
+        self.misses = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
     def get(self, key: str) -> Optional[WorkloadRecord]:
+        record = self._load(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def _load(self, key: str) -> Optional[WorkloadRecord]:
         try:
             with open(self._path(key)) as handle:
                 payload = json.load(handle)
@@ -337,6 +373,18 @@ class BenchCache:
         if payload.get("estimator_version") != ESTIMATOR_VERSION:
             return None
         return WorkloadRecord.from_dict(payload)
+
+    def hit_rate(self) -> float:
+        return _hit_rate(self.hits, self.misses)
+
+    def stats(self) -> Dict:
+        """Disk-level lookup statistics of this cache instance."""
+        return {
+            "directory": self.directory,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+        }
 
     def put(self, record: WorkloadRecord) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -363,8 +411,10 @@ class BenchCache:
 def _evaluate_worker(name: str, params_payload: Dict) -> Dict:
     params = FlowParams.from_dict(params_payload)
     key = cache_key(name, params)
-    comparison = run_comparison(name, params)
-    return record_from_comparison(comparison, params, key).to_dict()
+    tele = Telemetry()
+    comparison = run_comparison(name, params, telemetry=tele)
+    record = record_from_comparison(comparison, params, key)
+    return {"record": record.to_dict(), "telemetry": tele.snapshot()}
 
 
 # The engine ---------------------------------------------------------------------
@@ -391,6 +441,9 @@ class EvaluationEngine:
         self.hits = 0
         self.misses = 0
         self.hit_names: set = set()
+        #: name → deterministic ``Telemetry.snapshot()`` of the workload's
+        #: evaluation (absent for cache hits, which never execute the flows).
+        self.telemetry_snapshots: Dict[str, Dict] = {}
 
     # Keys ----------------------------------------------------------------------
 
@@ -408,7 +461,9 @@ class EvaluationEngine:
         run over the same cache directory starts warm.
         """
         if name not in self._comparisons:
-            comparison = run_comparison(name, self.params)
+            tele = Telemetry()
+            comparison = run_comparison(name, self.params, telemetry=tele)
+            self.telemetry_snapshots[name] = tele.snapshot()
             self._comparisons[name] = comparison
             record = record_from_comparison(
                 comparison, self.params, self.key_for(name)
@@ -437,7 +492,9 @@ class EvaluationEngine:
             self.hit_names.add(name)
             return cached
         self.misses += 1
-        comparison = run_comparison(name, self.params)
+        tele = Telemetry()
+        comparison = run_comparison(name, self.params, telemetry=tele)
+        self.telemetry_snapshots[name] = tele.snapshot()
         record = record_from_comparison(
             comparison, self.params, self.key_for(name)
         )
@@ -480,14 +537,27 @@ class EvaluationEngine:
                         for name in missing
                     }
                     for name in missing:
-                        record = WorkloadRecord.from_dict(futures[name].result())
+                        payload_out = futures[name].result()
+                        record = WorkloadRecord.from_dict(
+                            payload_out["record"]
+                        )
+                        self.telemetry_snapshots[name] = (
+                            payload_out["telemetry"]
+                        )
                         self._remember(record)
                         records[name] = record
                         if progress:
                             progress(name, "done")
             else:
                 for name in missing:
-                    comparison = run_comparison(name, self.params)
+                    # One fresh Telemetry per workload — exactly what each
+                    # pool worker does — so serial and parallel runs perform
+                    # identical counter additions in identical order.
+                    tele = Telemetry()
+                    comparison = run_comparison(
+                        name, self.params, telemetry=tele
+                    )
+                    self.telemetry_snapshots[name] = tele.snapshot()
                     record = record_from_comparison(
                         comparison, self.params, self.key_for(name)
                     )
@@ -503,12 +573,34 @@ class EvaluationEngine:
             self.cache.put(record)
 
     def cache_stats(self) -> Dict:
-        total = self.hits + self.misses
-        return {
+        stats = {
             "directory": self.cache.directory if self.cache else None,
             "hits": self.hits,
             "misses": self.misses,
-            "hit_rate": (self.hits / total) if total else 0.0,
+            "hit_rate": _hit_rate(self.hits, self.misses),
+        }
+        if self.cache is not None:
+            stats["disk"] = self.cache.stats()
+        return stats
+
+    def telemetry_section(self, names: Sequence[str]) -> Dict:
+        """The ``telemetry`` section of a bench report.
+
+        Per-workload snapshots plus their merge, folded in ``names`` order
+        so serial and parallel runs produce bit-identical counters (float
+        addition is order-sensitive; the order here is fixed by the input
+        list, never by completion order).  Cache hits skip evaluation and
+        therefore contribute no snapshot.
+        """
+        ordered = [n for n in names if n in self.telemetry_snapshots]
+        return {
+            "workloads": {
+                name: self.telemetry_snapshots[name] for name in ordered
+            },
+            "merged": merge_snapshots(
+                [self.telemetry_snapshots[name] for name in ordered]
+            ),
+            "cache": self.cache_stats(),
         }
 
 
@@ -745,6 +837,7 @@ def build_report(
     interp_elision: Optional[Dict[str, Dict]] = None,
     area_narrowing: Optional[Dict[str, Dict]] = None,
     pipeline_ii: Optional[Dict[str, Dict]] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Dict:
     """The machine-readable bench payload (see docs/benchmarking.md)."""
     payload = {
@@ -768,6 +861,9 @@ def build_report(
         payload["area_narrowing"] = area_narrowing
     if pipeline_ii is not None:
         payload["pipeline_ii"] = pipeline_ii
+    if telemetry is None:
+        telemetry = engine.telemetry_section([r.name for r in records])
+    payload["telemetry"] = telemetry
     return payload
 
 
@@ -789,8 +885,10 @@ def compare_reports(left: Dict, right: Dict) -> List[str]:
     """Determinism check: the *deterministic* sections must match bit-for-bit.
 
     Compares per-workload flow speedups/Pareto series, Table II metrics, and
-    selector counters; wall times and cache statistics are expected to
-    differ between runs and are ignored.  Returns human-readable mismatch
+    selector counters; wall times, cache statistics, and the ``telemetry``
+    section (its ``timings`` are wall-clock aggregates, and its coverage
+    depends on which workloads were cache hits) are expected to differ
+    between runs and are ignored.  Returns human-readable mismatch
     descriptions (empty = identical).
     """
     problems: List[str] = []

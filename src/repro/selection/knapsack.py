@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from ..analysis.wpst import WPST, WPSTNode
 from ..model.estimator import AcceleratorModel
+from ..telemetry import current as current_telemetry
 from .pruning import PruneHeuristic
 from .solution import (
     EMPTY_SOLUTION,
@@ -70,7 +71,18 @@ class CandidateSelector:
 
     def run(self) -> List[Solution]:
         """Execute the DP from the root; returns F[root]."""
-        front = self._dp(self.wpst.root)
+        if self.wpst.root in self.fronts:
+            return self.fronts[self.wpst.root]
+        tele = current_telemetry()
+        with tele.span("selection.dp") as span:
+            front = self._dp(self.wpst.root)
+            if tele.enabled:
+                span.set("front_size", len(front))
+                tele.count(
+                    "selection.vertices_evaluated", self.evaluated_vertices
+                )
+                tele.count("selection.vertices_pruned", self.pruned_vertices)
+                tele.count("selection.rejected_configs", self.rejected_configs)
         return front
 
     def best_under_budget(self, area_budget: float) -> Solution:

@@ -1,0 +1,45 @@
+"""Zero-dependency observability for the Cayman pipeline.
+
+See ``docs/observability.md`` for the span/metric naming conventions, the
+sink API, and how to instrument a new analysis.
+"""
+
+from .core import (
+    NULL_TELEMETRY,
+    Counter,
+    Histogram,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    current,
+    install,
+    merge_snapshots,
+    use,
+)
+from .sinks import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    Sink,
+    chrome_trace_events,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "Span",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "use",
+    "install",
+    "merge_snapshots",
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,429 @@
+"""Pipeline-wide telemetry: hierarchical spans and a metrics registry.
+
+Every layer of the flow (frontend, opt passes, dataflow/dependence
+analyses, estimation/selection, merging, interpreter engines, bench
+engine) reports into one :class:`Telemetry` context:
+
+* **Spans** — ``with tele.span("selection", workload=name):`` opens a
+  named, attributed, monotonic-clock-timed region; spans nest, forming a
+  tree rooted at the outermost open span.  Span *structure* (names,
+  attributes, nesting, order) is a deterministic function of the work
+  performed; only the timing fields vary between runs.
+* **Counters / histograms** — ``tele.count("dependence.tier.vector")``
+  accumulates named exact values (ints or floats); ``tele.record(name,
+  seconds)`` feeds a histogram (count/total/min/max), used for wall-time
+  observations that must stay out of determinism comparisons.
+* **Sinks** — observers notified as spans start/end and at ``close()``;
+  see :mod:`repro.telemetry.sinks` for the in-memory, JSONL, and Chrome
+  trace-event implementations.  The default context is
+  :data:`NULL_TELEMETRY`, whose every operation is a near-zero-cost no-op.
+
+The active context is process-global: :func:`current` reads it,
+:func:`use` installs one for a ``with`` block.  Instrumented modules call
+``current()`` at their entry points; the interpreter's compiled hot loop
+contains **no** telemetry calls at all — interpreter counters are flushed
+once per top-level call (see ``docs/observability.md``).
+
+Determinism contract: :meth:`Telemetry.snapshot` separates ``counters``
+(exact, reproducible bit-for-bit across runs and across serial/parallel
+bench fan-out) from ``timings`` (histograms of wall-clock observations,
+excluded from every identity comparison).  :func:`merge_snapshots`
+combines worker snapshots in caller-supplied order so a parallel bench
+run reproduces the serial run's counter values exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "Span",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "use",
+    "install",
+    "merge_snapshots",
+]
+
+
+class Counter:
+    """A named, monotonically accumulated exact value (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount=1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Aggregate of observed values: count/total/min/max.
+
+    Used for wall-time observations; everything recorded here is excluded
+    from determinism comparisons (see :meth:`Telemetry.snapshot`).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Span:
+    """One timed, attributed region of the pipeline; spans form a tree.
+
+    Created through :meth:`Telemetry.span` and used as a context manager.
+    ``seq`` is the start-order index within the owning telemetry context
+    (deterministic), ``start_s``/``end_s`` are monotonic-clock offsets
+    relative to the context's origin (timing — never compared).
+    """
+
+    __slots__ = (
+        "name", "attrs", "parent", "children", "depth", "seq",
+        "start_s", "end_s", "_tele",
+    )
+
+    def __init__(self, tele: "Telemetry", name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.parent: Optional["Span"] = None
+        self.children: List["Span"] = []
+        self.depth = 0
+        self.seq = 0
+        self.start_s = 0.0
+        self.end_s: Optional[float] = None
+        self._tele = tele
+
+    # Context-manager protocol -------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tele._start_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tele._end_span(self)
+
+    # Accessors ----------------------------------------------------------------
+
+    def set(self, key: str, value) -> None:
+        """Attach/overwrite one attribute (e.g. a result computed inside)."""
+        self.attrs[key] = value
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_dict(self, include_timing: bool = True) -> Dict[str, Any]:
+        """Serializable form; without timing it is run-to-run deterministic."""
+        payload: Dict[str, Any] = {"name": self.name}
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if include_timing:
+            payload["start_s"] = self.start_s
+            payload["duration_s"] = self.duration_s
+        if self.children:
+            payload["children"] = [
+                child.to_dict(include_timing) for child in self.children
+            ]
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, depth={self.depth}, seq={self.seq})"
+
+
+class _NullSpan:
+    """Shared do-nothing span: the body of every no-op ``with`` block."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, key: str, value) -> None:
+        return None
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def add(self, amount=1) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+
+    def record(self, value: float) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_COUNTER = _NullCounter()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class Telemetry:
+    """A recording telemetry context: span tree + metrics registry."""
+
+    enabled = True
+
+    def __init__(self, sinks: Sequence = ()):
+        self.sinks = list(sinks)
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._seq = 0
+        self._origin = time.perf_counter()
+        self._closed = False
+
+    # Spans --------------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span context manager; nesting follows ``with`` structure."""
+        return Span(self, name, attrs)
+
+    def _start_span(self, span: Span) -> None:
+        span.seq = self._seq
+        self._seq += 1
+        if self._stack:
+            span.parent = self._stack[-1]
+            span.depth = span.parent.depth + 1
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        span.start_s = time.perf_counter() - self._origin
+        self._stack.append(span)
+        for sink in self.sinks:
+            sink.span_started(span)
+
+    def _end_span(self, span: Span) -> None:
+        span.end_s = time.perf_counter() - self._origin
+        # Tolerate exceptional unwinding through nested spans.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end_s is None:
+                dangling.end_s = span.end_s
+        if self._stack:
+            self._stack.pop()
+        for sink in self.sinks:
+            sink.span_ended(span)
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def span_tree(self, include_timing: bool = False) -> List[Dict]:
+        """The finished span forest; timing-free form is deterministic."""
+        return [root.to_dict(include_timing) for root in self.roots]
+
+    def walk_spans(self) -> Iterable[Span]:
+        """All spans, preorder (start order)."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    # Metrics ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        found = self.counters.get(name)
+        if found is None:
+            found = self.counters[name] = Counter(name)
+        return found
+
+    def count(self, name: str, amount=1) -> None:
+        self.counter(name).add(amount)
+
+    def histogram(self, name: str) -> Histogram:
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram(name)
+        return found
+
+    def record(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
+
+    # Snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Serializable state: exact ``counters`` + wall-clock ``timings``.
+
+        ``counters`` is the deterministic half (bit-identical across runs
+        of the same work); ``timings`` aggregates histogram observations
+        and is excluded from every identity comparison.
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "timings": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a snapshot (e.g. from a process-pool worker) into this
+        context: counters sum, timing aggregates combine."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, stats in snapshot.get("timings", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += stats.get("count", 0)
+            histogram.total += stats.get("total", 0.0)
+            for bound, pick in (("min", min), ("max", max)):
+                observed = stats.get(bound)
+                if observed is None:
+                    continue
+                ours = getattr(histogram, bound)
+                setattr(
+                    histogram, bound,
+                    observed if ours is None else pick(ours, observed),
+                )
+
+    # Lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush every sink (writes JSONL/Chrome outputs).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for sink in self.sinks:
+            sink.flush(self)
+
+
+class NullTelemetry:
+    """The default context: every operation is a shared-object no-op."""
+
+    enabled = False
+    sinks: List = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def count(self, name: str, amount=1) -> None:
+        return None
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def record(self, name: str, value: float) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "timings": {}}
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        return None
+
+    def span_tree(self, include_timing: bool = False) -> List[Dict]:
+        return []
+
+    def walk_spans(self) -> Iterable[Span]:
+        return iter(())
+
+    @property
+    def active_span(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+_current: "Telemetry | NullTelemetry" = NULL_TELEMETRY
+
+
+def current():
+    """The active telemetry context (:data:`NULL_TELEMETRY` by default)."""
+    return _current
+
+
+class _Use:
+    """Context manager installing a telemetry context for a ``with`` block."""
+
+    __slots__ = ("_tele", "_saved")
+
+    def __init__(self, tele):
+        self._tele = tele
+        self._saved = None
+
+    def __enter__(self):
+        global _current
+        self._saved = _current
+        _current = self._tele
+        return self._tele
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _current
+        _current = self._saved
+
+
+def use(tele) -> _Use:
+    """``with use(tele): ...`` — install ``tele`` as the active context."""
+    return _Use(tele)
+
+
+def install(tele) -> None:
+    """Install ``tele`` process-wide (no scoping; prefer :func:`use`)."""
+    global _current
+    _current = tele
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Combine snapshots in the given order into one snapshot.
+
+    The order matters for bit-identity of float counters: callers must pass
+    a deterministic sequence (the bench engine uses workload input order so
+    serial and parallel runs merge identically).
+    """
+    merged = Telemetry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

@@ -268,3 +268,64 @@ class TestBitwidthCommand:
         assert main(["bitwidth", kernel_file]) == 0
         out = capsys.readouterr().out
         assert "saxpy" in out
+
+
+class TestTraceCommand:
+    def test_trace_workload_summary(self, capsys):
+        assert main(["trace", "--workload", "trisolv"]) == 0
+        out = capsys.readouterr().out
+        assert "trace of trisolv" in out
+        assert "cayman.run" in out
+        for stage in ("stage:compile", "stage:profile", "stage:analysis",
+                      "stage:selection", "stage:merging", "stage:lint"):
+            assert stage in out
+        assert "counters:" in out
+        assert "interp.instructions" in out
+
+    def test_trace_no_lint(self, capsys):
+        assert main(["trace", "--workload", "trisolv", "--no-lint"]) == 0
+        assert "stage:lint" not in capsys.readouterr().out
+
+    def test_trace_chrome_export_is_valid_and_deep(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        path = str(tmp_path / "trace.json")
+        assert main(["trace", "--workload", "trisolv",
+                     "--chrome", path]) == 0
+        payload = json.load(open(path))
+        assert validate_chrome_trace(payload) == []
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        # Every pipeline stage appears as a span...
+        for stage in ("stage:compile", "stage:profile", "stage:analysis",
+                      "stage:selection", "stage:merging", "stage:lint"):
+            assert stage in names
+        # ...and the containment structure is at least four levels deep:
+        # cayman.run > stage:compile > opt.pipeline > opt.pass:<name>.
+        def contains(outer, inner):
+            return (outer["ts"] <= inner["ts"] and
+                    outer["ts"] + outer["dur"] >=
+                    inner["ts"] + inner["dur"])
+
+        by_name = {e["name"]: e for e in complete}
+        chain = [by_name["cayman.run"], by_name["stage:compile"],
+                 by_name["opt.pipeline"], by_name["opt.pass:dce"]]
+        for outer, inner in zip(chain, chain[1:]):
+            assert contains(outer, inner)
+
+    def test_trace_jsonl_export(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "--workload", "trisolv", "--jsonl", path]) == 0
+        lines = [json.loads(line) for line in open(path)]
+        spans = [l for l in lines if l["event"] == "span"]
+        counters = [l for l in lines if l["event"] == "counter"]
+        assert max(s["depth"] for s in spans) >= 3
+        assert any(c["name"] == "interp.instructions" for c in counters)
+
+    def test_trace_source_file(self, kernel_file, capsys):
+        assert main(["trace", kernel_file]) == 0
+        assert "cayman.run" in capsys.readouterr().out

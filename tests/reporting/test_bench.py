@@ -196,3 +196,77 @@ class TestReports:
     def test_default_tag_stable(self, params):
         assert default_tag(params) == default_tag(FlowParams())
         assert default_tag(params) != default_tag(FlowParams(alpha=1.3))
+
+
+class TestBenchCacheStats:
+    def test_zero_total_guard(self, tmp_path):
+        cache = BenchCache(str(tmp_path / "cache"))
+        assert cache.hit_rate() == 0.0
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["hit_rate"] == 0.0
+
+    def test_get_counts_hits_and_misses(self, tmp_path, params):
+        cache_dir = str(tmp_path / "cache")
+        engine = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        record = engine.record("trisolv")
+        warm = BenchCache(cache_dir)
+        assert warm.get(record.key) is not None
+        assert warm.get("0" * 64) is None
+        assert warm.hits == 1 and warm.misses == 1
+        assert warm.hit_rate() == 0.5
+        assert warm.stats()["directory"] == cache_dir
+
+    def test_engine_cache_stats_include_disk(self, tmp_path, params):
+        engine = EvaluationEngine(params, cache=BenchCache(str(tmp_path)))
+        stats = engine.cache_stats()
+        assert stats["hit_rate"] == 0.0
+        assert stats["disk"] == engine.cache.stats()
+        assert "disk" not in EvaluationEngine(params).cache_stats()
+
+
+class TestTelemetrySection:
+    def test_serial_and_parallel_counters_bit_identical(self, params):
+        serial = EvaluationEngine(params)
+        serial.evaluate(NAMES, jobs=1)
+        parallel = EvaluationEngine(params)
+        parallel.evaluate(NAMES, jobs=2)
+        s = serial.telemetry_section(NAMES)
+        p = parallel.telemetry_section(NAMES)
+        # Counters (including float-valued ones) must agree bit-for-bit;
+        # timings are wall-clock and deliberately not compared.
+        assert s["merged"]["counters"] == p["merged"]["counters"]
+        for name in NAMES:
+            assert (s["workloads"][name]["counters"]
+                    == p["workloads"][name]["counters"])
+        merged = s["merged"]["counters"]
+        assert merged["interp.instructions"] > 0
+        assert merged["selection.vertices_evaluated"] > 0
+
+    def test_report_contains_merged_telemetry(self, params):
+        engine = EvaluationEngine(params)
+        records = engine.evaluate(NAMES[:1])
+        payload = build_report(records, engine, "t", 1.0)
+        section = payload["telemetry"]
+        assert NAMES[0] in section["workloads"]
+        assert section["merged"]["counters"]["model.candidates"] > 0
+        assert "cache" in section
+
+    def test_cache_hits_contribute_no_snapshot(self, tmp_path, params):
+        cache_dir = str(tmp_path / "cache")
+        cold = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        cold.evaluate(NAMES[:1])
+        warm = EvaluationEngine(params, cache=BenchCache(cache_dir))
+        warm.evaluate(NAMES[:1])
+        assert warm.telemetry_snapshots == {}
+        section = warm.telemetry_section(NAMES[:1])
+        assert section["workloads"] == {}
+        assert section["merged"]["counters"] == {}
+
+    def test_compare_reports_ignores_telemetry(self, params, serial_records):
+        engine = EvaluationEngine(params)
+        payload = build_report(serial_records, engine, "t", 1.0)
+        other = json.loads(json.dumps(payload))
+        other["telemetry"] = {"workloads": {}, "merged": {
+            "counters": {}, "timings": {}}, "cache": {}}
+        assert compare_reports(payload, other) == []

@@ -1,0 +1,223 @@
+"""Tests for the telemetry core: spans, metrics, context, snapshots."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current,
+    install,
+    merge_snapshots,
+    use,
+)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tele = Telemetry()
+        with tele.span("outer"):
+            with tele.span("inner_a"):
+                with tele.span("leaf"):
+                    pass
+            with tele.span("inner_b"):
+                pass
+        assert [root.name for root in tele.roots] == ["outer"]
+        outer = tele.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert outer.children[0].children[0].name == "leaf"
+        assert outer.depth == 0
+        assert outer.children[0].depth == 1
+        assert outer.children[0].children[0].depth == 2
+
+    def test_seq_is_start_order(self):
+        tele = Telemetry()
+        with tele.span("a"):
+            with tele.span("b"):
+                pass
+        with tele.span("c"):
+            pass
+        names = {span.name: span.seq for span in tele.walk_spans()}
+        assert names == {"a": 0, "b": 1, "c": 2}
+
+    def test_attrs_and_set(self):
+        tele = Telemetry()
+        with tele.span("work", workload="fig2") as span:
+            span.set("result", 7)
+        assert tele.roots[0].attrs == {"workload": "fig2", "result": 7}
+
+    def test_durations_are_monotonic(self):
+        tele = Telemetry()
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+        outer, inner = tele.roots[0], tele.roots[0].children[0]
+        assert outer.duration_s >= inner.duration_s >= 0.0
+        assert inner.start_s >= outer.start_s
+
+    def test_active_span(self):
+        tele = Telemetry()
+        assert tele.active_span is None
+        with tele.span("outer") as outer:
+            assert tele.active_span is outer
+            with tele.span("inner") as inner:
+                assert tele.active_span is inner
+            assert tele.active_span is outer
+        assert tele.active_span is None
+
+    def test_exceptional_unwind_closes_spans(self):
+        tele = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tele.span("outer"):
+                with tele.span("inner"):
+                    raise RuntimeError("boom")
+        assert tele.active_span is None
+        for span in tele.walk_spans():
+            assert span.end_s is not None
+
+    def test_span_tree_without_timing_is_deterministic(self):
+        def build():
+            tele = Telemetry()
+            with tele.span("a", k=1):
+                with tele.span("b"):
+                    pass
+            return tele.span_tree(include_timing=False)
+
+        assert build() == build()
+        tree = build()
+        assert "start_s" not in tree[0] and "duration_s" not in tree[0]
+
+    def test_span_tree_with_timing(self):
+        tele = Telemetry()
+        with tele.span("a"):
+            pass
+        tree = tele.span_tree(include_timing=True)
+        assert tree[0]["duration_s"] >= 0.0
+
+    def test_walk_spans_preorder(self):
+        tele = Telemetry()
+        with tele.span("a"):
+            with tele.span("b"):
+                pass
+            with tele.span("c"):
+                with tele.span("d"):
+                    pass
+        assert [s.name for s in tele.walk_spans()] == ["a", "b", "c", "d"]
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        tele = Telemetry()
+        tele.count("x")
+        tele.count("x", 4)
+        tele.count("y", 2.5)
+        snap = tele.snapshot()
+        assert snap["counters"] == {"x": 5, "y": 2.5}
+
+    def test_histograms_aggregate(self):
+        tele = Telemetry()
+        tele.record("t", 2.0)
+        tele.record("t", 1.0)
+        tele.record("t", 4.0)
+        stats = tele.snapshot()["timings"]["t"]
+        assert stats == {"count": 3, "total": 7.0, "min": 1.0, "max": 4.0}
+
+    def test_snapshot_keys_sorted(self):
+        tele = Telemetry()
+        tele.count("zeta")
+        tele.count("alpha")
+        assert list(tele.snapshot()["counters"]) == ["alpha", "zeta"]
+
+    def test_merge_snapshot_sums_counters(self):
+        a, b = Telemetry(), Telemetry()
+        a.count("n", 2)
+        b.count("n", 3)
+        b.count("m", 1)
+        b.record("t", 0.5)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"m": 1, "n": 5}
+        assert snap["timings"]["t"]["count"] == 1
+
+    def test_merge_snapshots_order_sensitive_but_complete(self):
+        snaps = []
+        for value in (1, 2, 3):
+            tele = Telemetry()
+            tele.count("n", value)
+            tele.record("t", float(value))
+            snaps.append(tele.snapshot())
+        merged = merge_snapshots(snaps)
+        assert merged["counters"] == {"n": 6}
+        assert merged["timings"]["t"] == {
+            "count": 3, "total": 6.0, "min": 1.0, "max": 3.0,
+        }
+        assert merge_snapshots(snaps) == merge_snapshots(snaps)
+        assert merge_snapshots([]) == {"counters": {}, "timings": {}}
+
+
+class TestContext:
+    def test_default_is_null(self):
+        assert current() is NULL_TELEMETRY
+        assert not current().enabled
+
+    def test_use_scopes_and_restores(self):
+        tele = Telemetry()
+        with use(tele):
+            assert current() is tele
+            inner = Telemetry()
+            with use(inner):
+                assert current() is inner
+            assert current() is tele
+        assert current() is NULL_TELEMETRY
+
+    def test_use_restores_on_exception(self):
+        tele = Telemetry()
+        with pytest.raises(ValueError):
+            with use(tele):
+                raise ValueError
+        assert current() is NULL_TELEMETRY
+
+    def test_install(self):
+        tele = Telemetry()
+        install(tele)
+        try:
+            assert current() is tele
+        finally:
+            install(NULL_TELEMETRY)
+        assert current() is NULL_TELEMETRY
+
+
+class TestNullTelemetry:
+    def test_every_operation_is_a_noop(self):
+        null = NullTelemetry()
+        with null.span("anything", k=1) as span:
+            span.set("key", "value")
+            assert span.duration_s == 0.0
+        null.count("n", 5)
+        null.record("t", 1.0)
+        assert null.counter("n").value == 0
+        assert null.histogram("t").count == 0
+        assert null.snapshot() == {"counters": {}, "timings": {}}
+        assert null.span_tree() == []
+        assert list(null.walk_spans()) == []
+        assert null.active_span is None
+        null.merge_snapshot({"counters": {"n": 1}, "timings": {}})
+        null.close()
+
+    def test_null_spans_are_shared(self):
+        null = NullTelemetry()
+        assert null.span("a") is null.span("b")
+
+
+class TestClose:
+    def test_close_flushes_sinks_once(self):
+        from repro.telemetry import InMemorySink
+
+        sink = InMemorySink()
+        tele = Telemetry(sinks=[sink])
+        tele.count("n", 3)
+        tele.close()
+        tele.close()
+        assert sink.snapshot == {
+            "counters": {"n": 3}, "timings": {},
+        }
