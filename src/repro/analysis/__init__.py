@@ -30,6 +30,18 @@ from .scalar_evolution import (
     scev_sub,
 )
 from .access_patterns import AccessInfo, AccessPatternAnalysis
+from .banking import (
+    CONFLICT_FREE,
+    CONFLICTED,
+    UNKNOWN,
+    BankingAnalysis,
+    BankingScheme,
+    BankingVerdict,
+    GroupAccess,
+    GroupProbe,
+    SchemeVerdict,
+    probe_function,
+)
 from .dependence import (
     AffineAccess,
     DependenceTester,
@@ -52,6 +64,9 @@ __all__ = [
     "SCEVScaled", "SCEVSum", "SCEVUnknown", "ScalarEvolution",
     "scev_add", "scev_mul", "scev_mul_const", "scev_sub",
     "AccessInfo", "AccessPatternAnalysis",
+    "CONFLICT_FREE", "CONFLICTED", "UNKNOWN",
+    "BankingAnalysis", "BankingScheme", "BankingVerdict",
+    "GroupAccess", "GroupProbe", "SchemeVerdict", "probe_function",
     "AffineAccess", "DependenceTester", "DependenceVector",
     "LatticeSet", "LevelEntry", "PairTestResult",
     "cfg_to_dot", "dfg_to_dot", "wpst_to_dot",

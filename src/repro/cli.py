@@ -184,6 +184,7 @@ def _cmd_exec(args) -> int:
             fail_fast=False,
             inject_unsound_bitwidth=args.inject_unsound_bitwidth,
             inject_unsound_dependence=args.inject_unsound_dependence,
+            inject_unsound_banking=args.inject_unsound_banking,
             engine=args.engine,
         )
         try:
@@ -356,6 +357,63 @@ def _cmd_deps(args) -> int:
     return 0
 
 
+def _cmd_banks(args) -> int:
+    import json
+
+    from .analysis.banking import probe_function
+    from .dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+    from .frontend import compile_source
+    from .ir import GlobalVariable
+    from .model.estimator import FunctionContext
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    module = compile_source(source, name, optimize=not args.no_opt)
+    intervals = ModuleIntervalAnalysis(module)
+    points_to = PointsToAnalysis(module)
+
+    report = {"program": name, "functions": []}
+    for func in module.defined_functions():
+        ctx = FunctionContext(func, points_to=points_to, intervals=intervals)
+        probes = probe_function(
+            ctx.access, ctx.loop_info, ctx.memdep,
+            intervals=intervals.for_function(func),
+            bases=(GlobalVariable,),
+        )
+        if not probes:
+            continue
+        report["functions"].append({
+            "name": func.name,
+            "groups": [probe.to_dict() for probe in probes],
+        })
+
+    groups = [g for f in report["functions"] for g in f["groups"]]
+    report["summary"] = {
+        "groups": len(groups),
+        "proven": sum(1 for g in groups if g["best"] is not None),
+        "serialized": sum(1 for g in groups if g["best"] is None),
+    }
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    for func_entry in report["functions"]:
+        print(f"@{func_entry['name']}")
+        for group in func_entry["groups"]:
+            chosen = group["best"] or "serialized (no proof)"
+            print(f"  loop {group['loop']} x{group['factor']} "
+                  f"@{group['base']}: {chosen}  "
+                  f"({group['lanes']} lanes, word {group['word_bytes']}B)")
+            for scheme in group["schemes"]:
+                print(f"    {scheme['scheme']:10} "
+                      f"{scheme['status']:13} {scheme['reason']}")
+    s = report["summary"]
+    print(f"banks: {s['groups']} group probes, {s['proven']} proven "
+          f"conflict-free, {s['serialized']} serialized")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .diagnostics import render_json, render_text, run_lint
     from .frontend import compile_source
@@ -423,6 +481,7 @@ def _cmd_bench(args) -> int:
         interp_elision_stats,
         load_report,
         pipeline_ii_stats,
+        spad_banking_stats,
         write_report,
     )
     from .workloads import all_workloads
@@ -473,10 +532,17 @@ def _cmd_bench(args) -> int:
         # bounded the same way as the other probes.
         pipeline_ii = pipeline_ii_stats(names[: args.pipeline_ii_count])
 
+    spad_banking = None
+    if not args.no_spad_banking:
+        # Assumed vs proven scratchpad banking pipeline II at equal area,
+        # bounded the same way as the other probes.
+        spad_banking = spad_banking_stats(names[: args.spad_banking_count])
+
     tag = args.tag or default_tag(params)
     payload = build_report(
         records, engine, tag=tag, wall_seconds=wall, interp_elision=elision,
         area_narrowing=narrowing, pipeline_ii=pipeline_ii,
+        spad_banking=spad_banking,
     )
     path = write_report(payload, directory=args.output_dir)
 
@@ -518,6 +584,13 @@ def _cmd_bench(args) -> int:
             print(f"pipeii {name}: II {stat['ii_before_total']} -> "
                   f"{stat['ii_after_total']} over {stat['pipelined_loops']} "
                   f"pipelined loops ({stat['improved_loops']} improved, "
+                  f"equal area)")
+    if spad_banking:
+        for name, stat in spad_banking.items():
+            print(f"banks  {name}: II {stat['ii_before_total']} -> "
+                  f"{stat['ii_after_total']} over {stat['probed_loops']} "
+                  f"probed loops ({stat['proven_groups']}/{stat['groups']} "
+                  f"groups proven, {stat['serialized_groups']} serialized, "
                   f"equal area)")
     stats = engine.cache_stats()
     print(f"\n{len(records)} workloads in {wall:.2f}s "
@@ -731,6 +804,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --sanitize: deliberately inflate every "
                             "claimed carried-dependence distance by one "
                             "(self-test; the run must report violations)")
+    exec_.add_argument("--inject-unsound-banking", action="store_true",
+                       help="with --sanitize: deliberately claim every "
+                            "provably-conflicted banking scheme conflict-"
+                            "free (self-test; the run must report "
+                            "violations on conflicting workloads)")
     exec_.set_defaults(func=_cmd_exec)
 
     deps = sub.add_parser(
@@ -750,6 +828,25 @@ def build_parser() -> argparse.ArgumentParser:
     deps.add_argument("--json", action="store_true",
                       help="machine-readable report")
     deps.set_defaults(func=_cmd_deps)
+
+    banks = sub.add_parser(
+        "banks",
+        help="scratchpad bank-conflict verdicts per group",
+        description=(
+            "Run the static bank-conflict analysis and print, per function "
+            "and unrolled loop, every scratchpad group's candidate banking "
+            "schemes (cyclic/block over power-of-two factors) with its "
+            "conflict-free / conflicted / unknown verdict and the cheapest "
+            "proven scheme the model may rely on."
+        ),
+    )
+    banks.add_argument("source", nargs="?")
+    banks.add_argument("--workload", help="analyze a registered benchmark")
+    banks.add_argument("--no-opt", action="store_true",
+                       help="analyze the unoptimized IR")
+    banks.add_argument("--json", action="store_true",
+                       help="machine-readable report")
+    banks.set_defaults(func=_cmd_banks)
 
     bitwidth = sub.add_parser(
         "bitwidth",
@@ -817,6 +914,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--pipeline-ii-count", type=int, default=6,
                        metavar="N",
                        help="probe windowed vs dependence-vector pipeline "
+                            "II on the first N workloads (default 6)")
+    bench.add_argument("--no-spad-banking", action="store_true",
+                       help="skip the scratchpad bank-conflict probe")
+    bench.add_argument("--spad-banking-count", type=int, default=6,
+                       metavar="N",
+                       help="probe assumed vs proven scratchpad banking "
                             "II on the first N workloads (default 6)")
     bench.set_defaults(func=_cmd_bench)
 

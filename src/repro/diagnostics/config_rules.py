@@ -35,6 +35,11 @@ class ConfigRuleEnv:
     loop_info: object = None
     profile: object = None
     max_spad_bytes: int = 1 << 16
+    #: Per-function :class:`~repro.analysis.access_patterns.AccessPatternAnalysis`
+    #: (needed by the banking rules; they are skipped without it).
+    access: object = None
+    #: :class:`~repro.analysis.banking.BankingAnalysis` for the function.
+    banking: object = None
 
 
 def _loop_loc(config, loop, detail: str) -> Location:
@@ -218,6 +223,132 @@ def check_pipelined_calls(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
                         ),
                         suggestion="inline the callee or do not pipeline",
                     )
+
+
+def _spad_group_verdicts(config, env: ConfigRuleEnv):
+    """Yield ``(group, assignments, verdict)`` for every scratchpad group
+    of the configuration, re-deriving the lane structure from the loop
+    plans so the rules check exactly what the estimator's banking pass
+    sees.  Requires ``env.access`` and ``env.banking``."""
+    if env.access is None or env.banking is None:
+        return
+    from ..analysis.banking import GroupAccess
+    from ..model.estimator import unrolled_loops_of
+
+    groups = {}
+    for assignment in config.plan.assignments.values():
+        if assignment.kind.value == "scratchpad":
+            groups.setdefault(assignment.spad_group, []).append(assignment)
+    for group, assignments in groups.items():
+        members = [
+            GroupAccess(
+                env.access.info(a.inst),
+                unrolled_loops_of(a.inst, config.loop_plans, env.loop_info),
+            )
+            for a in assignments
+        ]
+        footprint = max(a.spad_bytes for a in assignments)
+        verdict = env.banking.verdict(
+            group, members, footprint_bytes=footprint or None
+        )
+        yield group, assignments, verdict
+
+
+def _group_loc(config, group, detail: str) -> Location:
+    return Location(
+        function=config.region.function.name,
+        detail=f"scratchpad group {getattr(group, 'name', group)}: {detail}",
+    )
+
+
+@rule(
+    "BK001",
+    "claimed-banking-has-provable-conflict",
+    layer="config",
+    severity=Severity.ERROR,
+    description=(
+        "A scratchpad group claims a conflict-free banking scheme, but the "
+        "static bank-conflict analysis proves two simultaneous lane "
+        "replicas of one access land in the same bank (their address delta "
+        "is ≡ 0 modulo the cyclic scheme, or falls inside one block): the "
+        "claimed parallel ports would collide every cycle slot.  A bare "
+        "partition claim with no scheme attached is checked as the "
+        "implicit cyclic scheme of that order."
+    ),
+    paper_ref="§III-C (scratchpad partitioning for parallel access)",
+)
+def check_banking_conflict(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    from ..analysis.banking import CONFLICTED, BankingScheme
+
+    for group, assignments, verdict in _spad_group_verdicts(config, env):
+        claimed = max(a.partitions for a in assignments)
+        if claimed <= 1:
+            continue
+        if not any(a.banking_proven for a in assignments):
+            continue  # already serialized by the estimator: sound
+        scheme = next(
+            (a.banking for a in assignments if a.banking is not None),
+            BankingScheme("cyclic", claimed),
+        )
+        status = verdict.status_of(scheme)
+        if status == CONFLICTED:
+            reason = next(
+                (e.reason for e in verdict.schemes
+                 if e.scheme == scheme), "")
+            yield Diagnostic(
+                code="BK001",
+                severity=Severity.ERROR,
+                location=_group_loc(config, group, scheme.label),
+                message=(
+                    f"claimed {scheme.label} banking of group "
+                    f"{verdict.base_name} has a provable bank conflict: "
+                    f"{reason}"
+                ),
+                suggestion=(
+                    "serialize the group (drop the partition claim) or "
+                    "pick a proven scheme from `repro banks`"
+                ),
+            )
+
+
+@rule(
+    "BK002",
+    "banks-over-provisioned",
+    layer="config",
+    severity=Severity.INFO,
+    description=(
+        "A scratchpad group builds more banks than the proven parallelism "
+        "can use: either the cheapest conflict-free scheme needs fewer "
+        "banks (e.g. broadcast loads prove with one), or no scheme is "
+        "provable at all and the scheduler serializes onto one dual-ported "
+        "bank.  The surplus banks cost SRAM base area without adding "
+        "usable ports."
+    ),
+    paper_ref="§III-C (banking should match exploitable parallelism)",
+)
+def check_banking_overprovision(
+    config, env: ConfigRuleEnv
+) -> Iterator[Diagnostic]:
+    for group, assignments, verdict in _spad_group_verdicts(config, env):
+        claimed = max(a.partitions for a in assignments)
+        usable = verdict.best.banks if verdict.proven else 1
+        if claimed > usable:
+            detail = (
+                f"proven scheme {verdict.best.label}"
+                if verdict.proven else "no provable scheme"
+            )
+            yield Diagnostic(
+                code="BK002",
+                severity=Severity.INFO,
+                location=_group_loc(
+                    config, group, f"{claimed} banks, {usable} usable"
+                ),
+                message=(
+                    f"group {verdict.base_name} builds {claimed} banks but "
+                    f"only {usable} can be used in parallel ({detail})"
+                ),
+                suggestion=f"size the group at {usable} bank(s)",
+            )
 
 
 @rule(

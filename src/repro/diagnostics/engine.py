@@ -176,6 +176,8 @@ def run_lint(
                 loop_info=model_ctx.loop_info,
                 profile=model.profile,
                 max_spad_bytes=model.max_spad_bytes,
+                access=model_ctx.access,
+                banking=model_ctx.banking,
             )
             for config in model.generate_configs(region):
                 for entry in config_rules:

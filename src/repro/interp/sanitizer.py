@@ -55,6 +55,7 @@ from ..ir import (
     sizeof,
 )
 from ..analysis.access_patterns import AccessPatternAnalysis
+from ..analysis.banking import CONFLICT_FREE, CONFLICTED, probe_function
 from ..analysis.loops import Loop
 from ..analysis.memdep import MemoryDependenceAnalysis
 from ..dataflow import (
@@ -70,6 +71,38 @@ from .interpreter import Interpreter
 
 class SanitizerError(Exception):
     """At least one static claim was contradicted by runtime behavior."""
+
+
+class _BankClaim:
+    """One claimed-conflict-free banking scheme to validate at runtime.
+
+    The claim: unrolling ``loop`` by ``factor`` and banking the scratchpad
+    group of ``base`` with the scheme, the lane replicas of each member
+    access (the accesses of ``factor`` consecutive iterations — one cycle
+    slot) land in pairwise-distinct banks.  ``state`` tracks, per access
+    instruction, the banks observed in the current slot.
+    """
+
+    __slots__ = ("loop", "base", "factor", "kind", "banks", "word",
+                 "block_bytes", "label", "state")
+
+    def __init__(self, loop, base, factor, kind, banks, word, block_bytes):
+        self.loop = loop
+        self.base = base
+        self.factor = factor
+        self.kind = kind
+        self.banks = banks
+        self.word = word
+        self.block_bytes = block_bytes
+        self.label = f"{kind}-{banks}"
+        self.state: Dict = {}
+
+    def bank_of(self, offset: int) -> int:
+        if self.kind == "cyclic":
+            return (offset // self.word) % self.banks
+        # Block index by quotient (unclamped): pairwise distinctness is
+        # what the claim promises, and it is alignment-independent.
+        return offset // self.block_bytes
 
 
 class SanitizingInterpreter(Interpreter):
@@ -90,6 +123,7 @@ class SanitizingInterpreter(Interpreter):
         fail_fast: bool = True,
         inject_unsound_bitwidth: bool = False,
         inject_unsound_dependence: bool = False,
+        inject_unsound_banking: bool = False,
         engine: str = "compiled",
     ):
         super().__init__(
@@ -100,6 +134,7 @@ class SanitizingInterpreter(Interpreter):
         self.fail_fast = fail_fast
         self.inject_unsound_bitwidth = inject_unsound_bitwidth
         self.inject_unsound_dependence = inject_unsound_dependence
+        self.inject_unsound_banking = inject_unsound_banking
         self.violations: List[str] = []
         self.notes: List[str] = []
         self._seen: Set[Tuple] = set()
@@ -129,6 +164,13 @@ class SanitizingInterpreter(Interpreter):
         self._disjoint_claims: List[Tuple] = []
         #: access instruction → its base pointer value (None if unknown)
         self._access_base: Dict[Instruction, Optional[object]] = {}
+        #: access instruction → banking claims it participates in
+        self._bank_claims: Dict[Instruction, List[_BankClaim]] = {}
+        #: loop → its banking claims (slot state resets on fresh entry)
+        self._bank_claims_by_loop: Dict[Loop, List[_BankClaim]] = {}
+        #: schemes the analysis proved *conflicted* — promoted to bogus
+        #: conflict-free claims by ``inject_unsound_banking``
+        self._conflicted_bank_schemes: List[Tuple] = []
 
         for func in module.defined_functions():
             self._prepare_function(func)
@@ -166,6 +208,20 @@ class SanitizingInterpreter(Interpreter):
                 "(sanitizer self-test)"
             )
 
+        if inject_unsound_banking:
+            # Adversarial self-test: claim every scheme the banking analysis
+            # proved *conflicted* as conflict-free (the claimed residues are
+            # exactly wrong).  Any workload whose lanes really collide must
+            # now trip the bank check — proving the sanitizer would catch an
+            # unsound conflict-freedom proof.
+            for args in self._conflicted_bank_schemes:
+                self._register_bank_claim(*args)
+            self.notes.append(
+                f"inject-unsound-banking: {len(self._conflicted_bank_schemes)} "
+                "provably-conflicted banking scheme(s) deliberately claimed "
+                "conflict-free (sanitizer self-test)"
+            )
+
         # Runtime trackers.
         self._loop_iter: Dict[Loop, int] = {}
         self._last_write: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
@@ -184,6 +240,10 @@ class SanitizingInterpreter(Interpreter):
         self.conflicts_observed = 0
         self.bits_checked = 0
         self.demanded_checked = 0
+        self.bank_checks = 0
+        self.bank_claim_count = sum(
+            len(claims) for claims in self._bank_claims_by_loop.values()
+        )
 
     # Claim construction -----------------------------------------------------
 
@@ -220,6 +280,38 @@ class SanitizingInterpreter(Interpreter):
                     claims[key] = dist
             self._dep_claims[loop] = claims
 
+        # Banking claims: every scheme the static analysis proves
+        # conflict-free for a (loop, group, unroll factor) becomes a
+        # runtime-checkable claim.  Only global-variable groups are
+        # checkable (their runtime base address is known).
+        for probe in probe_function(
+            apa, analysis.loop_info, md, intervals=analysis,
+            bases=(GlobalVariable,),
+        ):
+            verdict = probe.verdict
+            if verdict.footprint_bytes is not None:
+                words = -(-verdict.footprint_bytes // verdict.word_bytes)
+            else:
+                words = None
+            insts = [a.inst for a in probe.accesses]
+            for sv in verdict.schemes:
+                if sv.scheme.kind == "block":
+                    if words is None:
+                        continue
+                    block_bytes = verdict.word_bytes * max(
+                        1, -(-words // sv.scheme.banks)
+                    )
+                else:
+                    block_bytes = None
+                args = (
+                    probe.loop, probe.base, probe.factor, sv.scheme.kind,
+                    sv.scheme.banks, verdict.word_bytes, block_bytes, insts,
+                )
+                if sv.status == CONFLICT_FREE:
+                    self._register_bank_claim(*args)
+                elif sv.status == CONFLICTED:
+                    self._conflicted_bank_schemes.append(args)
+
         bases = []
         infos = {}
         for inst in func.instructions():
@@ -234,6 +326,14 @@ class SanitizingInterpreter(Interpreter):
                 overlap = md._bases_may_overlap(infos[base_a], infos[base_b])
                 if overlap is False:
                     self._disjoint_claims.append((base_a, base_b))
+
+    def _register_bank_claim(
+        self, loop, base, factor, kind, banks, word, block_bytes, insts
+    ) -> None:
+        claim = _BankClaim(loop, base, factor, kind, banks, word, block_bytes)
+        self._bank_claims_by_loop.setdefault(loop, []).append(claim)
+        for inst in insts:
+            self._bank_claims.setdefault(inst, []).append(claim)
 
     # Entry gating ------------------------------------------------------------
 
@@ -276,6 +376,8 @@ class SanitizingInterpreter(Interpreter):
             self._loop_iter[loop] = 0
             self._last_write[loop] = {}
             self._last_read[loop] = {}
+            for claim in self._bank_claims_by_loop.get(loop, ()):
+                claim.state.clear()
 
     # Per-instruction validation ----------------------------------------------
 
@@ -413,6 +515,9 @@ class SanitizingInterpreter(Interpreter):
             )
 
         is_store = isinstance(inst, Store)
+        bank_claims = self._bank_claims.get(inst)
+        if bank_claims:
+            self._check_banks(inst, address, is_store, bank_claims)
         for loop in self._loops_of_block.get(inst.parent, ()):
             iteration = self._loop_iter.get(loop, 0)
             writes = self._last_write.setdefault(loop, {})
@@ -433,6 +538,44 @@ class SanitizingInterpreter(Interpreter):
                     writes[byte] = (inst, iteration)
                 else:
                     reads[byte] = (inst, iteration)
+
+    def _check_banks(
+        self, inst, address: int, is_store: bool, claims: List[_BankClaim]
+    ) -> None:
+        """Validate claimed-conflict-free banking schemes on one access.
+
+        The ``factor`` consecutive iterations of the claim loop form one
+        unrolled cycle slot; the claim promises this instruction's
+        executions within a slot hit pairwise-distinct banks (loads may
+        broadcast the same address).  Concrete bank indices are recorded
+        per slot and any repeat contradicts the static proof.
+        """
+        for claim in claims:
+            base_addr = self.global_addresses.get(claim.base)
+            if base_addr is None:
+                continue
+            slot = self._loop_iter.get(claim.loop, 0) // claim.factor
+            entry = claim.state.get(inst)
+            if entry is None or entry[0] != slot:
+                entry = (slot, {})
+                claim.state[inst] = entry
+            bank = claim.bank_of(address - base_addr)
+            seen = entry[1]
+            self.bank_checks += 1
+            prior = seen.get(bank)
+            if prior is None:
+                seen[bank] = address
+            elif prior != address or is_store:
+                self._violation(
+                    ("bank", claim.loop.header, inst, claim.label),
+                    f"bank-conflict violation: {inst.opcode} "
+                    f"%{inst.name or '?'} lanes at addresses {prior} and "
+                    f"{address} share bank {bank} of claimed "
+                    f"conflict-free {claim.label} banking on "
+                    f"@{getattr(claim.base, 'name', '?')} "
+                    f"(loop {claim.loop.header.name}, unroll "
+                    f"x{claim.factor})",
+                )
 
     def _check_conflict(
         self,
@@ -507,6 +650,8 @@ class SanitizingInterpreter(Interpreter):
             f"{self.demanded_checked} demanded-bits re-executions, "
             f"{self.accesses_checked} access checks, "
             f"{self.conflicts_observed} loop-carried conflicts observed, "
+            f"{self.bank_checks} bank-index checks against "
+            f"{self.bank_claim_count} banking claims, "
             f"{len(self._disjoint_claims)} disjointness claims",
             f"sanitize: {len(self.violations)} violation(s)",
         ]

@@ -55,7 +55,7 @@ from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 #: heuristics, cost-table updates, scheduling changes, ...): it is part of the
 #: bench harness's persistent cache key, so bumping it invalidates every
 #: cached evaluation record.
-ESTIMATOR_VERSION = "4"
+ESTIMATOR_VERSION = "5"
 
 
 class FunctionContext:
@@ -89,6 +89,11 @@ class FunctionContext:
         self.widths = (
             bitwidth.width_map(func) if bitwidth is not None else None
         )
+        from ..analysis.banking import BankingAnalysis
+
+        #: Scratchpad bank-conflict prover shared by every candidate config
+        #: (verdicts are cached per group/lane structure).
+        self.banking = BankingAnalysis(self.loop_info, intervals=self.intervals)
         from ..analysis.cfg import reverse_postorder
 
         self.rpo_index = {b: i for i, b in enumerate(reverse_postorder(func))}
@@ -152,6 +157,26 @@ def loop_recurrences(
     return result
 
 
+def unrolled_loops_of(
+    inst: Instruction, loop_plans: Dict[Loop, "LoopPlan"], loop_info: LoopInfo
+) -> Tuple:
+    """The ``(loop, factor)`` pairs that replicate ``inst`` into parallel
+    lanes under a configuration's loop plans (innermost-first).  Shared by
+    the estimator's banking pass and the config-layer lint rules so both
+    reason about the same lane structure."""
+    spec = []
+    loop = (
+        loop_info.innermost_loop(inst.parent)
+        if inst.parent is not None else None
+    )
+    while loop is not None:
+        plan = loop_plans.get(loop)
+        if plan is not None and plan.unroll > 1:
+            spec.append((loop, plan.unroll))
+        loop = loop.parent
+    return tuple(spec)
+
+
 class AcceleratorModel:
     """Generates and evaluates accelerator configurations for wPST regions."""
 
@@ -170,6 +195,7 @@ class AcceleratorModel:
         pipeline_innermost: bool = True,
         legality_prefilter: bool = True,
         narrow_widths: bool = True,
+        prove_banking: bool = True,
     ):
         self.module = module
         self.profile = profile
@@ -183,6 +209,10 @@ class AcceleratorModel:
         #: ``False`` prices every DFG node at its type width (pre-bitwidth
         #: behavior) — used for the bench ``area_narrowing`` comparison.
         self.narrow_widths = narrow_widths
+        #: ``False`` keeps the pre-verdict optimism (claimed partitions are
+        #: trusted as parallel) — the "before" variant of the bench
+        #: ``spad_banking`` comparison.
+        self.prove_banking = prove_banking
         #: Configurations rejected by the legality pre-filter, as
         #: ``(config, diagnostics)`` pairs — inspectable after a run.
         self.rejected_configs: List[Tuple[AcceleratorConfig, list]] = []
@@ -275,6 +305,10 @@ class AcceleratorModel:
             loop_info=ctx.loop_info,
             profile=self.profile,
             max_spad_bytes=self.max_spad_bytes,
+            access=ctx.access,
+            # Without banking proofs the pre-filter must not reject the
+            # historically-optimistic configs it is meant to reproduce.
+            banking=ctx.banking if self.prove_banking else None,
         )
 
     def _configs_for_region(self, region: Region, ctx: FunctionContext):
@@ -348,6 +382,8 @@ class AcceleratorModel:
             plan.assign(
                 self._assign_interface(access, region, ctx, loop_plans, mode)
             )
+        if self.prove_banking:
+            self._apply_banking(plan, ctx, loop_plans)
         label = f"u{factor}/{mode}"
         if only_nest is not None:
             label += f"@{only_nest.name}"
@@ -357,6 +393,54 @@ class AcceleratorModel:
             plan=plan,
             label=label,
         )
+
+    def _apply_banking(
+        self,
+        plan: InterfacePlan,
+        ctx: FunctionContext,
+        loop_plans: Dict[Loop, LoopPlan],
+    ) -> None:
+        """Back every scratchpad group's partitioning with a proven verdict.
+
+        Proven groups get the cheapest conflict-free scheme's bank count
+        (which can be *smaller* than the claimed lane count, e.g. broadcast
+        loads prove with one bank).  Unproven groups keep the claimed
+        partitioning for area — the hardware would still build the banks —
+        but ``banking_proven=False`` makes ``port_counts`` expose a single
+        dual-ported bank, so the scheduler serializes the group's accesses.
+        """
+        from ..analysis.banking import GroupAccess
+
+        groups: Dict[object, List[InterfaceAssignment]] = {}
+        for assignment in plan.assignments.values():
+            if assignment.kind is InterfaceKind.SCRATCHPAD:
+                groups.setdefault(assignment.spad_group, []).append(assignment)
+        tele = current_telemetry()
+        for group, assignments in groups.items():
+            members = [
+                GroupAccess(
+                    ctx.access.info(a.inst),
+                    unrolled_loops_of(a.inst, loop_plans, ctx.loop_info),
+                )
+                for a in assignments
+            ]
+            footprint = max(a.spad_bytes for a in assignments)
+            verdict = ctx.banking.verdict(
+                group, members, footprint_bytes=footprint or None
+            )
+            claimed = max(a.partitions for a in assignments)
+            for assignment in assignments:
+                assignment.banking = verdict.best
+                assignment.banking_proven = verdict.proven
+                assignment.banking_verdict = verdict
+                if verdict.best is not None:
+                    assignment.partitions = verdict.best.banks
+            if tele.enabled:
+                tele.count("model.banking_groups")
+                if not verdict.proven and claimed > 1:
+                    tele.count("model.banking_serialized")
+                elif verdict.proven and verdict.best.banks < claimed:
+                    tele.count("model.banking_deprovisioned")
 
     def _assign_interface(
         self,

@@ -62,12 +62,28 @@ class InterfaceAssignment:
     spad_group: Optional[object] = None
     #: Scratchpad footprint in bytes (sizing the buffer), per invocation.
     spad_bytes: int = 0
-    #: Scratchpad bank partitioning (parallel ports from loop unrolling).
+    #: Scratchpad bank partitioning (banks built — the area claim).
     partitions: int = 1
+    #: The banking scheme backing ``partitions`` (a
+    #: :class:`~repro.analysis.banking.BankingScheme`), or None when the
+    #: partitioning is a bare claim with no scheme attached.
+    banking: Optional[object] = None
+    #: Whether a :class:`~repro.analysis.banking.BankingVerdict` proved the
+    #: scheme conflict-free.  Unproven partitions still cost their area but
+    #: the scheduler only gets one dual-ported bank's worth of ports, so the
+    #: group's unrolled accesses serialize (see ``port_counts``).
+    banking_proven: bool = True
+    #: The full verdict, when the estimator ran the analysis (diagnostics).
+    banking_verdict: Optional[object] = None
 
     @property
     def is_load(self) -> bool:
         return isinstance(self.inst, Load)
+
+    @property
+    def proven_partitions(self) -> int:
+        """Banks the scheduler may actually use in parallel."""
+        return max(1, self.partitions) if self.banking_proven else 1
 
 
 @dataclass
@@ -88,6 +104,28 @@ class InterfacePlan:
         for assignment in self.assignments.values():
             counts[assignment.kind.value] += 1
         return counts
+
+    def spad_port_names(self) -> Dict[object, str]:
+        """Stable scratchpad port name per group.
+
+        Groups are numbered by first-assignment order (assignments are made
+        in deterministic block order), and labeled with the base object's
+        name — never ``id()``, so traces, reports, and cache keys reproduce
+        across processes.
+        """
+        cache = getattr(self, "_port_name_cache", None)
+        if cache is not None and cache[0] == len(self.assignments):
+            return cache[1]
+        names: Dict[object, str] = {}
+        for assignment in self.assignments.values():
+            if assignment.kind is not InterfaceKind.SCRATCHPAD:
+                continue
+            group = assignment.spad_group
+            if group not in names:
+                label = getattr(group, "name", None) or "g"
+                names[group] = f"spad:{len(names)}:{label}"
+        self._port_name_cache = (len(self.assignments), names)
+        return names
 
     # Scheduling hooks -------------------------------------------------------------
 
@@ -113,21 +151,30 @@ class InterfacePlan:
             return AccessTiming(latency=DECOUPLED_LATENCY, port=None)
         if kind is InterfaceKind.SCRATCHPAD:
             return AccessTiming(
-                latency=SPAD_LATENCY, port=f"spad:{id(group)}", occupancy=1
+                latency=SPAD_LATENCY, port=self.spad_port_names()[group],
+                occupancy=1,
             )
         return AccessTiming(
             latency=SCANCHAIN_LATENCY, port="scan", occupancy=SCANCHAIN_OCCUPANCY
         )
 
     def port_counts(self) -> Dict[str, int]:
-        """Port multiplicities for the scheduler / ResMII."""
+        """Port multiplicities for the scheduler / ResMII.
+
+        Scratchpad ports come from the *proven* parallelism, not the claimed
+        partitioning: a group whose banking scheme has no conflict-free
+        proof exposes one dual-ported bank (2 ports), so its unrolled
+        accesses serialize through the port table instead of being assumed
+        parallel.
+        """
         ports: Dict[str, int] = {"lsu": 1, "scan": 1}
+        names = self.spad_port_names()
         for assignment in self.assignments.values():
             if assignment.kind is InterfaceKind.SCRATCHPAD:
-                key = f"spad:{id(assignment.spad_group)}"
-                # Dual-ported banks: partitions banks x 2 ports.
+                key = names[assignment.spad_group]
+                # Dual-ported banks: proven banks x 2 ports each.
                 ports[key] = max(
-                    ports.get(key, 0), 2 * max(1, assignment.partitions)
+                    ports.get(key, 0), 2 * assignment.proven_partitions
                 )
         return ports
 

@@ -826,6 +826,152 @@ def pipeline_ii_stats(names: Sequence[str]) -> Dict[str, Dict]:
     return stats
 
 
+# Scratchpad-banking soundness probe ---------------------------------------------
+
+
+def spad_banking_stats(names: Sequence[str]) -> Dict[str, Dict]:
+    """Before/after pipeline II with proven banking verdicts, equal area.
+
+    For every innermost loop with a legal unroll factor > 1, probes each
+    global-array scratchpad group with the bank-conflict analysis at the
+    largest legal factor ``U`` and pipelines the *same* body DFG twice:
+    once with the historically-optimistic port budget (``2·U`` ports per
+    group — the claimed cyclic-``U`` banking, every bank dual-ported) and
+    once with the proven budget (``2·banks`` of the cheapest
+    conflict-free scheme, or ``2`` — one dual-ported bank — when no
+    scheme is provable and the group must serialize).  Both variants
+    price the same claimed banks, so area is identical by construction;
+    each access carries occupancy ``U`` (its unrolled lane replicas).
+    An II increase is therefore a *soundness* delta: cycles the old
+    model hid behind bank conflicts it never checked.  Every field is an
+    exact count, so the whole section participates in
+    :func:`compare_reports`.
+    """
+    from ..analysis.banking import probe_function
+    from ..dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+    from ..frontend.lowering import compile_source
+    from ..hls.dfg import DFG
+    from ..hls.pipeline import pipeline_loop
+    from ..hls.scheduling import AccessTiming
+    from ..hls.techlib import DEFAULT_TECHLIB
+    from ..ir import GlobalVariable
+    from ..model.estimator import FunctionContext, loop_recurrences
+
+    stats: Dict[str, Dict] = {}
+    for name in names:
+        workload = get_workload(name)
+        module = compile_source(workload.source, workload.name)
+        intervals = ModuleIntervalAnalysis(module)
+        points_to = PointsToAnalysis(module)
+        loops: List[Dict] = []
+        for func in module.defined_functions():
+            ctx = FunctionContext(
+                func, points_to=points_to, intervals=intervals
+            )
+            probes = probe_function(
+                ctx.access, ctx.loop_info, ctx.memdep,
+                intervals=intervals.for_function(func),
+                bases=(GlobalVariable,),
+            )
+            by_loop: Dict = {}
+            for probe in probes:
+                by_loop.setdefault(probe.loop, []).append(probe)
+            for loop in ctx.loop_info.loops:
+                if loop not in by_loop:
+                    continue
+                factor = max(p.factor for p in by_loop[loop])
+                verdicts = {
+                    p.base: p.verdict for p in by_loop[loop]
+                    if p.factor == factor
+                }
+                dfg = DFG.from_blocks(
+                    ctx.ordered_blocks(loop.blocks), may_alias=ctx.may_alias
+                )
+                if not dfg.nodes:
+                    continue
+                bases = {base.name: base for base in verdicts}
+                ports_before = {
+                    base_name: 2 * factor for base_name in bases
+                }
+                ports_after = {}
+                occupancy_after = {}
+                groups = []
+                for base_name in sorted(bases):
+                    verdict = verdicts[bases[base_name]]
+                    banks = verdict.best.banks if verdict.proven else 1
+                    ports_after[base_name] = 2 * banks
+                    # A proven scheme bounds the distinct simultaneous
+                    # addresses by its bank count (a broadcast load
+                    # collapses to one); an unproven group issues all
+                    # ``factor`` lane replicas serially.
+                    occupancy_after[base_name] = (
+                        min(factor, banks) if verdict.proven else factor
+                    )
+                    groups.append({
+                        "base": base_name,
+                        "scheme": (
+                            verdict.best.label if verdict.proven
+                            else "serialized"
+                        ),
+                        "banks_claimed": factor,
+                        "banks_proven": banks,
+                    })
+
+                def make_timing(occupancies):
+                    def timing(node):
+                        info = ctx.access.info(node.inst)
+                        base = getattr(info, "base", None)
+                        if base in verdicts:
+                            return AccessTiming(
+                                latency=2, port=base.name,
+                                occupancy=occupancies[base.name],
+                            )
+                        return AccessTiming(latency=2, port=None)
+                    return timing
+
+                recurrences = loop_recurrences(loop, dfg, ctx)
+                before = pipeline_loop(
+                    dfg, DEFAULT_TECHLIB,
+                    make_timing({b: factor for b in bases}),
+                    port_counts=ports_before, recurrences=recurrences,
+                )
+                after = pipeline_loop(
+                    dfg, DEFAULT_TECHLIB, make_timing(occupancy_after),
+                    port_counts=ports_after, recurrences=recurrences,
+                )
+                trip = ctx.static_trip_bound(loop) or 100
+                loops.append({
+                    "function": func.name,
+                    "loop": loop.name,
+                    "factor": factor,
+                    "trip": trip,
+                    "groups": groups,
+                    "ii_before": before.ii,
+                    "ii_after": after.ii,
+                    "latency_before": round(before.latency(trip), 3),
+                    "latency_after": round(after.latency(trip), 3),
+                })
+        loops.sort(key=lambda entry: (entry["function"], entry["loop"]))
+        all_groups = [g for e in loops for g in e["groups"]]
+        stats[name] = {
+            "loops": loops,
+            "probed_loops": len(loops),
+            "groups": len(all_groups),
+            "proven_groups": sum(
+                1 for g in all_groups if g["scheme"] != "serialized"
+            ),
+            "serialized_groups": sum(
+                1 for g in all_groups if g["scheme"] == "serialized"
+            ),
+            "regressed_loops": sum(
+                1 for e in loops if e["ii_after"] > e["ii_before"]
+            ),
+            "ii_before_total": sum(e["ii_before"] for e in loops),
+            "ii_after_total": sum(e["ii_after"] for e in loops),
+        }
+    return stats
+
+
 # BENCH_<tag>.json reports -------------------------------------------------------
 
 
@@ -837,6 +983,7 @@ def build_report(
     interp_elision: Optional[Dict[str, Dict]] = None,
     area_narrowing: Optional[Dict[str, Dict]] = None,
     pipeline_ii: Optional[Dict[str, Dict]] = None,
+    spad_banking: Optional[Dict[str, Dict]] = None,
     telemetry: Optional[Dict] = None,
 ) -> Dict:
     """The machine-readable bench payload (see docs/benchmarking.md)."""
@@ -861,6 +1008,8 @@ def build_report(
         payload["area_narrowing"] = area_narrowing
     if pipeline_ii is not None:
         payload["pipeline_ii"] = pipeline_ii
+    if spad_banking is not None:
+        payload["spad_banking"] = spad_banking
     if telemetry is None:
         telemetry = engine.telemetry_section([r.name for r in records])
     payload["telemetry"] = telemetry
@@ -942,6 +1091,17 @@ def compare_reports(left: Dict, right: Dict) -> List[str]:
                 problems.append(f"pipeline_ii/{name}: in only one report")
             elif a != b:
                 problems.append(f"pipeline_ii/{name}: differs")
+    left_banking = left.get("spad_banking")
+    right_banking = right.get("spad_banking")
+    if left_banking is not None and right_banking is not None:
+        # Exact counts throughout (IIs, bank counts, verdicts): full compare.
+        for name in sorted(set(left_banking) | set(right_banking)):
+            a = left_banking.get(name)
+            b = right_banking.get(name)
+            if a is None or b is None:
+                problems.append(f"spad_banking/{name}: in only one report")
+            elif a != b:
+                problems.append(f"spad_banking/{name}: differs")
     return problems
 
 

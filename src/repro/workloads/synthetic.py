@@ -34,6 +34,20 @@ stay disjoint — drops the dependence entirely, an unsound claim the
 vector engine repairs by proving the finite distance ``lag``; its
 ``pipeline_ii`` delta is therefore an II *increase* (a soundness fix,
 not a regression).
+
+``stride2-collider``, ``bank-transpose`` and ``dual-interleave`` stress
+the scratchpad bank-conflict layer (``repro banks``).  The collider's
+``A[2*i]`` gather puts every unrolled lane pair an even number of words
+apart, so *no* cyclic or block scheme up to the unroll factor is
+conflict-free — the banking verdict must serialize the group (the old
+model assumed perfect parallelism here; ``--inject-unsound-banking``
+re-claims the conflicted schemes and the sanitizer must catch the
+observed collisions).  ``bank-transpose`` sweeps a row-major matrix by
+column (stride = one full row), the classic case where cyclic banking
+always collides but *block* banking provably never does — the verdict
+must pick ``block-4``.  ``dual-interleave`` touches a stride-1 array
+(proven cyclic) and a stride-2 array (provably conflicted) in one loop,
+so one configuration carries mixed per-group verdicts.
 """
 
 from .registry import Workload, register
@@ -245,6 +259,125 @@ void filt(int ch, int frames) {
 int main() {
   init(480);
   filt(4, 120);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="stride2-collider",
+    suite="synthetic",
+    description=(
+        "stride-2 gather over a scratchpad group: every lane pair lands "
+        "an even word distance apart, so no cyclic/block banking scheme "
+        "is conflict-free and the group must serialize"
+    ),
+    outputs=("R",),
+    source="""
+float A[128];
+float R[64];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    A[i] = (float)((i * 5 + 2) % 19) / 18.0f;
+  }
+  for (int j = 0; j < 64; j++) {
+    R[j] = 0.0f;
+  }
+}
+
+void collide(int reps, int n) {
+  rep: for (int t = 0; t < reps; t++) {
+    gather: for (int i = 0; i < n; i++) {
+      R[i] = R[i] * 0.5f + A[2 * i] * 0.5f;
+    }
+  }
+}
+
+int main() {
+  init(128);
+  collide(16, 64);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="bank-transpose",
+    suite="synthetic",
+    description=(
+        "column sweep over a row-major matrix (stride = one 24-element "
+        "row): cyclic banking provably collides at every factor while "
+        "block banking is provably conflict-free — the verdict must "
+        "select block-4"
+    ),
+    outputs=("Csum",),
+    source="""
+float T[96];
+float Csum[24];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    T[i] = (float)((i * 11 + 5) % 23) / 22.0f;
+  }
+  for (int j = 0; j < 24; j++) {
+    Csum[j] = 0.0f;
+  }
+}
+
+void colsum(int reps, int cols) {
+  rep: for (int t = 0; t < reps; t++) {
+    cols_l: for (int c = 0; c < cols; c++) {
+      float s = 0.0f;
+      rows_l: for (int r = 0; r < 4; r++) {
+        s = s + T[r * 24 + c];
+      }
+      Csum[c] = Csum[c] * 0.5f + s * 0.125f;
+    }
+  }
+}
+
+int main() {
+  init(96);
+  colsum(8, 24);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="dual-interleave",
+    suite="synthetic",
+    description=(
+        "one loop over two scratchpad groups: a stride-1 array proves "
+        "cyclic banking while an interleaved stride-2 array is provably "
+        "conflicted — mixed per-group verdicts in a single configuration"
+    ),
+    outputs=("S",),
+    source="""
+float S[96];
+float D[192];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    D[i] = (float)((i * 3 + 1) % 29) / 28.0f;
+  }
+  for (int j = 0; j < 96; j++) {
+    S[j] = (float)((j * 7 + 4) % 13) / 12.0f;
+  }
+}
+
+void gath(int reps, int n) {
+  rep: for (int t = 0; t < reps; t++) {
+    mix: for (int i = 0; i < n; i++) {
+      S[i] = S[i] * 0.5f + D[2 * i] * 0.25f + D[2 * i + 1] * 0.25f;
+    }
+  }
+}
+
+int main() {
+  init(192);
+  gath(8, 96);
   return 0;
 }
 """,

@@ -329,3 +329,48 @@ class TestTraceCommand:
     def test_trace_source_file(self, kernel_file, capsys):
         assert main(["trace", kernel_file]) == 0
         assert "cayman.run" in capsys.readouterr().out
+
+
+class TestBanksCommand:
+    def test_text_report(self, capsys):
+        assert main(["banks", "--workload", "bank-transpose"]) == 0
+        out = capsys.readouterr().out
+        assert "@colsum" in out
+        assert "block-4" in out
+        assert "conflict-free" in out
+        assert "banks:" in out and "proven conflict-free" in out
+
+    def test_text_report_shows_serialization(self, capsys):
+        assert main(["banks", "--workload", "stride2-collider"]) == 0
+        out = capsys.readouterr().out
+        assert "serialized (no proof)" in out
+        assert "pigeonhole" in out or "share bank" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["banks", "--workload", "stride2-collider",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        summary = report["summary"]
+        assert summary["serialized"] >= 1
+        assert summary["groups"] == summary["proven"] + summary["serialized"]
+        groups = [g for f in report["functions"] for g in f["groups"]]
+        assert any(g["best"] is None for g in groups)
+        assert all("schemes" in g for g in groups)
+
+    def test_source_file_input(self, kernel_file, capsys):
+        assert main(["banks", kernel_file]) == 0
+        assert "banks:" in capsys.readouterr().out
+
+    def test_sanitize_banking_workload_clean(self, capsys):
+        assert main(["exec", "--workload", "stride2-collider",
+                     "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_sanitize_injected_unsound_banking_exits_one(self, capsys):
+        assert main(["exec", "--workload", "stride2-collider", "--sanitize",
+                     "--inject-unsound-banking"]) == 1
+        out = capsys.readouterr().out
+        assert "bank-conflict violation" in out

@@ -117,3 +117,49 @@ int main() { return kernel(4); }
         interp.run("kernel", [8])  # seeded range is [4, 4]
         assert interp.violations == []
         assert interp.notes
+
+
+class TestBankingClaims:
+    """Every claimed-conflict-free banking scheme is validated with
+    concrete per-slot bank indices; the adversarial injection re-claims
+    provably-conflicted schemes and must be caught."""
+
+    BANK_WORKLOADS = ["stride2-collider", "bank-transpose", "dual-interleave"]
+
+    @pytest.mark.parametrize("name", BANK_WORKLOADS)
+    def test_proven_claims_hold_at_runtime(self, name):
+        interp = sanitize(name)
+        assert interp.violations == []
+        assert interp.bank_claim_count > 0, "no banking claim was registered"
+        assert interp.bank_checks > 0, "no bank index was ever checked"
+
+    @pytest.mark.parametrize(
+        "name", ["stride2-collider", "bank-transpose", "dual-interleave",
+                 "trisolv"]
+    )
+    def test_injected_unsound_banking_is_caught(self, name):
+        """Re-claiming provably-conflicted schemes as conflict-free must
+        produce violations on any workload whose lanes really collide
+        (A[2*i] in the collider, the row-pitch cyclic schemes elsewhere)."""
+        interp = sanitize(name, inject_unsound_banking=True)
+        assert interp.violations, "unsound banking claim escaped the sanitizer"
+        assert any("bank-conflict" in v for v in interp.violations)
+        assert any("claimed conflict-free" in v for v in interp.violations)
+
+    def test_injection_is_noted(self):
+        interp = sanitize("stride2-collider", inject_unsound_banking=True)
+        assert any("inject-unsound-banking" in n for n in interp.notes)
+
+    def test_injection_fail_fast_raises(self):
+        workload = get_workload("stride2-collider")
+        module = compile_source(workload.source, workload.name)
+        interp = SanitizingInterpreter(module, inject_unsound_banking=True)
+        with pytest.raises(SanitizerError):
+            interp.run(workload.entry)
+
+    def test_clean_runs_stay_clean_without_injection(self):
+        """The same registry workload that fails under injection is clean
+        when only the genuinely-proven claims are checked."""
+        interp = sanitize("trisolv")
+        assert interp.violations == []
+        assert interp.bank_claim_count > 0
