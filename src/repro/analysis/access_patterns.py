@@ -76,21 +76,20 @@ class AccessInfo:
         a linearized ``A[i*n + j]`` is still a stream."""
         if self.base is None:
             return False
-        steps = []
-        scev = self.offset
-        while isinstance(scev, SCEVAddRec):
-            if not scev.step.is_affine:
-                return False
-            steps.append(scev.step)
-            scev = scev.base
-        if not scev.is_affine:
+        levels = self.affine_addrec_levels()
+        if levels is None:
             return False
+        residual = self.offset
+        while isinstance(residual, SCEVAddRec):
+            residual = residual.base
         if self.loop_info is not None and self.inst.parent is not None:
             loop = self.loop_info.innermost_loop(self.inst.parent)
             while loop is not None:
-                if not scev.is_invariant_in(loop):
+                if not residual.is_invariant_in(loop):
                     return False
-                if any(not step.is_invariant_in(loop) for step in steps):
+                if any(
+                    not step.is_invariant_in(loop) for _, step in levels
+                ):
                     return False
                 loop = loop.parent
         return True

@@ -185,6 +185,7 @@ def _cmd_exec(args) -> int:
             inject_unsound_bitwidth=args.inject_unsound_bitwidth,
             inject_unsound_dependence=args.inject_unsound_dependence,
             inject_unsound_banking=args.inject_unsound_banking,
+            inject_unsound_reuse=args.inject_unsound_reuse,
             engine=args.engine,
         )
         try:
@@ -256,8 +257,31 @@ def _cmd_bitwidth(args) -> int:
     return 0
 
 
-def _cmd_deps(args) -> int:
+def _json_envelope(tool: str, workload, data) -> str:
+    """Shared ``--json`` envelope of the analysis subcommands.
+
+    Every analysis tool (``deps``, ``banks``, ``reuse``) emits the same
+    top-level shape — ``{"tool", "estimator_version", "workload",
+    "data"}`` — so downstream consumers can dispatch on ``tool`` and
+    detect model drift via ``estimator_version`` without per-command
+    parsers.
+    """
     import json
+
+    from .model.estimator import ESTIMATOR_VERSION
+
+    return json.dumps(
+        {
+            "tool": tool,
+            "estimator_version": ESTIMATOR_VERSION,
+            "workload": workload,
+            "data": data,
+        },
+        indent=2,
+    )
+
+
+def _cmd_deps(args) -> int:
 
     from .dataflow import ModuleIntervalAnalysis, PointsToAnalysis
     from .frontend import compile_source
@@ -325,7 +349,7 @@ def _cmd_deps(args) -> int:
     }
 
     if args.json:
-        print(json.dumps(report, indent=2))
+        print(_json_envelope("deps", name, report))
         return 0
 
     for func_entry in report["functions"]:
@@ -358,8 +382,6 @@ def _cmd_deps(args) -> int:
 
 
 def _cmd_banks(args) -> int:
-    import json
-
     from .analysis.banking import probe_function
     from .dataflow import ModuleIntervalAnalysis, PointsToAnalysis
     from .frontend import compile_source
@@ -395,7 +417,7 @@ def _cmd_banks(args) -> int:
     }
 
     if args.json:
-        print(json.dumps(report, indent=2))
+        print(_json_envelope("banks", name, report))
         return 0
 
     for func_entry in report["functions"]:
@@ -411,6 +433,71 @@ def _cmd_banks(args) -> int:
     s = report["summary"]
     print(f"banks: {s['groups']} group probes, {s['proven']} proven "
           f"conflict-free, {s['serialized']} serialized")
+    return 0
+
+
+def _cmd_reuse(args) -> int:
+    from .analysis.reuse import probe_function
+    from .dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+    from .frontend import compile_source
+    from .ir import GlobalVariable
+    from .model.estimator import FunctionContext
+
+    source = _read_program(args)
+    name = args.source or args.workload
+    module = compile_source(source, name, optimize=not args.no_opt)
+    intervals = ModuleIntervalAnalysis(module)
+    points_to = PointsToAnalysis(module)
+
+    report = {"program": name, "functions": []}
+    for func in module.defined_functions():
+        ctx = FunctionContext(func, points_to=points_to, intervals=intervals)
+        probes = probe_function(
+            ctx.access, ctx.loop_info, ctx.memdep,
+            intervals=intervals.for_function(func),
+            bases=(GlobalVariable,),
+        )
+        if not probes:
+            continue
+        report["functions"].append({
+            "name": func.name,
+            "groups": [probe.to_dict() for probe in probes],
+        })
+
+    groups = [g for f in report["functions"] for g in f["groups"]]
+    report["summary"] = {
+        "groups": len(groups),
+        "pairs_proven": sum(len(g["pairs"]) for g in groups),
+        "pairs_unknown": sum(len(g["unknown"]) for g in groups),
+        "pairs_broken": sum(len(g["broken"]) for g in groups),
+    }
+
+    if args.json:
+        print(_json_envelope("reuse", name, report))
+        return 0
+
+    for func_entry in report["functions"]:
+        print(f"@{func_entry['name']}")
+        for group in func_entry["groups"]:
+            print(f"  loop {group['loop']} @{group['base']}: "
+                  f"{len(group['pairs'])} proven pair(s)")
+            for pair in group["pairs"]:
+                trip = (f"  (trip {pair['trip']})"
+                        if pair["trip"] is not None else "")
+                print(f"    {pair['kind']:7} %{pair['producer']} -> "
+                      f"%{pair['consumer']}  distance "
+                      f"{pair['distance']}{trip}")
+            for cand in group["unknown"]:
+                prod = f"%{cand['producer']} -> " if cand["producer"] else ""
+                print(f"    unknown {prod}%{cand['consumer']}: "
+                      f"{cand['reason']}")
+            for cand in group["broken"]:
+                print(f"    broken  %{cand['producer']} -> "
+                      f"%{cand['consumer']}: {cand['reason']}")
+    s = report["summary"]
+    print(f"reuse: {s['groups']} group probes, {s['pairs_proven']} proven "
+          f"pair(s), {s['pairs_unknown']} unknown, "
+          f"{s['pairs_broken']} broken")
     return 0
 
 
@@ -481,6 +568,7 @@ def _cmd_bench(args) -> int:
         interp_elision_stats,
         load_report,
         pipeline_ii_stats,
+        reuse_buffers_stats,
         spad_banking_stats,
         write_report,
     )
@@ -538,11 +626,17 @@ def _cmd_bench(args) -> int:
         # bounded the same way as the other probes.
         spad_banking = spad_banking_stats(names[: args.spad_banking_count])
 
+    reuse_buffers = None
+    if not args.no_reuse_buffers:
+        # Port pressure and II with vs without proven reuse buffers,
+        # bounded the same way as the other probes.
+        reuse_buffers = reuse_buffers_stats(names[: args.reuse_buffers_count])
+
     tag = args.tag or default_tag(params)
     payload = build_report(
         records, engine, tag=tag, wall_seconds=wall, interp_elision=elision,
         area_narrowing=narrowing, pipeline_ii=pipeline_ii,
-        spad_banking=spad_banking,
+        spad_banking=spad_banking, reuse_buffers=reuse_buffers,
     )
     path = write_report(payload, directory=args.output_dir)
 
@@ -592,6 +686,16 @@ def _cmd_bench(args) -> int:
                   f"probed loops ({stat['proven_groups']}/{stat['groups']} "
                   f"groups proven, {stat['serialized_groups']} serialized, "
                   f"equal area)")
+    if reuse_buffers:
+        for name, stat in reuse_buffers.items():
+            print(f"reuse  {name}: ports "
+                  f"{stat['ports_before_total']} -> "
+                  f"{stat['ports_after_total']}, II "
+                  f"{stat['ii_before_total']} -> {stat['ii_after_total']} "
+                  f"over {stat['probed_loops']} probed loops "
+                  f"({stat['pairs_proven']} proven pairs, "
+                  f"{stat['buffered_consumers']} buffered, "
+                  f"{stat['register_bits']} register bits)")
     stats = engine.cache_stats()
     print(f"\n{len(records)} workloads in {wall:.2f}s "
           f"(jobs={args.jobs}, cache hits {stats['hits']}, "
@@ -809,6 +913,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "provably-conflicted banking scheme conflict-"
                             "free (self-test; the run must report "
                             "violations on conflicting workloads)")
+    exec_.add_argument("--inject-unsound-reuse", action="store_true",
+                       help="with --sanitize: deliberately shorten every "
+                            "proven reuse-pair distance by one (self-test; "
+                            "the run must report violations on reusing "
+                            "workloads)")
     exec_.set_defaults(func=_cmd_exec)
 
     deps = sub.add_parser(
@@ -845,8 +954,28 @@ def build_parser() -> argparse.ArgumentParser:
     banks.add_argument("--no-opt", action="store_true",
                        help="analyze the unoptimized IR")
     banks.add_argument("--json", action="store_true",
-                       help="machine-readable report")
+                       help="machine-readable probe report")
     banks.set_defaults(func=_cmd_banks)
+
+    reuse = sub.add_parser(
+        "reuse",
+        help="proven inter-iteration reuse pairs per scratchpad group",
+        description=(
+            "Probe every call-free innermost loop's global-array groups "
+            "with the data-reuse analysis: proven pairs (consumer at "
+            "iteration i addresses what the producer addressed at i-d) "
+            "become shift-register buffers in the accelerator model; "
+            "unknown and broken candidates are reported with the reason "
+            "the proof failed."
+        ),
+    )
+    reuse.add_argument("source", nargs="?")
+    reuse.add_argument("--workload", help="analyze a registered benchmark")
+    reuse.add_argument("--no-opt", action="store_true",
+                       help="analyze the unoptimized IR")
+    reuse.add_argument("--json", action="store_true",
+                       help="machine-readable report")
+    reuse.set_defaults(func=_cmd_reuse)
 
     bitwidth = sub.add_parser(
         "bitwidth",
@@ -921,6 +1050,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="probe assumed vs proven scratchpad banking "
                             "II on the first N workloads (default 6)")
+    bench.add_argument("--no-reuse-buffers", action="store_true",
+                       help="skip the reuse shift-register buffer probe")
+    bench.add_argument("--reuse-buffers-count", type=int, default=6,
+                       metavar="N",
+                       help="probe port pressure and II with vs without "
+                            "proven reuse buffers on the first N workloads "
+                            "(default 6)")
     bench.set_defaults(func=_cmd_bench)
 
     trace = sub.add_parser(

@@ -40,6 +40,9 @@ class ConfigRuleEnv:
     access: object = None
     #: :class:`~repro.analysis.banking.BankingAnalysis` for the function.
     banking: object = None
+    #: :class:`~repro.analysis.reuse.ReuseAnalysis` for the function
+    #: (needed by the reuse rules; they are skipped without it).
+    reuse: object = None
 
 
 def _loop_loc(config, loop, detail: str) -> Location:
@@ -348,6 +351,191 @@ def check_banking_overprovision(
                     f"only {usable} can be used in parallel ({detail})"
                 ),
                 suggestion=f"size the group at {usable} bank(s)",
+            )
+
+
+def _reuse_group_verdicts(config, env: ConfigRuleEnv):
+    """Yield ``(group, loop, assignments, verdict, lanes, pipelined)`` for
+    every (scratchpad group, call-free innermost loop) of the
+    configuration, re-deriving members, stores, and lane counts exactly
+    as the estimator's reuse pass does.  Requires ``env.access``,
+    ``env.reuse``, and ``env.loop_info``."""
+    if env.access is None or env.reuse is None or env.loop_info is None:
+        return
+    from ..model.estimator import unrolled_loops_of
+
+    groups = {}
+    for assignment in config.plan.assignments.values():
+        if assignment.kind.value == "scratchpad":
+            groups.setdefault(assignment.spad_group, []).append(assignment)
+    for group, assignments in groups.items():
+        by_loop = {}
+        for assignment in assignments:
+            loop = env.loop_info.innermost_loop(assignment.inst.parent)
+            if loop is None:
+                continue
+            by_loop.setdefault(loop, []).append(assignment)
+        for loop, members in by_loop.items():
+            if any(
+                isinstance(inst, Call)
+                for block in loop.blocks
+                for inst in block.instructions
+            ):
+                continue  # callee stores make the clobber scan unsound
+            stores = [
+                info for info in env.access.accesses_in(loop.blocks)
+                if info.is_store
+            ]
+            verdict = env.reuse.verdict(
+                group, loop,
+                [env.access.info(a.inst) for a in members],
+                stores=stores,
+            )
+            lanes = 1
+            for _, unroll in unrolled_loops_of(
+                members[0].inst, config.loop_plans, env.loop_info
+            ):
+                lanes *= max(1, unroll)
+            plan_for_loop = config.loop_plans.get(loop)
+            pipelined = plan_for_loop is not None and plan_for_loop.pipelined
+            yield group, loop, members, verdict, lanes, pipelined
+
+
+@rule(
+    "RU001",
+    "claimed-reuse-pair-unproven",
+    layer="config",
+    severity=Severity.ERROR,
+    description=(
+        "An interface assignment claims a shift-register reuse pair — the "
+        "consumer is fed from a register tap a fixed number of iterations "
+        "behind its producer instead of a scratchpad port — but "
+        "re-deriving the proof fails: the SIV residue test shows a "
+        "provable address mismatch at the claimed distance, or an "
+        "intervening (possibly may-alias) store can clobber the buffered "
+        "element before the consumer reads it.  The buffer would silently "
+        "forward a stale or wrong value every iteration."
+    ),
+    paper_ref="§III-C (data access optimization must preserve semantics)",
+)
+def check_reuse_claims(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    if env.access is None or env.reuse is None or env.loop_info is None:
+        return
+    claims = [
+        a for a in config.plan.assignments.values()
+        if a.reuse_distance is not None
+    ]
+    if not claims:
+        return
+    verdicts = {
+        (group, loop): verdict
+        for group, loop, _members, verdict, _lanes, _pipelined
+        in _reuse_group_verdicts(config, env)
+    }
+    for assignment in claims:
+        inst = assignment.inst
+        loop = env.loop_info.innermost_loop(inst.parent)
+        verdict = verdicts.get((assignment.spad_group, loop))
+        if verdict is not None and any(
+            p.consumer.inst is inst
+            and p.producer.inst is assignment.reuse_source
+            and p.distance == assignment.reuse_distance
+            for p in verdict.pairs
+        ):
+            continue  # the claim re-proves: sound
+        producer = assignment.reuse_source
+        producer_name = getattr(producer, "name", None) or "?"
+        if verdict is None:
+            reason = (
+                "the enclosing loop is not analyzable (contains a call "
+                "or is not an innermost loop)"
+            )
+        else:
+            reason = (
+                f"no proof of distance {assignment.reuse_distance} from "
+                f"%{producer_name} (residue test disproves the pair)"
+            )
+            for cand in list(verdict.broken) + list(verdict.unknown):
+                if cand.consumer.inst is inst and (
+                    cand.producer is None
+                    or cand.producer.inst is producer
+                ):
+                    reason = cand.reason
+                    break
+        yield Diagnostic(
+            code="RU001",
+            severity=Severity.ERROR,
+            location=Location(
+                function=config.region.function.name,
+                block=inst.parent.name if inst.parent else None,
+                instruction=inst.ref,
+                detail=(
+                    f"claimed reuse of %{producer_name} at distance "
+                    f"{assignment.reuse_distance}"
+                ),
+            ),
+            message=(
+                f"claimed reuse pair %{producer_name} -> "
+                f"%{inst.name or '?'} at distance "
+                f"{assignment.reuse_distance} is unproven: {reason}"
+            ),
+            suggestion=(
+                "drop the reuse claim; only pairs the analysis proves "
+                "may bypass the scratchpad port"
+            ),
+        )
+
+
+@rule(
+    "RU002",
+    "provable-reuse-over-depth-budget",
+    layer="config",
+    severity=Severity.INFO,
+    description=(
+        "A load provably reuses an element a recent iteration touched, "
+        "but the configuration leaves it on a scratchpad port because the "
+        "shift-register chain it needs (distance plus unrolled lane taps) "
+        "exceeds the register-depth budget.  The reuse is sound — only "
+        "too expensive under the current lane count — so reducing the "
+        "unroll factor or raising the budget would convert the port "
+        "access into a register tap."
+    ),
+    paper_ref="§III-C (reuse buffers trade registers for port pressure)",
+)
+def check_reuse_unexploited(config, env: ConfigRuleEnv) -> Iterator[Diagnostic]:
+    from ..analysis.reuse import MAX_REUSE_DEPTH, select_buffers
+
+    for group, loop, members, verdict, lanes, pipelined in (
+        _reuse_group_verdicts(config, env)
+    ):
+        if not pipelined or not verdict.pairs:
+            continue
+        _chosen, over_budget = select_buffers(verdict, lanes=lanes)
+        by_inst = {a.inst: a for a in members}
+        for pair in over_budget:
+            assignment = by_inst.get(pair.consumer.inst)
+            if assignment is not None and assignment.reuse_buffered:
+                continue  # exploited after all (e.g. a custom budget)
+            consumer_name = getattr(pair.consumer.inst, "name", None) or "?"
+            producer_name = getattr(pair.producer.inst, "name", None) or "?"
+            yield Diagnostic(
+                code="RU002",
+                severity=Severity.INFO,
+                location=_group_loc(
+                    config, group,
+                    f"depth {pair.depth(lanes)} > budget {MAX_REUSE_DEPTH}",
+                ),
+                message=(
+                    f"load %{consumer_name} provably reuses "
+                    f"%{producer_name} at distance {pair.distance}, but "
+                    f"the {pair.depth(lanes)}-stage chain "
+                    f"({lanes} lane(s)) exceeds the "
+                    f"{MAX_REUSE_DEPTH}-register budget"
+                ),
+                suggestion=(
+                    "reduce the unroll factor so the lane taps fit, or "
+                    "raise the depth budget"
+                ),
             )
 
 

@@ -178,6 +178,7 @@ def run_lint(
                 max_spad_bytes=model.max_spad_bytes,
                 access=model_ctx.access,
                 banking=model_ctx.banking,
+                reuse=model_ctx.reuse,
             )
             for config in model.generate_configs(region):
                 for entry in config_rules:

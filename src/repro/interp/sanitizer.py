@@ -18,7 +18,12 @@ verifies, against observed behavior, each claim the dataflow layer makes:
   must never touch a common byte;
 * **dependence distances** — every observed cross-iteration conflict on a
   loop must be covered by a claimed dependence whose distance is no larger
-  than the observed one (a missing or over-claimed dependence is unsound).
+  than the observed one (a missing or over-claimed dependence is unsound);
+* **reuse pairs** — every pair the reuse analysis proved (consumer at
+  iteration ``i`` addresses the element the producer addressed at
+  ``i − d``) must hold concretely: the consumer's runtime address must
+  equal the producer's recorded address ``d`` iterations back, and no
+  store may have touched the buffered bytes since the record was taken.
 
 Any discrepancy is a *soundness violation*: the analyses must be
 conservative, so runtime behavior outside their claims means the analysis —
@@ -57,6 +62,7 @@ from ..ir import (
 from ..analysis.access_patterns import AccessPatternAnalysis
 from ..analysis.banking import CONFLICT_FREE, CONFLICTED, probe_function
 from ..analysis.loops import Loop
+from ..analysis.reuse import probe_function as reuse_probes
 from ..analysis.memdep import MemoryDependenceAnalysis
 from ..dataflow import (
     BoundsAnalysis,
@@ -105,6 +111,28 @@ class _BankClaim:
         return offset // self.block_bytes
 
 
+class _ReuseClaim:
+    """One proven reuse pair to validate at runtime.
+
+    The claim: every time ``consumer`` executes at iteration ``i`` of
+    ``loop``, it addresses exactly the element ``producer`` addressed at
+    iteration ``i − distance``, and no store has touched those bytes in
+    between.  ``history`` records the producer's (address, write-seq)
+    per iteration, pruned to the claim's window.
+    """
+
+    __slots__ = ("loop", "base", "producer", "consumer", "distance",
+                 "history")
+
+    def __init__(self, loop, base, producer, consumer, distance):
+        self.loop = loop
+        self.base = base
+        self.producer = producer
+        self.consumer = consumer
+        self.distance = distance
+        self.history: Dict[int, Tuple[int, int]] = {}
+
+
 class SanitizingInterpreter(Interpreter):
     """Interpreter that validates every dataflow claim while executing.
 
@@ -124,6 +152,7 @@ class SanitizingInterpreter(Interpreter):
         inject_unsound_bitwidth: bool = False,
         inject_unsound_dependence: bool = False,
         inject_unsound_banking: bool = False,
+        inject_unsound_reuse: bool = False,
         engine: str = "compiled",
     ):
         super().__init__(
@@ -135,6 +164,7 @@ class SanitizingInterpreter(Interpreter):
         self.inject_unsound_bitwidth = inject_unsound_bitwidth
         self.inject_unsound_dependence = inject_unsound_dependence
         self.inject_unsound_banking = inject_unsound_banking
+        self.inject_unsound_reuse = inject_unsound_reuse
         self.violations: List[str] = []
         self.notes: List[str] = []
         self._seen: Set[Tuple] = set()
@@ -171,6 +201,12 @@ class SanitizingInterpreter(Interpreter):
         #: schemes the analysis proved *conflicted* — promoted to bogus
         #: conflict-free claims by ``inject_unsound_banking``
         self._conflicted_bank_schemes: List[Tuple] = []
+        #: access instruction → reuse claims it produces records for
+        self._reuse_producers: Dict[Instruction, List[_ReuseClaim]] = {}
+        #: access instruction → reuse claims it must satisfy as consumer
+        self._reuse_consumers: Dict[Instruction, List[_ReuseClaim]] = {}
+        #: loop → its reuse claims (history resets on fresh entry)
+        self._reuse_claims_by_loop: Dict[Loop, List[_ReuseClaim]] = {}
 
         for func in module.defined_functions():
             self._prepare_function(func)
@@ -222,11 +258,34 @@ class SanitizingInterpreter(Interpreter):
                 "conflict-free (sanitizer self-test)"
             )
 
+        if inject_unsound_reuse:
+            # Adversarial self-test: shorten every proven reuse distance by
+            # one.  The claim "consumer at i reads what the producer touched
+            # at i−d" becomes i−(d−1) — off by exactly one iteration — so
+            # any workload actually exercising its reuse pairs must now trip
+            # the address check, proving the sanitizer would catch an
+            # unsound residue test.
+            shortened = 0
+            for claims in self._reuse_claims_by_loop.values():
+                for claim in claims:
+                    claim.distance = max(0, claim.distance - 1)
+                    shortened += 1
+            self.notes.append(
+                f"inject-unsound-reuse: {shortened} claimed reuse "
+                "distance(s) deliberately shortened by one (sanitizer "
+                "self-test)"
+            )
+
         # Runtime trackers.
         self._loop_iter: Dict[Loop, int] = {}
         self._last_write: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
         self._last_read: Dict[Loop, Dict[int, Tuple[Instruction, int]]] = {}
         self._touched: Dict = {}  # base value → set of byte addresses
+        #: byte address → sequence number of the last store touching it;
+        #: maintained only while reuse claims exist (clobber detection)
+        self._write_seq: Dict[int, int] = {}
+        self._access_seq = 0
+        self._track_reuse_writes = bool(self._reuse_consumers)
         #: (loop, dep pair) → smallest carried distance observed at runtime;
         #: soundness demands claimed ≤ every entry here (the property tests
         #: and the ``deps`` report consume this trace).
@@ -243,6 +302,10 @@ class SanitizingInterpreter(Interpreter):
         self.bank_checks = 0
         self.bank_claim_count = sum(
             len(claims) for claims in self._bank_claims_by_loop.values()
+        )
+        self.reuse_checks = 0
+        self.reuse_claim_count = sum(
+            len(claims) for claims in self._reuse_claims_by_loop.values()
         )
 
     # Claim construction -----------------------------------------------------
@@ -312,6 +375,29 @@ class SanitizingInterpreter(Interpreter):
                 elif sv.status == CONFLICTED:
                     self._conflicted_bank_schemes.append(args)
 
+        # Reuse claims: every pair the reuse analysis *proves* (consumer at
+        # iteration i addresses what the producer addressed at i−d, no
+        # intervening clobber) becomes a runtime-checkable claim.  Only
+        # global-variable groups are checkable (known base address).
+        for probe in reuse_probes(
+            apa, analysis.loop_info, md, intervals=analysis,
+            bases=(GlobalVariable,),
+        ):
+            for pair in probe.verdict.pairs:
+                claim = _ReuseClaim(
+                    probe.loop, probe.base,
+                    pair.producer.inst, pair.consumer.inst, pair.distance,
+                )
+                self._reuse_claims_by_loop.setdefault(
+                    probe.loop, []
+                ).append(claim)
+                self._reuse_producers.setdefault(
+                    claim.producer, []
+                ).append(claim)
+                self._reuse_consumers.setdefault(
+                    claim.consumer, []
+                ).append(claim)
+
         bases = []
         infos = {}
         for inst in func.instructions():
@@ -378,6 +464,8 @@ class SanitizingInterpreter(Interpreter):
             self._last_read[loop] = {}
             for claim in self._bank_claims_by_loop.get(loop, ()):
                 claim.state.clear()
+            for claim in self._reuse_claims_by_loop.get(loop, ()):
+                claim.history.clear()
 
     # Per-instruction validation ----------------------------------------------
 
@@ -518,6 +606,22 @@ class SanitizingInterpreter(Interpreter):
         bank_claims = self._bank_claims.get(inst)
         if bank_claims:
             self._check_banks(inst, address, is_store, bank_claims)
+        if is_store and self._track_reuse_writes:
+            self._access_seq += 1
+            seq = self._access_seq
+            for byte in range(address, address + nbytes):
+                self._write_seq[byte] = seq
+        for claim in self._reuse_producers.get(inst, ()):
+            # Record after the store's own write-seq bump: the producer's
+            # own write is part of the recorded state, not a clobber.
+            iteration = self._loop_iter.get(claim.loop, 0)
+            claim.history[iteration] = (address, self._access_seq)
+            if len(claim.history) > claim.distance + 2:
+                cutoff = iteration - claim.distance - 1
+                for key in [k for k in claim.history if k < cutoff]:
+                    del claim.history[key]
+        for claim in self._reuse_consumers.get(inst, ()):
+            self._check_reuse(claim, inst, address, nbytes)
         for loop in self._loops_of_block.get(inst.parent, ()):
             iteration = self._loop_iter.get(loop, 0)
             writes = self._last_write.setdefault(loop, {})
@@ -576,6 +680,47 @@ class SanitizingInterpreter(Interpreter):
                     f"(loop {claim.loop.header.name}, unroll "
                     f"x{claim.factor})",
                 )
+
+    def _check_reuse(
+        self, claim: _ReuseClaim, inst, address: int, nbytes: int
+    ) -> None:
+        """Validate one proven reuse pair on one consumer execution.
+
+        The producer's recorded address ``distance`` iterations back must
+        equal the consumer's runtime address (buffer warm-up — no record
+        yet — makes the claim vacuous), and no store may have touched the
+        buffered bytes since the record was taken.
+        """
+        iteration = self._loop_iter.get(claim.loop, 0)
+        record = claim.history.get(iteration - claim.distance)
+        if record is None:
+            return  # warm-up: the tap is not live this early
+        self.reuse_checks += 1
+        rec_addr, rec_seq = record
+        base_name = getattr(claim.base, "name", "?")
+        if rec_addr != address:
+            self._violation(
+                ("reuse-addr", claim.loop.header, claim.producer,
+                 claim.consumer),
+                f"reuse-address violation: load %{inst.name or '?'} at "
+                f"address {address} claims the element "
+                f"%{claim.producer.name or '?'} touched {claim.distance} "
+                f"iteration(s) earlier, which was address {rec_addr} "
+                f"(loop {claim.loop.header.name}, @{base_name})",
+            )
+            return
+        for byte in range(address, address + nbytes):
+            if self._write_seq.get(byte, 0) > rec_seq:
+                self._violation(
+                    ("reuse-clobber", claim.loop.header, claim.producer,
+                     claim.consumer),
+                    f"reuse-clobber violation: the element buffered for "
+                    f"load %{inst.name or '?'} was overwritten after "
+                    f"producer %{claim.producer.name or '?'} recorded it "
+                    f"{claim.distance} iteration(s) earlier "
+                    f"(loop {claim.loop.header.name}, @{base_name})",
+                )
+                return
 
     def _check_conflict(
         self,
@@ -652,6 +797,8 @@ class SanitizingInterpreter(Interpreter):
             f"{self.conflicts_observed} loop-carried conflicts observed, "
             f"{self.bank_checks} bank-index checks against "
             f"{self.bank_claim_count} banking claims, "
+            f"{self.reuse_checks} reuse-pair checks against "
+            f"{self.reuse_claim_count} reuse claims, "
             f"{len(self._disjoint_claims)} disjointness claims",
             f"sanitize: {len(self.violations)} violation(s)",
         ]

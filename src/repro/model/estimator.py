@@ -40,6 +40,7 @@ from ..hls.techlib import (
     OFFLOAD_OVERHEAD_CYCLES,
     REGION_CTRL_AREA_UM2,
     DEFAULT_TECHLIB,
+    SPAD_LATENCY,
     TechLibrary,
 )
 from ..hls.report import SynthesisReport
@@ -55,7 +56,7 @@ from .interfaces import InterfaceAssignment, InterfaceKind, InterfacePlan
 #: heuristics, cost-table updates, scheduling changes, ...): it is part of the
 #: bench harness's persistent cache key, so bumping it invalidates every
 #: cached evaluation record.
-ESTIMATOR_VERSION = "5"
+ESTIMATOR_VERSION = "6"
 
 
 class FunctionContext:
@@ -94,6 +95,13 @@ class FunctionContext:
         #: Scratchpad bank-conflict prover shared by every candidate config
         #: (verdicts are cached per group/lane structure).
         self.banking = BankingAnalysis(self.loop_info, intervals=self.intervals)
+        from ..analysis.reuse import ReuseAnalysis
+
+        #: Inter-iteration data-reuse prover (shift-register buffers);
+        #: verdicts are cached per (base, loop, member) structure.
+        self.reuse = ReuseAnalysis(
+            self.loop_info, intervals=self.intervals, memdep=self.memdep
+        )
         from ..analysis.cfg import reverse_postorder
 
         self.rpo_index = {b: i for i, b in enumerate(reverse_postorder(func))}
@@ -196,6 +204,7 @@ class AcceleratorModel:
         legality_prefilter: bool = True,
         narrow_widths: bool = True,
         prove_banking: bool = True,
+        prove_reuse: bool = True,
     ):
         self.module = module
         self.profile = profile
@@ -213,6 +222,10 @@ class AcceleratorModel:
         #: trusted as parallel) — the "before" variant of the bench
         #: ``spad_banking`` comparison.
         self.prove_banking = prove_banking
+        #: ``False`` keeps every scratchpad load on a port (pre-reuse
+        #: behavior) — the "before" variant of the bench ``reuse_buffers``
+        #: comparison.  Proven pairs otherwise become register chains.
+        self.prove_reuse = prove_reuse
         #: Configurations rejected by the legality pre-filter, as
         #: ``(config, diagnostics)`` pairs — inspectable after a run.
         self.rejected_configs: List[Tuple[AcceleratorConfig, list]] = []
@@ -309,6 +322,7 @@ class AcceleratorModel:
             # Without banking proofs the pre-filter must not reject the
             # historically-optimistic configs it is meant to reproduce.
             banking=ctx.banking if self.prove_banking else None,
+            reuse=ctx.reuse if self.prove_reuse else None,
         )
 
     def _configs_for_region(self, region: Region, ctx: FunctionContext):
@@ -382,6 +396,11 @@ class AcceleratorModel:
             plan.assign(
                 self._assign_interface(access, region, ctx, loop_plans, mode)
             )
+        if self.prove_reuse:
+            # Runs before banking: buffered consumers leave their group, so
+            # the banking verdict only has to serve the remaining port
+            # accesses (fewer banks can then suffice).
+            self._apply_reuse(plan, ctx, loop_plans)
         if self.prove_banking:
             self._apply_banking(plan, ctx, loop_plans)
         label = f"u{factor}/{mode}"
@@ -423,6 +442,9 @@ class AcceleratorModel:
                     unrolled_loops_of(a.inst, loop_plans, ctx.loop_info),
                 )
                 for a in assignments
+                # Reuse-buffered consumers never touch the banks in steady
+                # state; the scheme only has to serve the port accesses.
+                if not a.reuse_buffered
             ]
             footprint = max(a.spad_bytes for a in assignments)
             verdict = ctx.banking.verdict(
@@ -433,7 +455,7 @@ class AcceleratorModel:
                 assignment.banking = verdict.best
                 assignment.banking_proven = verdict.proven
                 assignment.banking_verdict = verdict
-                if verdict.best is not None:
+                if verdict.best is not None and not assignment.reuse_buffered:
                     assignment.partitions = verdict.best.banks
             if tele.enabled:
                 tele.count("model.banking_groups")
@@ -441,6 +463,78 @@ class AcceleratorModel:
                     tele.count("model.banking_serialized")
                 elif verdict.proven and verdict.best.banks < claimed:
                     tele.count("model.banking_deprovisioned")
+
+    def _apply_reuse(
+        self,
+        plan: InterfacePlan,
+        ctx: FunctionContext,
+        loop_plans: Dict[Loop, LoopPlan],
+    ) -> None:
+        """Convert proven reuse pairs into shift-register buffers.
+
+        For every scratchpad group inside a pipelined innermost loop the
+        reuse analysis decides which loads provably re-read an element a
+        recent iteration touched.  Each exploitable consumer (proven trip
+        bound beyond the distance, chain within the depth budget) is fed
+        from a register tap instead of a port: its timing loses the port,
+        its partition claim drops to one, and the chain's registers are
+        priced by ``InterfacePlan.reuse_register_area``.  Only *proven*
+        pairs qualify — unknown candidates are never buffered.
+        """
+        from ..analysis.reuse import select_buffers
+
+        groups: Dict[object, List[InterfaceAssignment]] = {}
+        for assignment in plan.assignments.values():
+            if assignment.kind is InterfaceKind.SCRATCHPAD:
+                groups.setdefault(assignment.spad_group, []).append(assignment)
+        tele = current_telemetry()
+        for group, assignments in groups.items():
+            by_loop: Dict[Loop, List[InterfaceAssignment]] = {}
+            for assignment in assignments:
+                loop = ctx.loop_info.innermost_loop(assignment.inst.parent)
+                loop_plan = loop_plans.get(loop) if loop is not None else None
+                if loop_plan is None or not loop_plan.pipelined:
+                    continue
+                by_loop.setdefault(loop, []).append(assignment)
+            for loop, members in by_loop.items():
+                if any(
+                    isinstance(inst, Call)
+                    for block in loop.blocks
+                    for inst in block.instructions
+                ):
+                    continue  # callee stores could clobber the buffer
+                stores = [
+                    info for info in ctx.access.accesses_in(loop.blocks)
+                    if info.is_store
+                ]
+                verdict = ctx.reuse.verdict(
+                    group, loop,
+                    [ctx.access.info(a.inst) for a in members],
+                    stores=stores,
+                )
+                if not verdict.pairs:
+                    continue
+                lanes = 1
+                for _, unroll in unrolled_loops_of(
+                    members[0].inst, loop_plans, ctx.loop_info
+                ):
+                    lanes *= max(1, unroll)
+                chosen, over_budget = select_buffers(verdict, lanes=lanes)
+                by_inst = {a.inst: a for a in members}
+                for inst, pair in chosen.items():
+                    assignment = by_inst.get(inst)
+                    if assignment is None:
+                        continue
+                    assignment.reuse_source = pair.producer.inst
+                    assignment.reuse_distance = pair.distance
+                    assignment.reuse_depth = pair.depth(lanes)
+                    assignment.reuse_bits = 8 * pair.consumer.element_size
+                    assignment.partitions = 1
+                    if tele.enabled:
+                        tele.count("model.reuse_buffered")
+                if tele.enabled:
+                    tele.count("model.reuse_groups")
+                    tele.count("model.reuse_over_budget", len(over_budget))
 
     def _assign_interface(
         self,
@@ -567,6 +661,17 @@ class AcceleratorModel:
             iterations = profile.loop_iterations(loop) / replication
             cycles += entries * result.depth
             cycles += max(0.0, iterations - entries) * result.ii
+            # Reuse buffers need a warm-up prologue: the first `distance`
+            # elements of each chain are pre-filled through the scratchpad
+            # port before the steady-state (port-free) pipeline starts.
+            warm = 0
+            for block in loop.blocks:
+                for inst in block.instructions:
+                    a = plan.assignments.get(inst)
+                    if a is not None and a.reuse_buffered:
+                        warm = max(warm, a.reuse_distance)
+            if warm:
+                cycles += entries * warm * SPAD_LATENCY
             area = area + pipelined_datapath_area(
                 unrolled, result.ii, result.depth, techlib, result.schedule
             )

@@ -75,10 +75,29 @@ class InterfaceAssignment:
     banking_proven: bool = True
     #: The full verdict, when the estimator ran the analysis (diagnostics).
     banking_verdict: Optional[object] = None
+    #: Proven inter-iteration reuse: when ``reuse_distance`` is set, this
+    #: load is fed from a shift-register tap ``reuse_distance`` iterations
+    #: behind ``reuse_source`` (the producer access instruction) instead of
+    #: a scratchpad port — only ever set from a *proven*
+    #: :class:`~repro.analysis.reuse.ReusePair`, never assumed.
+    reuse_source: Optional[Instruction] = None
+    reuse_distance: Optional[int] = None
+    #: Register stages this consumer needs on the producer's chain
+    #: (distance + lanes − 1); the deepest consumer prices the chain.
+    reuse_depth: int = 0
+    #: Bits per register stage (the element width).
+    reuse_bits: int = 0
 
     @property
     def is_load(self) -> bool:
         return isinstance(self.inst, Load)
+
+    @property
+    def reuse_buffered(self) -> bool:
+        return (
+            self.kind is InterfaceKind.SCRATCHPAD
+            and self.reuse_distance is not None
+        )
 
     @property
     def proven_partitions(self) -> int:
@@ -150,6 +169,10 @@ class InterfacePlan:
         if kind is InterfaceKind.DECOUPLED:
             return AccessTiming(latency=DECOUPLED_LATENCY, port=None)
         if kind is InterfaceKind.SCRATCHPAD:
+            if assignment is not None and assignment.reuse_buffered:
+                # Proven reuse: the value comes from a register tap of the
+                # producer's shift chain — single-cycle, no port pressure.
+                return AccessTiming(latency=1, port=None)
             return AccessTiming(
                 latency=SPAD_LATENCY, port=self.spad_port_names()[group],
                 occupancy=1,
@@ -204,6 +227,24 @@ class InterfacePlan:
                 techlib.scratchpad_area(per_bank) for _ in range(max(1, partitions))
             )
             area += DMA_AREA_UM2
+        area += self.reuse_register_area(techlib)
+        return area
+
+    def reuse_register_area(self, techlib: TechLibrary) -> float:
+        """Shift-register area of every exploited reuse chain.
+
+        Consumers fed by the same producer share one chain; the deepest
+        tap (lane-aware) sizes it, priced per register stage."""
+        chains: Dict[tuple, List[InterfaceAssignment]] = {}
+        for assignment in self.assignments.values():
+            if assignment.reuse_buffered:
+                key = (assignment.spad_group, assignment.reuse_source)
+                chains.setdefault(key, []).append(assignment)
+        area = 0.0
+        for members in chains.values():
+            depth = max(m.reuse_depth for m in members)
+            bits = max(m.reuse_bits for m in members)
+            area += techlib.register_area(bits) * depth
         return area
 
     def dma_cycles_per_invocation(self, techlib: TechLibrary) -> float:

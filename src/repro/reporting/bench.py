@@ -972,6 +972,192 @@ def spad_banking_stats(names: Sequence[str]) -> Dict[str, Dict]:
     return stats
 
 
+# Reuse-buffer probe --------------------------------------------------------------
+
+
+def reuse_buffers_stats(names: Sequence[str]) -> Dict[str, Dict]:
+    """Before/after port pressure and pipeline II with proven reuse pairs.
+
+    For every innermost loop with a global-array scratchpad group, probes
+    the data-reuse analysis and pipelines the *same* body DFG twice: once
+    with every group access on a dual-ported scratchpad port, and once
+    with each provably-reusing consumer fed from a shift-register tap
+    (latency 1, no port) instead — exactly the lowering the estimator
+    applies.  A port-count or II drop is therefore the measured payoff of
+    the proof; workloads without provable reuse report identical
+    before/after numbers.  Every field is an exact count, so the whole
+    section participates in :func:`compare_reports`.
+    """
+    from ..analysis.reuse import select_buffers
+    from ..analysis.reuse import probe_function as reuse_probes
+    from ..dataflow import ModuleIntervalAnalysis, PointsToAnalysis
+    from ..frontend.lowering import compile_source
+    from ..hls.dfg import DFG
+    from ..hls.pipeline import pipeline_loop
+    from ..hls.scheduling import AccessTiming
+    from ..hls.techlib import DEFAULT_TECHLIB, SPAD_LATENCY
+    from ..ir import GlobalVariable, Load, Store
+    from ..model.estimator import FunctionContext, loop_recurrences
+
+    stats: Dict[str, Dict] = {}
+    for name in names:
+        workload = get_workload(name)
+        module = compile_source(workload.source, workload.name)
+        intervals = ModuleIntervalAnalysis(module)
+        points_to = PointsToAnalysis(module)
+        loops: List[Dict] = []
+        pairs_proven = pairs_unknown = pairs_broken = 0
+        for func in module.defined_functions():
+            ctx = FunctionContext(
+                func, points_to=points_to, intervals=intervals
+            )
+            probes = reuse_probes(
+                ctx.access, ctx.loop_info, ctx.memdep,
+                intervals=intervals.for_function(func),
+                bases=(GlobalVariable,),
+            )
+            by_loop: Dict = {}
+            for probe in probes:
+                by_loop.setdefault(probe.loop, []).append(probe)
+            for loop in ctx.loop_info.loops:
+                if loop not in by_loop:
+                    continue
+                loop_probes = by_loop[loop]
+                # Value names carry a process-global counter; label the
+                # loop's accesses by textual position instead so the
+                # section is bit-identical across runs (--compare-to).
+                stable: Dict = {}
+                for block in ctx.ordered_blocks(loop.blocks):
+                    for inst in block.instructions:
+                        if isinstance(inst, (Load, Store)):
+                            kind = "ld" if isinstance(inst, Load) else "st"
+                            stable[inst] = f"{kind}{len(stable)}"
+                buffered: Dict = {}
+                groups: List[Dict] = []
+                register_bits = 0
+                for probe in loop_probes:
+                    verdict = probe.verdict
+                    pairs_proven += len(verdict.pairs)
+                    pairs_unknown += len(verdict.unknown)
+                    pairs_broken += len(verdict.broken)
+                    chosen, _over = select_buffers(verdict)
+                    chains: Dict = {}
+                    for inst, pair in chosen.items():
+                        buffered[inst] = pair
+                        depth, bits = chains.get(pair.producer.inst, (0, 0))
+                        chains[pair.producer.inst] = (
+                            max(depth, pair.depth()),
+                            max(bits, 8 * pair.consumer.element_size),
+                        )
+                    register_bits += sum(
+                        depth * bits for depth, bits in chains.values()
+                    )
+                    groups.append({
+                        "base": verdict.base_name,
+                        "pairs": [
+                            dict(
+                                p.to_dict(),
+                                producer=stable.get(
+                                    p.producer.inst, p.producer.inst.name or "?"
+                                ),
+                                consumer=stable.get(
+                                    p.consumer.inst, p.consumer.inst.name or "?"
+                                ),
+                            )
+                            for p in verdict.pairs
+                        ],
+                        "unknown": len(verdict.unknown),
+                        "broken": len(verdict.broken),
+                        "buffered": sorted(
+                            stable.get(inst, inst.name or "?")
+                            for inst in chosen
+                        ),
+                    })
+                dfg = DFG.from_blocks(
+                    ctx.ordered_blocks(loop.blocks), may_alias=ctx.may_alias
+                )
+                if not dfg.nodes:
+                    continue
+                bases = {p.base for p in loop_probes}
+                members = [
+                    node.inst for node in dfg.nodes
+                    if isinstance(node.inst, (Load, Store))
+                    and getattr(ctx.access.info(node.inst), "base", None)
+                    in bases
+                ]
+                ports_before = len(members)
+                ports_after = ports_before - sum(
+                    1 for inst in members if inst in buffered
+                )
+
+                def make_timing(use_buffers):
+                    def timing(node):
+                        info = ctx.access.info(node.inst)
+                        base = getattr(info, "base", None)
+                        if base in bases:
+                            if use_buffers and node.inst in buffered:
+                                # Register tap: single cycle, no port.
+                                return AccessTiming(latency=1, port=None)
+                            return AccessTiming(
+                                latency=SPAD_LATENCY, port=base.name,
+                                occupancy=1,
+                            )
+                        return AccessTiming(latency=2, port=None)
+                    return timing
+
+                ports = {base.name: 2 for base in bases}
+                recurrences = loop_recurrences(loop, dfg, ctx)
+                before = pipeline_loop(
+                    dfg, DEFAULT_TECHLIB, make_timing(False),
+                    port_counts=ports, recurrences=recurrences,
+                )
+                after = pipeline_loop(
+                    dfg, DEFAULT_TECHLIB, make_timing(True),
+                    port_counts=ports, recurrences=recurrences,
+                )
+                trip = ctx.static_trip_bound(loop) or 100
+                loops.append({
+                    "function": func.name,
+                    "loop": loop.name,
+                    "trip": trip,
+                    "groups": groups,
+                    "port_accesses_before": ports_before,
+                    "port_accesses_after": ports_after,
+                    "register_bits": register_bits,
+                    "ii_before": before.ii,
+                    "ii_after": after.ii,
+                    "latency_before": round(before.latency(trip), 3),
+                    "latency_after": round(after.latency(trip), 3),
+                })
+        loops.sort(key=lambda entry: (entry["function"], entry["loop"]))
+        stats[name] = {
+            "loops": loops,
+            "probed_loops": len(loops),
+            "pairs_proven": pairs_proven,
+            "pairs_unknown": pairs_unknown,
+            "pairs_broken": pairs_broken,
+            "buffered_consumers": sum(
+                e["port_accesses_before"] - e["port_accesses_after"]
+                for e in loops
+            ),
+            "register_bits": sum(e["register_bits"] for e in loops),
+            "improved_loops": sum(
+                1 for e in loops
+                if e["port_accesses_after"] < e["port_accesses_before"]
+                or e["ii_after"] < e["ii_before"]
+            ),
+            "ports_before_total": sum(
+                e["port_accesses_before"] for e in loops
+            ),
+            "ports_after_total": sum(
+                e["port_accesses_after"] for e in loops
+            ),
+            "ii_before_total": sum(e["ii_before"] for e in loops),
+            "ii_after_total": sum(e["ii_after"] for e in loops),
+        }
+    return stats
+
+
 # BENCH_<tag>.json reports -------------------------------------------------------
 
 
@@ -984,6 +1170,7 @@ def build_report(
     area_narrowing: Optional[Dict[str, Dict]] = None,
     pipeline_ii: Optional[Dict[str, Dict]] = None,
     spad_banking: Optional[Dict[str, Dict]] = None,
+    reuse_buffers: Optional[Dict[str, Dict]] = None,
     telemetry: Optional[Dict] = None,
 ) -> Dict:
     """The machine-readable bench payload (see docs/benchmarking.md)."""
@@ -1010,6 +1197,8 @@ def build_report(
         payload["pipeline_ii"] = pipeline_ii
     if spad_banking is not None:
         payload["spad_banking"] = spad_banking
+    if reuse_buffers is not None:
+        payload["reuse_buffers"] = reuse_buffers
     if telemetry is None:
         telemetry = engine.telemetry_section([r.name for r in records])
     payload["telemetry"] = telemetry
@@ -1102,6 +1291,18 @@ def compare_reports(left: Dict, right: Dict) -> List[str]:
                 problems.append(f"spad_banking/{name}: in only one report")
             elif a != b:
                 problems.append(f"spad_banking/{name}: differs")
+    left_reuse = left.get("reuse_buffers")
+    right_reuse = right.get("reuse_buffers")
+    if left_reuse is not None and right_reuse is not None:
+        # Exact counts throughout (IIs, port counts, distances): full
+        # compare.
+        for name in sorted(set(left_reuse) | set(right_reuse)):
+            a = left_reuse.get(name)
+            b = right_reuse.get(name)
+            if a is None or b is None:
+                problems.append(f"reuse_buffers/{name}: in only one report")
+            elif a != b:
+                problems.append(f"reuse_buffers/{name}: differs")
     return problems
 
 

@@ -48,6 +48,18 @@ always collides but *block* banking provably never does — the verdict
 must pick ``block-4``.  ``dual-interleave`` touches a stride-1 array
 (proven cyclic) and a stride-2 array (provably conflicted) in one loop,
 so one configuration carries mixed per-group verdicts.
+
+``stencil-reuse-3``, ``fwd-store-load`` and ``reuse-breaker`` stress the
+data-reuse layer (``repro reuse``).  The stencil reads three overlapping
+window taps of a read-only array — pure *self-reuse* at distances 1 and
+2, so two of the three loads must come from shift-register taps instead
+of scratchpad ports.  ``fwd-store-load`` feeds its own store back two
+iterations later — *store-to-load forwarding* at lag 2, the group-reuse
+case.  ``reuse-breaker`` has the same lag-2 feedback but interposes a
+store through a may-alias pointer argument between producer and
+consumer: the forwarding claim must degrade to *unknown* (never
+exploited), and the workload must still sanitize clean because no pair
+is claimed.
 """
 
 from .registry import Workload, register
@@ -378,6 +390,108 @@ void gath(int reps, int n) {
 int main() {
   init(192);
   gath(8, 96);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="stencil-reuse-3",
+    suite="synthetic",
+    description=(
+        "1-D 3-point stencil over a read-only array: the window taps "
+        "X[i-1] and X[i-2] provably re-read what X[i] loaded 1 and 2 "
+        "iterations earlier (pure self-reuse, shift-register depth 2)"
+    ),
+    outputs=("Ys",),
+    source="""
+float Xs[256];
+float Ys[256];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    Xs[i] = (float)((i * 9 + 4) % 21) / 20.0f;
+    Ys[i] = 0.0f;
+  }
+}
+
+void stencil(int n) {
+  st: for (int i = 2; i < n; i++) {
+    Ys[i] = Xs[i] * 0.25f + Xs[i - 1] * 0.5f + Xs[i - 2] * 0.25f;
+  }
+}
+
+int main() {
+  init(256);
+  stencil(256);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="fwd-store-load",
+    suite="synthetic",
+    description=(
+        "in-place recurrence F[i] = f(F[i-2]): the load provably reads "
+        "what the store wrote two iterations earlier (store-to-load "
+        "forwarding at lag 2, the group-reuse case)"
+    ),
+    outputs=("F",),
+    source="""
+float F[256];
+float K[256];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    F[i] = (float)((i * 7 + 3) % 17) / 16.0f;
+    K[i] = (float)((i * 5 + 1) % 13) / 12.0f;
+  }
+}
+
+void fwd(int n) {
+  acc: for (int i = 2; i < n; i++) {
+    F[i] = F[i - 2] * 0.75f + K[i] * 0.25f;
+  }
+}
+
+int main() {
+  init(256);
+  fwd(256);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="reuse-breaker",
+    suite="synthetic",
+    description=(
+        "lag-2 feedback like fwd-store-load, but a store through a "
+        "may-alias pointer argument lands between producer and consumer: "
+        "the forwarding claim must degrade to unknown and stay "
+        "unexploited"
+    ),
+    outputs=("Bk",),
+    source="""
+float Bk[256];
+
+void init(int n) {
+  for (int i = 0; i < n; i++) {
+    Bk[i] = (float)((i * 11 + 2) % 19) / 18.0f;
+  }
+}
+
+void brk(float *alias, int n) {
+  acc: for (int i = 2; i < n; i++) {
+    Bk[i] = Bk[i - 2] * 0.5f + 0.25f;
+    alias[i - 1] = Bk[i] * 0.125f;
+  }
+}
+
+int main() {
+  init(256);
+  brk(Bk, 256);
   return 0;
 }
 """,

@@ -209,3 +209,87 @@ class TestMemDep:
         )
         md = MemoryDependenceAnalysis(apa)
         assert md.has_loop_carried_dependence(apa.loop_info.loops[0])
+
+
+class TestStreamExtractionAgreement:
+    """``is_stream`` reuses the shared affine-subscript extraction
+    (``affine_addrec_levels``) instead of re-peeling the SCEV itself;
+    the two must never diverge: every stream has an extractable nest
+    with loop-invariant steps, and anything the extraction rejects is
+    never a stream."""
+
+    def _check_agreement(self, apa):
+        from repro.analysis.loops import LoopInfo as _LI
+
+        for info in apa.accesses():
+            levels = info.affine_addrec_levels()
+            if info.is_stream:
+                assert info.base is not None
+                assert levels is not None, (
+                    f"{info!r} is a stream but the shared extraction "
+                    "rejects its subscript"
+                )
+                if info.loop_info is not None and info.inst.parent:
+                    loop = info.loop_info.innermost_loop(info.inst.parent)
+                    while loop is not None:
+                        assert all(
+                            step.is_invariant_in(loop)
+                            for _, step in levels
+                        )
+                        loop = loop.parent
+            elif info.base is not None and levels is None:
+                assert not info.is_stream
+
+    def test_agreement_on_fig2d(self):
+        _func, apa = analyze(FIG2D)
+        self._check_agreement(apa)
+
+    def test_agreement_across_workload_registry(self):
+        from repro.workloads import get_workload, workload_names
+
+        for name in workload_names():
+            workload = get_workload(name)
+            module = compile_source(workload.source, workload.name)
+            for func in module.defined_functions():
+                self._check_agreement(AccessPatternAnalysis(func))
+
+    def test_symbolic_stride_linearized_is_stream(self):
+        """``A[i*n + j]``: the inner step is the *symbolic* byte pitch
+        4n — constant-only peeling misclassified this as irregular; the
+        shared extraction accepts loop-invariant symbolic steps."""
+        _func, apa = analyze(
+            """
+            float A[4096]; float s;
+            void f(int n) {
+              rows: for (int i = 0; i < n; i++) {
+                cols: for (int j = 0; j < n; j++) {
+                  s += A[i * n + j];
+                }
+              }
+            }
+            """
+        )
+        load = next(
+            a for a in apa.accesses()
+            if a.base is not None and a.base.name == "A"
+        )
+        assert load.affine_addrec_levels() is not None
+        assert load.is_stream
+
+    def test_indirect_subscript_rejected_by_both(self):
+        _func, apa = analyze(
+            """
+            float v[64]; int idx[64]; float out[64];
+            void f(int n) {
+              g: for (int i = 0; i < n; i++) out[i] = v[idx[i]];
+            }
+            """
+        )
+        gather = next(
+            a for a in apa.accesses()
+            if a.base is not None and a.base.name == "v"
+        )
+        # The loaded index contributes no induction level: the extraction
+        # yields an empty nest and the loop-variant residual sinks it.
+        assert gather.affine_addrec_levels() == []
+        assert not gather.is_stream

@@ -109,7 +109,9 @@ class TestUnrollDistance:
 
     def test_clean_within_proven_distance(self, setup):
         config = config_with_plan(setup, "siv2", unroll=2)
-        assert list(check_unroll_distance(config, env_for(setup, "siv2"))) == []
+        found = list(check_unroll_distance(config, env_for(setup, "siv2")))
+        assert not [d for d in found if d.code == "IR010"]
+        assert found == []
 
 
 class TestUnrollTripCount:
@@ -148,9 +150,11 @@ class TestScratchpadCapacity:
 
     def test_clean_within_capacity(self, setup):
         config = self._config(setup, spad_bytes=256)
-        assert list(check_scratchpad_capacity(
+        found = list(check_scratchpad_capacity(
             config, env_for(setup, "saxpy", max_spad_bytes=1 << 16)
-        )) == []
+        ))
+        assert not [d for d in found if d.code == "CF003"]
+        assert found == []
 
 
 class TestPipelinedCalls:
@@ -174,7 +178,9 @@ class TestPipelinedCalls:
 
     def test_clean_when_not_pipelined(self, setup):
         config = self._call_loop_config(setup, pipelined=False)
-        assert list(check_pipelined_calls(config, env_for(setup, "main"))) == []
+        found = list(check_pipelined_calls(config, env_for(setup, "main")))
+        assert not [d for d in found if d.code == "CF005"]
+        assert found == []
 
 
 def fake_dfg(*ops):

@@ -240,7 +240,10 @@ class TestDepsCommand:
         import json
 
         assert main(["deps", "--workload", "seidel-1d", "--json"]) == 0
-        data = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["tool"] == "deps"
+        assert envelope["workload"] == "seidel-1d"
+        data = envelope["data"]
         assert data["summary"]["carried_deps"] > 0
         inner = [
             loop
@@ -351,7 +354,10 @@ class TestBanksCommand:
 
         assert main(["banks", "--workload", "stride2-collider",
                      "--json"]) == 0
-        report = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["tool"] == "banks"
+        assert envelope["workload"] == "stride2-collider"
+        report = envelope["data"]
         summary = report["summary"]
         assert summary["serialized"] >= 1
         assert summary["groups"] == summary["proven"] + summary["serialized"]
@@ -374,3 +380,88 @@ class TestBanksCommand:
                      "--inject-unsound-banking"]) == 1
         out = capsys.readouterr().out
         assert "bank-conflict violation" in out
+
+
+class TestReuseCommand:
+    def test_text_report_proven_pairs(self, capsys):
+        assert main(["reuse", "--workload", "stencil-reuse-3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 proven pair(s)" in out
+        assert "distance 1" in out and "distance 2" in out
+        assert "reuse:" in out
+
+    def test_text_report_shows_degradation(self, capsys):
+        assert main(["reuse", "--workload", "reuse-breaker"]) == 0
+        out = capsys.readouterr().out
+        assert "0 proven pair(s)" in out
+        assert "may-alias" in out
+
+    def test_forwarding_pair_reported(self, capsys):
+        assert main(["reuse", "--workload", "fwd-store-load"]) == 0
+        out = capsys.readouterr().out
+        assert "forward" in out
+        assert "distance 2" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["reuse", "--workload", "stencil-reuse-3",
+                     "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["tool"] == "reuse"
+        assert envelope["workload"] == "stencil-reuse-3"
+        report = envelope["data"]
+        assert report["summary"]["pairs_proven"] == 3
+        groups = [g for f in report["functions"] for g in f["groups"]]
+        assert any(
+            p["status"] == "proven" and p["distance"] == 2
+            for g in groups for p in g["pairs"]
+        )
+
+    def test_source_file_input(self, kernel_file, capsys):
+        assert main(["reuse", kernel_file]) == 0
+        assert "reuse:" in capsys.readouterr().out
+
+    def test_sanitize_reuse_workloads_clean(self, capsys):
+        for name in ("stencil-reuse-3", "fwd-store-load", "reuse-breaker"):
+            assert main(["exec", "--workload", name, "--sanitize"]) == 0
+            out = capsys.readouterr().out
+            assert "0 violation(s)" in out
+
+    def test_sanitize_injected_unsound_reuse_exits_one(self, capsys):
+        assert main(["exec", "--workload", "stencil-reuse-3", "--sanitize",
+                     "--inject-unsound-reuse"]) == 1
+        out = capsys.readouterr().out
+        assert "reuse-address violation" in out
+
+
+class TestJsonEnvelope:
+    """The analysis commands share one JSON envelope so downstream
+    tooling can dispatch on ``tool`` and pin ``estimator_version``."""
+
+    CASES = [
+        (["deps", "--workload", "seidel-1d", "--json"], "deps",
+         "seidel-1d"),
+        (["banks", "--workload", "stride2-collider", "--json"], "banks",
+         "stride2-collider"),
+        (["reuse", "--workload", "stencil-reuse-3", "--json"], "reuse",
+         "stencil-reuse-3"),
+    ]
+
+    @pytest.mark.parametrize("argv,tool,workload", CASES)
+    def test_envelope_shape(self, argv, tool, workload, capsys):
+        import json
+
+        from repro.model.estimator import ESTIMATOR_VERSION
+
+        assert main(argv) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert list(envelope) == [
+            "tool", "estimator_version", "workload", "data"
+        ]
+        assert envelope["tool"] == tool
+        assert envelope["estimator_version"] == ESTIMATOR_VERSION
+        assert envelope["workload"] == workload
+        assert isinstance(envelope["data"], dict)
+        # The payload is pure JSON: a dump/load round-trip is lossless.
+        assert json.loads(json.dumps(envelope["data"])) == envelope["data"]

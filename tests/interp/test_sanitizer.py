@@ -163,3 +163,60 @@ class TestBankingClaims:
         interp = sanitize("trisolv")
         assert interp.violations == []
         assert interp.bank_claim_count > 0
+
+
+class TestReuseClaims:
+    """Every proven reuse pair is validated concretely: the consumer's
+    address at iteration i must equal the producer's at i-d, and no byte
+    of the buffered element may be overwritten in between.  The
+    adversarial injection shortens claimed distances and must be caught
+    on workloads whose window really moves."""
+
+    REUSE_WORKLOADS = [
+        "stencil-reuse-3", "fwd-store-load", "trisolv", "seidel-1d"
+    ]
+
+    @pytest.mark.parametrize("name", REUSE_WORKLOADS)
+    def test_proven_pairs_hold_at_runtime(self, name):
+        interp = sanitize(name)
+        assert interp.violations == []
+        assert interp.reuse_claim_count > 0, "no reuse pair was registered"
+        assert interp.reuse_checks > 0, "no reuse pair was ever checked"
+
+    def test_breaker_registers_no_claims(self):
+        """reuse-breaker's may-alias store degrades every candidate to
+        unknown: nothing is claimed, nothing is checked."""
+        interp = sanitize("reuse-breaker")
+        assert interp.violations == []
+        assert interp.reuse_claim_count == 0
+        assert interp.reuse_checks == 0
+
+    @pytest.mark.parametrize("name", ["stencil-reuse-3", "fwd-store-load"])
+    def test_injected_unsound_reuse_is_caught(self, name):
+        """Shortening a moving-window distance by one makes the tap read a
+        neighboring element — a concrete address mismatch every steady
+        iteration."""
+        interp = sanitize(name, inject_unsound_reuse=True)
+        assert interp.violations, "unsound reuse claim escaped the sanitizer"
+        assert any("reuse-address" in v for v in interp.violations)
+
+    def test_breaker_clean_under_injection(self):
+        """No claims registered means nothing to shorten: the injection is
+        a no-op on the degraded workload."""
+        interp = sanitize("reuse-breaker", inject_unsound_reuse=True)
+        assert interp.violations == []
+
+    def test_injection_is_noted(self):
+        interp = sanitize("stencil-reuse-3", inject_unsound_reuse=True)
+        assert any("inject-unsound-reuse" in n for n in interp.notes)
+
+    def test_injection_fail_fast_raises(self):
+        workload = get_workload("stencil-reuse-3")
+        module = compile_source(workload.source, workload.name)
+        interp = SanitizingInterpreter(module, inject_unsound_reuse=True)
+        with pytest.raises(SanitizerError):
+            interp.run(workload.entry)
+
+    def test_report_mentions_reuse_checks(self):
+        interp = sanitize("stencil-reuse-3")
+        assert "reuse" in interp.report()
